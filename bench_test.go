@@ -1,0 +1,438 @@
+package allpairs
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations called out in DESIGN.md. Benchmarks report the experiment's
+// headline quantity via b.ReportMetric so `go test -bench . -benchmem`
+// regenerates the numbers EXPERIMENTS.md records. cmd/experiments produces
+// the same data at full paper scale.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"allpairs/internal/bwmodel"
+	"allpairs/internal/core"
+	"allpairs/internal/emul"
+	"allpairs/internal/grid"
+	"allpairs/internal/lowerbound"
+	"allpairs/internal/lsdb"
+	"allpairs/internal/metrics"
+	"allpairs/internal/overlay"
+	"allpairs/internal/traces"
+	"allpairs/internal/wire"
+)
+
+// BenchmarkFig1BestOneHop regenerates Figure 1 (one-hop rescue of
+// high-latency paths) on a 200-host environment and reports the fraction of
+// >400 ms pairs rescued by the best one-hop and after excluding the top 3%.
+func BenchmarkFig1BestOneHop(b *testing.B) {
+	env := traces.PlanetLab(200, 20051123)
+	var best, excl3 float64
+	for i := 0; i < b.N; i++ {
+		r := emul.Fig1(env, 400)
+		best = r.Best.FractionLE(400)
+		excl3 = r.Excl3.FractionLE(400)
+	}
+	b.ReportMetric(best, "best1hop_le400")
+	b.ReportMetric(excl3, "excl3_le400")
+}
+
+// BenchmarkFig8ConcurrentFailures runs a scaled-down deployment and reports
+// the median and maximum per-node mean concurrent link failures (Figure 8's
+// CDF endpoints).
+func BenchmarkFig8ConcurrentFailures(b *testing.B) {
+	var med, max float64
+	for i := 0; i < b.N; i++ {
+		dep := emul.RunDeployment(emul.DeploymentOptions{
+			N: 25, Seed: 8, Warmup: time.Minute, Duration: 6 * time.Minute,
+		})
+		med = median(dep.MeanFailures)
+		for _, v := range dep.MeanFailures {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	b.ReportMetric(med, "median_failures")
+	b.ReportMetric(max, "max_failures")
+}
+
+// BenchmarkFig9BandwidthScaling regenerates Figure 9's bandwidth-vs-n curves
+// at three sizes for both algorithms, reporting measured Kbps per node.
+func BenchmarkFig9BandwidthScaling(b *testing.B) {
+	for _, n := range []int{25, 49, 81} {
+		for _, algo := range []overlay.Algorithm{overlay.AlgFullMesh, overlay.AlgQuorum} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, algo), func(b *testing.B) {
+				var kbps float64
+				for i := 0; i < b.N; i++ {
+					kbps = emul.Fig9Point(n, algo, 9, 30*time.Second, 2*time.Minute)
+				}
+				b.ReportMetric(kbps, "Kbps/node")
+			})
+		}
+	}
+}
+
+// BenchmarkFig10DeploymentBandwidth reports the fleet-average and worst
+// 1-minute-window routing bandwidth of a scaled-down deployment (Figure 10).
+func BenchmarkFig10DeploymentBandwidth(b *testing.B) {
+	var mean, worst float64
+	for i := 0; i < b.N; i++ {
+		dep := emul.RunDeployment(emul.DeploymentOptions{
+			N: 25, Seed: 10, Warmup: time.Minute, Duration: 6 * time.Minute,
+		})
+		mean = meanOf(dep.MeanKbps)
+		worst = 0
+		for _, v := range dep.MaxKbps {
+			if v > worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(mean, "mean_Kbps")
+	b.ReportMetric(worst, "max_window_Kbps")
+}
+
+// BenchmarkFig11DoubleFailures reports the 98th-percentile per-node mean
+// count of destinations with double rendezvous failure (Figure 11: 98% of
+// nodes average fewer than 10).
+func BenchmarkFig11DoubleFailures(b *testing.B) {
+	var p98 float64
+	for i := 0; i < b.N; i++ {
+		dep := emul.RunDeployment(emul.DeploymentOptions{
+			N: 25, Seed: 11, Warmup: time.Minute, Duration: 6 * time.Minute,
+		})
+		p98 = percentile(dep.MeanDouble, 0.98)
+	}
+	b.ReportMetric(p98, "p98_double_failures")
+}
+
+// BenchmarkFig12RouteFreshness reports the median pair's median route
+// freshness (Figure 12: typically ~8 s with r = 15 s).
+func BenchmarkFig12RouteFreshness(b *testing.B) {
+	var med float64
+	for i := 0; i < b.N; i++ {
+		dep := emul.RunDeployment(emul.DeploymentOptions{
+			N: 25, Seed: 12, Warmup: time.Minute, Duration: 6 * time.Minute,
+		})
+		vals := make([]float64, 0, len(dep.Pairs))
+		for _, p := range dep.Pairs {
+			vals = append(vals, p.Median)
+		}
+		med = median(vals)
+	}
+	b.ReportMetric(med, "median_freshness_s")
+}
+
+// BenchmarkFig13Fig14FreshnessByConnectivity contrasts the well- and
+// poorly-connected nodes' median freshness (Figures 13 and 14).
+func BenchmarkFig13Fig14FreshnessByConnectivity(b *testing.B) {
+	var well, poor float64
+	for i := 0; i < b.N; i++ {
+		dep := emul.RunDeployment(emul.DeploymentOptions{
+			N: 25, Seed: 13, Warmup: time.Minute, Duration: 6 * time.Minute,
+		})
+		well = medianFresh(dep.WellStats)
+		poor = medianFresh(dep.PoorStats)
+	}
+	b.ReportMetric(well, "well_median_s")
+	b.ReportMetric(poor, "poor_median_s")
+}
+
+// BenchmarkFailoverScenarios measures §4.1 scenarios 1–3 recovery times.
+func BenchmarkFailoverScenarios(b *testing.B) {
+	for s := 1; s <= 3; s++ {
+		b.Run(fmt.Sprintf("scenario%d", s), func(b *testing.B) {
+			var rec float64
+			for i := 0; i < b.N; i++ {
+				res, err := emul.RunFailoverScenario(s, 21)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec = res.Recovered.Seconds()
+			}
+			b.ReportMetric(rec, "recovery_s")
+		})
+	}
+}
+
+// BenchmarkTheoryFormulas evaluates the §6.1 closed-form models and §1
+// capacity arithmetic (table-theory, table-capacity).
+func BenchmarkTheoryFormulas(b *testing.B) {
+	var mesh140, quorum140 float64
+	var cap56 int
+	for i := 0; i < b.N; i++ {
+		mesh140 = bwmodel.PaperFullMeshRouting(140) / 1000
+		quorum140 = bwmodel.PaperQuorumRouting(140) / 1000
+		cap56 = bwmodel.PaperCapacityQuorum(56_000)
+	}
+	b.ReportMetric(mesh140, "RON@140_Kbps")
+	b.ReportMetric(quorum140, "quorum@140_Kbps")
+	b.ReportMetric(float64(cap56), "quorum_nodes@56Kbps")
+}
+
+// BenchmarkTheorem1MessageCount verifies and times the ≤4√n per-interval
+// message bound across grid sizes.
+func BenchmarkTheorem1MessageCount(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		g, err := grid.New(400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for s := 0; s < 400; s++ {
+			m := float64(len(g.Servers(s)) + len(g.Clients(s)))
+			if m > worst {
+				worst = m
+			}
+		}
+	}
+	b.ReportMetric(worst, "max_msgs_per_interval")
+	b.ReportMetric(4*20, "bound_4sqrtn")
+}
+
+// BenchmarkMultiHop regenerates the §3 multi-hop experiment: optimal ≤4-hop
+// paths on 64 nodes, reporting per-node communication vs the Θ(n√n log l)
+// model.
+func BenchmarkMultiHop(b *testing.B) {
+	env := traces.PlanetLab(64, 3)
+	costs := make([][]wire.Cost, 64)
+	for i := range costs {
+		costs[i] = make([]wire.Cost, 64)
+		for j := range costs[i] {
+			if i != j {
+				costs[i][j] = wire.Cost(env.LatencyMS[i][j] + 0.5)
+			}
+		}
+	}
+	var maxBytes int64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunMultiHop(costs, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxBytes = 0
+		for _, v := range res.BytesPerNode {
+			if v > maxBytes {
+				maxBytes = v
+			}
+		}
+	}
+	b.ReportMetric(float64(maxBytes), "max_bytes/node")
+	b.ReportMetric(core.TheoreticalMultiHopBytes(64, 4), "theory_bytes/node")
+}
+
+// BenchmarkDiamondCounting times the Appendix A diamond counter on K_40 and
+// reports the Lemma 2 identity.
+func BenchmarkDiamondCounting(b *testing.B) {
+	var edges []lowerbound.Edge
+	for x := 0; x < 40; x++ {
+		for y := x + 1; y < 40; y++ {
+			edges = append(edges, lowerbound.Edge{A: x, B: y})
+		}
+	}
+	var got int64
+	for i := 0; i < b.N; i++ {
+		got = lowerbound.CountDiamonds(40, edges)
+	}
+	if got != lowerbound.DiamondsInComplete(40) {
+		b.Fatalf("Lemma 2 violated: %d", got)
+	}
+	b.ReportMetric(float64(got), "diamonds_K40")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §4).
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationInterval compares quorum routing bandwidth at the paper's
+// r = 15 s against r = 30 s (the paper halves r to compensate for the
+// two-round convergence; the cost is exactly 2× routing traffic).
+func BenchmarkAblationInterval(b *testing.B) {
+	for _, r := range []time.Duration{15 * time.Second, 30 * time.Second} {
+		b.Run(fmt.Sprintf("r=%s", r), func(b *testing.B) {
+			var kbps float64
+			for i := 0; i < b.N; i++ {
+				sim, err := NewSimulation(SimOptions{N: 49, Seed: 4, RoutingInterval: r})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim.Run(4 * time.Minute)
+				kbps = sim.RoutingKbps()
+			}
+			b.ReportMetric(kbps, "Kbps/node")
+		})
+	}
+}
+
+// BenchmarkAblationEncoding quantifies the paper's footnote 9: RON's
+// original verbose link-state representation roughly doubled routing
+// messages. Compact rows are what make the quorum algorithm's constants
+// attractive at hundreds of nodes.
+func BenchmarkAblationEncoding(b *testing.B) {
+	var compact, verbose float64
+	var p bwmodel.Params
+	for i := 0; i < b.N; i++ {
+		compact = p.FullMeshRouting(140) / 1000
+		// Verbose encoding: double the per-entry payload (6 B vs 3 B).
+		verbose = 2*compact - float64(2*(140-1)*wire.PerPacketOverhead*8)/30/1000
+	}
+	b.ReportMetric(compact, "compact_Kbps")
+	b.ReportMetric(verbose, "verbose_Kbps")
+}
+
+// BenchmarkAblationRedundancy reports the expected fraction of pairs with no
+// usable rendezvous under the grid's two-server intersection vs a
+// hypothetical single-server assignment (§4's motivation).
+func BenchmarkAblationRedundancy(b *testing.B) {
+	env := traces.PlanetLab(100, 5)
+	var double, single float64
+	for i := 0; i < b.N; i++ {
+		double, single = emul.RedundancyAblation(env)
+	}
+	b.ReportMetric(double*100, "double_fail_pct")
+	b.ReportMetric(single*100, "single_fail_pct")
+}
+
+// BenchmarkAblationStaleness compares the 3r row-staleness window (§6.2.2)
+// against a tight 1r window under 30% packet loss, reporting each pair's
+// worst observed route age (mean and 97th percentile across pairs). The
+// wider window keeps recommendations flowing when round-1 rows are lost.
+func BenchmarkAblationStaleness(b *testing.B) {
+	for _, mult := range []int{1, 3} {
+		b.Run(fmt.Sprintf("staleness=%dr", mult), func(b *testing.B) {
+			var mean, p97 float64
+			for i := 0; i < b.N; i++ {
+				mean, p97 = emul.StalenessAblation(mult, 0.30, 6)
+			}
+			b.ReportMetric(mean, "mean_worst_age_s")
+			b.ReportMetric(p97, "p97_worst_age_s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the hot paths.
+// ---------------------------------------------------------------------------
+
+// BenchmarkGridConstruction times building the quorum layout at 1024 nodes.
+func BenchmarkGridConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := grid.New(1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBestOneHop times the rendezvous inner loop: one optimal-hop scan
+// over 1024-entry rows.
+func BenchmarkBestOneHop(b *testing.B) {
+	n := 1024
+	rowA := make([]wire.LinkEntry, n)
+	rowB := make([]wire.LinkEntry, n)
+	for i := 0; i < n; i++ {
+		rowA[i] = wire.LinkEntry{Latency: uint16(i % 400), Status: 0}
+		rowB[i] = wire.LinkEntry{Latency: uint16((i * 7) % 400), Status: 0}
+	}
+	lsdb.SelfRow(0, rowA)
+	lsdb.SelfRow(1, rowB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lsdb.BestOneHop(0, rowA, 1, rowB)
+	}
+}
+
+// BenchmarkLinkStateCodec times encoding+decoding a 1024-node row (the
+// round-1 message).
+func BenchmarkLinkStateCodec(b *testing.B) {
+	ls := wire.LinkState{ViewVersion: 1, Seq: 9, Entries: make([]wire.LinkEntry, 1024)}
+	buf := make([]byte, 0, wire.LinkStateSize(1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendLinkState(buf[:0], 3, ls)
+		_, body, err := wire.ParseHeader(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.ParseLinkState(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkQuorumTick times one full routing interval (round 1 + round 2 +
+// failure detection) for a 144-node overlay's busiest role.
+func BenchmarkQuorumTick(b *testing.B) {
+	sim, err := NewSimulation(SimOptions{N: 144, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.Run(2 * time.Minute) // converge so ticks do full work
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(15 * time.Second) // one routing interval for the whole fleet
+	}
+	b.StopTimer()
+	b.ReportMetric(144, "nodes")
+}
+
+// ---------------------------------------------------------------------------
+
+func median(vals []float64) float64 { return percentile(vals, 0.5) }
+
+func percentile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), vals...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}
+
+func meanOf(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return s / float64(len(vals))
+}
+
+func medianFresh(ps []metrics.PairStats) float64 {
+	vals := make([]float64, 0, len(ps))
+	for _, p := range ps {
+		vals = append(vals, p.Median)
+	}
+	return median(vals)
+}
+
+// BenchmarkAblationReliability compares §6.2.2's reliable link-state option
+// against plain best-effort rows under 25% loss: worst-case route age
+// improves, routing bandwidth pays for the acks and retransmissions.
+func BenchmarkAblationReliability(b *testing.B) {
+	for _, reliable := range []bool{false, true} {
+		name := "best-effort"
+		if reliable {
+			name = "reliable"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mean, p97, kbps float64
+			for i := 0; i < b.N; i++ {
+				mean, p97, kbps = emul.ReliabilityAblation(reliable, 0.25, 8)
+			}
+			b.ReportMetric(mean, "mean_worst_age_s")
+			b.ReportMetric(p97, "p97_worst_age_s")
+			b.ReportMetric(kbps, "routing_Kbps")
+		})
+	}
+}

@@ -1,0 +1,37 @@
+// Command coordinator runs the overlay's centralized membership service
+// (§5): it admits joining nodes, assigns 2-byte node IDs, broadcasts
+// versioned membership views, and expires nodes that miss heartbeats for the
+// membership timeout (30 minutes by default, as in the paper).
+//
+// Usage:
+//
+//	coordinator -listen :4400
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"allpairs"
+)
+
+func main() {
+	listen := flag.String("listen", ":4400", "UDP listen address")
+	flag.Parse()
+
+	log.SetPrefix("coordinator: ")
+	c, err := allpairs.StartCoordinator(*listen, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	log.Printf("serving membership on %s", c.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down with %d members", c.MemberCount())
+}

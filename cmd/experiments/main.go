@@ -1,0 +1,345 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index). Each subcommand
+// prints whitespace-separated data columns with a commented header, suitable
+// for gnuplot or eyeballing.
+//
+// Usage:
+//
+//	experiments fig1 [-n 359] [-seed S]
+//	experiments fig8|fig10|fig11|fig12|fig13|fig14 [-n 140] [-minutes 136] [-seed S]
+//	experiments fig9 [-max 196] [-seed S]
+//	experiments failover [-seed S]
+//	experiments multihop [-n 64] [-hops 4]
+//	experiments table-config
+//	experiments table-theory
+//	experiments table-capacity
+//	experiments lowerbound
+//	experiments all          (runs everything at reduced scale)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"allpairs/internal/bwmodel"
+	"allpairs/internal/core"
+	"allpairs/internal/emul"
+	"allpairs/internal/lowerbound"
+	"allpairs/internal/metrics"
+	"allpairs/internal/overlay"
+	"allpairs/internal/stats"
+	"allpairs/internal/traces"
+	"allpairs/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	n := fs.Int("n", 140, "overlay size")
+	seed := fs.Int64("seed", 1, "random seed")
+	minutes := fs.Int("minutes", 136, "deployment duration (virtual minutes)")
+	maxN := fs.Int("max", 196, "largest overlay size for fig9")
+	hops := fs.Int("hops", 4, "multi-hop bound")
+	_ = fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "fig1":
+		if *n == 140 {
+			*n = 359 // the figure's dataset had 359 hosts
+		}
+		fig1(*n, *seed)
+	case "fig8", "fig10", "fig11", "fig12", "fig13", "fig14":
+		dep := deployment(*n, *seed, time.Duration(*minutes)*time.Minute)
+		printDeploymentFigure(cmd, dep)
+	case "deployment":
+		dep := deployment(*n, *seed, time.Duration(*minutes)*time.Minute)
+		for _, f := range []string{"fig8", "fig10", "fig11", "fig12", "fig13", "fig14"} {
+			printDeploymentFigure(f, dep)
+			fmt.Println()
+		}
+	case "fig9":
+		fig9(*maxN, *seed)
+	case "failover":
+		failover(*seed)
+	case "multihop":
+		if *n == 140 {
+			*n = 64
+		}
+		multihop(*n, *hops, *seed)
+	case "table-config":
+		tableConfig()
+	case "table-theory":
+		tableTheory()
+	case "table-capacity":
+		tableCapacity()
+	case "lowerbound":
+		lowerBound()
+	case "all":
+		runAll(*seed)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|deployment|failover|multihop|table-config|table-theory|table-capacity|lowerbound|all> [flags]`)
+}
+
+// ---------------------------------------------------------------------------
+
+func fig1(n int, seed int64) {
+	env := traces.PlanetLab(n, seed)
+	r := emul.Fig1(env, 400)
+	fmt.Printf("# Figure 1: RTT CDFs for the %d pairs with direct latency > 400 ms (n=%d hosts)\n", r.HighPairs, n)
+	fmt.Printf("# latency_ms  direct  best_1hop  excl_top_3%%  excl_top_50%%\n")
+	for _, x := range []float64{200, 300, 400, 500, 600, 700, 800, 900, 1000} {
+		fmt.Printf("%6.0f  %6.3f  %6.3f  %6.3f  %6.3f\n",
+			x, r.Direct.FractionLE(x), r.Best.FractionLE(x), r.Excl3.FractionLE(x), r.Excl50.FractionLE(x))
+	}
+	fmt.Printf("# paper shape @400ms: direct=0, best ≥ 0.45, excl3 ≈ 0.30, excl50 ≈ 0\n")
+}
+
+func fig9(maxN int, seed int64) {
+	fmt.Println("# Figure 9: average per-node routing traffic (in+out, Kbps), 5-minute emulation, no failures")
+	fmt.Println("#   n    RON(meas)  quorum(meas)  RON(theory)  quorum(theory)")
+	warm, meas := time.Minute, 4*time.Minute
+	for _, n := range []int{25, 49, 81, 100, 121, 144, 169, 196} {
+		if n > maxN {
+			break
+		}
+		mesh := emul.Fig9Point(n, overlay.AlgFullMesh, seed, warm, meas)
+		quorum := emul.Fig9Point(n, overlay.AlgQuorum, seed, warm, meas)
+		fmt.Printf("%5d  %9.2f  %11.2f  %10.2f  %13.2f\n",
+			n, mesh, quorum,
+			bwmodel.PaperFullMeshRouting(n)/1000, bwmodel.PaperQuorumRouting(n)/1000)
+	}
+	fmt.Println("# paper @140: RON 34.8 Kbps, quorum 15.3 Kbps")
+}
+
+func deployment(n int, seed int64, dur time.Duration) *emul.DeploymentResult {
+	fmt.Fprintf(os.Stderr, "running %d-node deployment for %v (virtual)...\n", n, dur)
+	return emul.RunDeployment(emul.DeploymentOptions{N: n, Seed: seed, Duration: dur})
+}
+
+func printDeploymentFigure(cmd string, dep *emul.DeploymentResult) {
+	switch cmd {
+	case "fig8":
+		fmt.Println("# Figure 8: CDF of concurrent link failures per node (mean and max over 1-min samples)")
+		fmt.Println("# failures  nodes_mean_le  nodes_max_le")
+		printCountCDFs(dep.MeanFailures, dep.MaxFailures)
+	case "fig10":
+		fmt.Println("# Figure 10: CDF of per-node routing traffic, Kbps (mean; max over any 1-min window)")
+		fmt.Println("# kbps  nodes_mean_le  nodes_max_le")
+		printCountCDFs(dep.MeanKbps, dep.MaxKbps)
+		mean, _ := avg(dep.MeanKbps)
+		mx := 0.0
+		for _, v := range dep.MaxKbps {
+			if v > mx {
+				mx = v
+			}
+		}
+		fmt.Printf("# fleet average %.1f Kbps, worst 1-min window %.1f Kbps (paper: avg <13, max <17)\n", mean, mx)
+	case "fig11":
+		fmt.Println("# Figure 11: CDF of destinations with double rendezvous failure per node (mean, max)")
+		fmt.Println("# destinations  nodes_mean_le  nodes_max_le")
+		printCountCDFs(dep.MeanDouble, dep.MaxDouble)
+	case "fig12":
+		fmt.Println("# Figure 12: route freshness over all (src,dst) pairs, seconds (sampled every 30 s)")
+		printFreshness(dep.Pairs)
+	case "fig13":
+		fmt.Printf("# Figure 13: route freshness from the well-connected node %d (mean concurrent failures %.1f)\n",
+			dep.WellNode, dep.WellMeanFailures)
+		printFreshness(dep.WellStats)
+	case "fig14":
+		fmt.Printf("# Figure 14: route freshness from the poorly-connected node %d (mean concurrent failures %.1f)\n",
+			dep.PoorNode, dep.PoorMeanFailures)
+		printFreshness(dep.PoorStats)
+	}
+}
+
+func printCountCDFs(mean, max []float64) {
+	mc := stats.NewCDF(mean)
+	xc := stats.NewCDF(max)
+	xs := unionXs(mc, xc)
+	for _, x := range xs {
+		fmt.Printf("%8.2f  %6d  %6d\n", x, mc.CountLE(x), xc.CountLE(x))
+	}
+}
+
+func printFreshness(pairs []metrics.PairStats) {
+	fmt.Println("# seconds  count_median_le  count_mean_le  count_p97_le  count_max_le")
+	med := &stats.CDF{}
+	mean := &stats.CDF{}
+	p97 := &stats.CDF{}
+	mx := &stats.CDF{}
+	for _, p := range pairs {
+		med.Add(p.Median)
+		mean.Add(p.Mean)
+		p97.Add(p.P97)
+		mx.Add(p.Max)
+	}
+	for _, x := range []float64{1, 2, 4, 8, 15, 30, 60, 120, 240, 480, 960} {
+		fmt.Printf("%7.0f  %7d  %7d  %7d  %7d\n",
+			x, med.CountLE(x), mean.CountLE(x), p97.CountLE(x), mx.CountLE(x))
+	}
+	fmt.Printf("# pairs: %d; paper: typical update every ~8 s, 97%% of medians < 12 s\n", len(pairs))
+}
+
+func unionXs(cdfs ...*stats.CDF) []float64 {
+	set := map[float64]bool{}
+	for _, c := range cdfs {
+		for _, v := range c.Values() {
+			set[v] = true
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for v := range set {
+		xs = append(xs, v)
+	}
+	sort.Float64s(xs)
+	if len(xs) > 60 {
+		// thin to ~60 rows
+		out := xs[:0]
+		step := len(xs) / 60
+		for i := 0; i < len(xs); i += step + 1 {
+			out = append(out, xs[i])
+		}
+		xs = append(out, xs[len(xs)-1])
+	}
+	return xs
+}
+
+func avg(v []float64) (mean, max float64) {
+	for _, x := range v {
+		mean += x
+		if x > max {
+			max = x
+		}
+	}
+	if len(v) > 0 {
+		mean /= float64(len(v))
+	}
+	return
+}
+
+func failover(seed int64) {
+	fmt.Println("# §4.1 failure scenarios: measured recovery vs paper bound")
+	fmt.Println("# scenario  recovered_s  bound_s  within  failovers_used")
+	for s := 1; s <= 3; s++ {
+		res, err := emul.RunFailoverScenario(s, seed)
+		if err != nil {
+			fmt.Printf("%9d  error: %v\n", s, err)
+			continue
+		}
+		fmt.Printf("%9d  %11.1f  %7.1f  %6v  %14d\n",
+			s, res.Recovered.Seconds(), res.Bound.Seconds(), res.WithinBound, res.FailoversUsed)
+	}
+	fmt.Println("# paper bounds: ≤p+2r, ≤p+2r, ≤p+3r (p=30s probing detection, r=15s)")
+}
+
+func multihop(n, hops int, seed int64) {
+	env := traces.PlanetLab(n, seed)
+	costs := make([][]wire.Cost, n)
+	for i := range costs {
+		costs[i] = make([]wire.Cost, n)
+		for j := range costs[i] {
+			if i != j {
+				costs[i][j] = wire.Cost(env.LatencyMS[i][j] + 0.5)
+			}
+		}
+	}
+	res, err := core.RunMultiHop(costs, hops)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	improved, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total++
+			if res.Dist[i][j] < costs[i][j] {
+				improved++
+			}
+		}
+	}
+	var maxBytes int64
+	for _, b := range res.BytesPerNode {
+		if b > maxBytes {
+			maxBytes = b
+		}
+	}
+	fmt.Printf("# §3 multi-hop: n=%d, ≤%d hops in %d iterations\n", n, res.MaxHops, res.Iterations)
+	fmt.Printf("pairs_improved_over_direct  %d/%d\n", improved, total)
+	fmt.Printf("max_per_node_bytes          %d\n", maxBytes)
+	fmt.Printf("theory_n_sqrt_n_log_bytes   %.0f\n", core.TheoreticalMultiHopBytes(n, hops))
+}
+
+func tableConfig() {
+	fmt.Println("# §5 configuration (paper's table)")
+	fmt.Println("parameter            full-mesh(RON)  quorum")
+	fmt.Println("routing interval r   30s             15s")
+	fmt.Println("probing interval p   30s             30s")
+	fmt.Println("probes for failure   5               5")
+	fmt.Println("row staleness        3r              3r")
+}
+
+func tableTheory() {
+	fmt.Println("# §6.1 closed-form per-node traffic (bps, in+out)")
+	fmt.Println("#   n    probing  RON_routing  quorum_routing")
+	for _, n := range []int{25, 50, 100, 140, 200, 300, 416} {
+		fmt.Printf("%5d  %9.0f  %11.0f  %14.0f\n",
+			n, bwmodel.PaperProbing(n), bwmodel.PaperFullMeshRouting(n), bwmodel.PaperQuorumRouting(n))
+	}
+	fmt.Println("# paper spot check @140: routing 34.8 vs 15.3 Kbps")
+}
+
+func tableCapacity() {
+	fmt.Println("# §1 capacity claims")
+	fmt.Printf("nodes at 56 Kbps: full-mesh %d, quorum %d\n",
+		bwmodel.PaperCapacityFullMesh(56_000), bwmodel.PaperCapacityQuorum(56_000))
+	fmt.Printf("416 PlanetLab sites: full-mesh %.0f Kbps, quorum %.0f Kbps\n",
+		bwmodel.PaperTotal(416, false)/1000, bwmodel.PaperTotal(416, true)/1000)
+	fmt.Println("# paper: 165 vs ~300 nodes; 307 vs 86 Kbps")
+}
+
+func lowerBound() {
+	fmt.Println("# Appendix A: diamond-counting lower bound")
+	fmt.Println("#    n   diamonds=3C(n,4)  min_edges/node  quorum_edges/node  ratio")
+	for _, n := range []int{16, 64, 144, 400, 1024} {
+		fmt.Printf("%6d  %16d  %14.0f  %17.0f  %5.2f\n",
+			n, lowerbound.DiamondsInComplete(n), lowerbound.MinEdgesPerNode(n),
+			lowerbound.QuorumEdgesPerNode(n), lowerbound.OptimalityRatio(n))
+	}
+	fmt.Println("# the grid quorum is within a constant (→ 2√8 ≈ 5.66) of the lower bound")
+}
+
+func runAll(seed int64) {
+	fig1(200, seed)
+	fmt.Println()
+	fig9(100, seed)
+	fmt.Println()
+	dep := deployment(64, seed, 20*time.Minute)
+	for _, f := range []string{"fig8", "fig10", "fig11", "fig12", "fig13", "fig14"} {
+		printDeploymentFigure(f, dep)
+		fmt.Println()
+	}
+	failover(seed)
+	fmt.Println()
+	multihop(49, 4, seed)
+	fmt.Println()
+	tableConfig()
+	fmt.Println()
+	tableTheory()
+	fmt.Println()
+	tableCapacity()
+	fmt.Println()
+	lowerBound()
+}

@@ -1,0 +1,95 @@
+// Command overlayd runs one overlay node over UDP: it joins the membership
+// coordinator, probes every other member (p = 30 s, 5-probe failure
+// detection), exchanges routing state with its grid-quorum rendezvous
+// servers (r = 15 s), and periodically prints its best one-hop route table.
+//
+// Usage:
+//
+//	overlayd -coordinator 198.51.100.7:4400 [-listen :4401]
+//	         [-algorithm quorum|fullmesh] [-status 30s]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"allpairs"
+)
+
+func main() {
+	listen := flag.String("listen", ":4401", "UDP listen address")
+	advertise := flag.String("advertise", "", "externally reachable addr:port (default: socket address)")
+	coordinator := flag.String("coordinator", "", "membership coordinator addr:port (required)")
+	algorithm := flag.String("algorithm", "quorum", "routing algorithm: quorum or fullmesh")
+	status := flag.Duration("status", 30*time.Second, "route table print interval (0 disables)")
+	flag.Parse()
+
+	log.SetPrefix("overlayd: ")
+	if *coordinator == "" {
+		log.Fatal("-coordinator is required")
+	}
+	algo := allpairs.Quorum
+	if *algorithm == "fullmesh" {
+		algo = allpairs.FullMesh
+	} else if *algorithm != "quorum" {
+		log.Fatalf("unknown algorithm %q", *algorithm)
+	}
+
+	node, err := allpairs.StartNode(allpairs.NodeOptions{
+		Listen:      *listen,
+		Advertise:   *advertise,
+		Coordinator: *coordinator,
+		Algorithm:   algo,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	log.Printf("joining overlay via %s (%s routing)", *coordinator, algo)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var tick <-chan time.Time
+	if *status > 0 {
+		t := time.NewTicker(*status)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			log.Print("leaving overlay")
+			return
+		case <-tick:
+			printStatus(node)
+		}
+	}
+}
+
+func printStatus(node *allpairs.Node) {
+	if !node.Ready() {
+		log.Print("waiting for membership view...")
+		return
+	}
+	routes := node.RouteTable()
+	detours := 0
+	for _, r := range routes {
+		if r.Hop != r.Dst {
+			detours++
+		}
+	}
+	log.Printf("node %d: %d members, %d routes (%d via detour)",
+		node.ID(), len(node.Members()), len(routes), detours)
+	for _, r := range routes {
+		marker := ""
+		if r.Hop != r.Dst {
+			marker = " (detour)"
+		}
+		log.Printf("  -> %-5d via %-5d cost %4d ms [%s]%s", r.Dst, r.Hop, r.Cost, r.Source, marker)
+	}
+}

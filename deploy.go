@@ -1,0 +1,180 @@
+package allpairs
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"allpairs/internal/core"
+	"allpairs/internal/membership"
+	"allpairs/internal/overlay"
+	"allpairs/internal/probe"
+	"allpairs/internal/transport"
+)
+
+// NodeOptions configures a real UDP overlay node.
+type NodeOptions struct {
+	// Listen is the UDP listen address, e.g. ":4400".
+	Listen string
+	// Advertise is the externally reachable address announced to the
+	// membership coordinator; empty means the socket's local address.
+	Advertise string
+	// Coordinator is the membership coordinator's address, e.g.
+	// "198.51.100.7:4400". Required.
+	Coordinator string
+	// Algorithm selects Quorum (default) or FullMesh routing.
+	Algorithm Algorithm
+	// RoutingInterval and ProbeInterval override the paper's defaults
+	// (quorum r = 15 s, full-mesh r = 30 s, p = 30 s).
+	RoutingInterval time.Duration
+	ProbeInterval   time.Duration
+	// Asymmetric enables per-direction routing from one-way latency
+	// estimates (footnote 2). Requires closely synchronized clocks across
+	// the overlay (NTP-grade); quorum algorithm only.
+	Asymmetric bool
+	// ReliableLinkState enables acknowledged, once-retransmitted round-1
+	// rows (§6.2.2's option). Must be set overlay-wide.
+	ReliableLinkState bool
+	// Seed for the node's randomness; 0 derives one from the current time.
+	Seed int64
+}
+
+// Node is a live overlay node on a UDP socket.
+type Node struct {
+	env  *transport.UDPEnv
+	node *overlay.Node
+}
+
+// StartNode opens the socket, joins through the coordinator, and begins
+// probing and routing.
+func StartNode(opt NodeOptions) (*Node, error) {
+	coord, err := netip.ParseAddrPort(opt.Coordinator)
+	if err != nil {
+		return nil, fmt.Errorf("allpairs: coordinator address: %w", err)
+	}
+	var adv netip.AddrPort
+	if opt.Advertise != "" {
+		adv, err = netip.ParseAddrPort(opt.Advertise)
+		if err != nil {
+			return nil, fmt.Errorf("allpairs: advertise address: %w", err)
+		}
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	env, err := transport.NewUDPEnv(opt.Listen, adv, seed)
+	if err != nil {
+		return nil, err
+	}
+	env.SetPeer(membership.CoordinatorID, coord)
+
+	pc := probeConfig(opt.ProbeInterval)
+	pc.Asymmetric = opt.Asymmetric
+	qc := quorumConfig(opt.RoutingInterval)
+	qc.Asymmetric = opt.Asymmetric
+	qc.ReliableLinkState = opt.ReliableLinkState
+	node := overlay.New(env, overlay.Config{
+		Algorithm: opt.Algorithm,
+		Probe:     pc,
+		Quorum:    qc,
+		FullMesh:  fullMeshConfig(opt.RoutingInterval),
+	})
+	var startErr error
+	env.Do(func() { startErr = node.Start() })
+	if startErr != nil {
+		env.Close()
+		return nil, startErr
+	}
+	return &Node{env: env, node: node}, nil
+}
+
+// ID returns the node's assigned overlay ID (NilNode until joined).
+func (n *Node) ID() NodeID { return n.env.LocalID() }
+
+// Ready reports whether the node has joined and holds a membership view.
+func (n *Node) Ready() bool {
+	ready := false
+	n.env.Do(func() { ready = n.node.Ready() })
+	return ready
+}
+
+// Members returns the IDs in the current view.
+func (n *Node) Members() []NodeID {
+	var out []NodeID
+	n.env.Do(func() {
+		if v := n.node.View(); v != nil {
+			for _, m := range v.Members() {
+				out = append(out, m.ID)
+			}
+		}
+	})
+	return out
+}
+
+// BestHop returns the current best one-hop route to dst. Safe for
+// concurrent use.
+func (n *Node) BestHop(dst NodeID) (Route, bool) {
+	var r Route
+	var ok bool
+	n.env.Do(func() { r, ok = n.node.BestHop(dst) })
+	return r, ok
+}
+
+// RouteTable returns the node's full route table. Safe for concurrent use.
+func (n *Node) RouteTable() []Route {
+	var out []Route
+	n.env.Do(func() { out = n.node.RouteTable() })
+	return out
+}
+
+// Close leaves the overlay and releases the socket.
+func (n *Node) Close() error {
+	n.env.Do(func() { n.node.Stop() })
+	return n.env.Close()
+}
+
+// Coordinator is a live membership coordinator on a UDP socket.
+type Coordinator struct {
+	env   *transport.UDPEnv
+	coord *membership.Coordinator
+}
+
+// StartCoordinator opens a UDP socket and serves membership. logf, if
+// non-nil, receives admission/expiry events.
+func StartCoordinator(listen string, logf func(string, ...any)) (*Coordinator, error) {
+	env, err := transport.NewUDPEnv(listen, netip.AddrPort{}, time.Now().UnixNano())
+	if err != nil {
+		return nil, err
+	}
+	c := membership.NewCoordinator(env, membership.CoordinatorConfig{Logf: logf})
+	env.Do(c.Start)
+	return &Coordinator{env: env, coord: c}, nil
+}
+
+// Addr returns the coordinator's socket address.
+func (c *Coordinator) Addr() netip.AddrPort { return c.env.LocalAddr() }
+
+// MemberCount returns the number of admitted members.
+func (c *Coordinator) MemberCount() int {
+	n := 0
+	c.env.Do(func() { n = c.coord.MemberCount() })
+	return n
+}
+
+// Close shuts the coordinator down.
+func (c *Coordinator) Close() error { return c.env.Close() }
+
+// probeConfig, quorumConfig, and fullMeshConfig expand interval overrides
+// into component configurations (zero values keep the paper's defaults).
+func probeConfig(p time.Duration) probe.Config {
+	return probe.Config{Interval: p}
+}
+
+func quorumConfig(r time.Duration) core.QuorumConfig {
+	return core.QuorumConfig{Interval: r}
+}
+
+func fullMeshConfig(r time.Duration) core.FullMeshConfig {
+	return core.FullMeshConfig{Interval: r}
+}

@@ -1,0 +1,110 @@
+// Multi-hop routing around a full Internet partition (§3, "Multi-hop
+// routes"): two commercial networks lose direct connectivity entirely, but
+// both can reach Internet2-connected nodes. One-hop routing cannot bridge
+// the partition — the only working paths have three hops — so the overlay
+// runs the multi-hop extension: ⌈log₂ l⌉ iterations of the quorum exchange
+// give optimal paths of ≤ l hops at Θ(n√n·log l) per-node communication.
+//
+//	go run ./examples/multihop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"allpairs"
+)
+
+func main() {
+	// 16 nodes: 0-7 are "commercial west", 8-11 "commercial east",
+	// 12-15 Internet2-connected. A policy partition kills every direct
+	// west<->east link; Internet2 nodes can reach both sides.
+	const n = 16
+	inf := allpairs.InfCost
+	costs := make([][]allpairs.Cost, n)
+	for i := range costs {
+		costs[i] = make([]allpairs.Cost, n)
+	}
+	region := func(i int) string {
+		switch {
+		case i < 8:
+			return "west"
+		case i < 12:
+			return "east"
+		default:
+			return "i2"
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var c allpairs.Cost
+			switch {
+			case region(i) == region(j):
+				c = allpairs.Cost(10 + 3*(i+j)%20) // intra-region
+			case region(i) == "i2" || region(j) == "i2":
+				c = allpairs.Cost(40 + 5*(i*j)%30) // access to Internet2
+			default:
+				c = inf // the partition: no direct west<->east
+			}
+			costs[i][j], costs[j][i] = c, c
+		}
+	}
+	// Even Internet2 transit requires two I2 hops for policy reasons:
+	// commercial nodes peer with different I2 gateways.
+	for i := 0; i < 8; i++ { // west only reaches gateways 12, 13
+		costs[i][14], costs[14][i] = inf, inf
+		costs[i][15], costs[15][i] = inf, inf
+	}
+	for i := 8; i < 12; i++ { // east only reaches gateways 14, 15
+		costs[i][12], costs[12][i] = inf, inf
+		costs[i][13], costs[13][i] = inf, inf
+	}
+
+	oneHop, err := allpairs.MultiHop(costs, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fourHop, err := allpairs.MultiHop(costs, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src, dst := 2, 9 // a west and an east node
+	fmt.Printf("partitioned pair: node %d (west) -> node %d (east)\n\n", src, dst)
+	fmt.Printf("direct cost:        unreachable\n")
+	if oneHop.Dist[src][dst] == inf {
+		fmt.Printf("≤2-hop (one relay): unreachable — no single relay spans the partition\n")
+	} else {
+		fmt.Printf("≤2-hop: %d ms\n", oneHop.Dist[src][dst])
+	}
+	if fourHop.Dist[src][dst] == inf {
+		log.Fatal("4-hop routing failed to bridge the partition")
+	}
+	path := fourHop.Path(src, dst)
+	fmt.Printf("≤4-hop:             %d ms via %v\n\n", fourHop.Dist[src][dst], path)
+
+	// Count how many pairs each hop bound connects.
+	count := func(d [][]allpairs.Cost) int {
+		c := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d[i][j] != inf {
+					c++
+				}
+			}
+		}
+		return c
+	}
+	direct := count(costs)
+	fmt.Printf("connected pairs: direct %d/120, ≤2 hops %d/120, ≤4 hops %d/120\n",
+		direct, count(oneHop.Dist), count(fourHop.Dist))
+
+	var maxBytes int64
+	for _, b := range fourHop.BytesPerNode {
+		if b > maxBytes {
+			maxBytes = b
+		}
+	}
+	fmt.Printf("\nmulti-hop communication: max %d bytes per node over %d iterations (Θ(n√n·log l))\n",
+		maxBytes, fourHop.Iterations)
+}

@@ -1,0 +1,66 @@
+// Quickstart: run a 25-node overlay in-process on the deterministic
+// simulator, let the grid-quorum protocol converge (two routing intervals),
+// and print the routes it found — including the detours that beat the direct
+// Internet path.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"allpairs"
+)
+
+func main() {
+	const n = 25
+	sim, err := allpairs.NewSimulation(allpairs.SimOptions{
+		N:    n,
+		Seed: 42, // deterministic: same topology and routes every run
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's protocol needs two routing intervals (2×15 s) plus one
+	// probing interval (30 s) to reach steady state; give it two minutes.
+	sim.Run(2 * time.Minute)
+
+	fmt.Printf("%d-node overlay after %v of virtual time\n\n", n, sim.Elapsed())
+	fmt.Printf("routing bandwidth: %.2f Kbps per node (probing: %.2f Kbps)\n\n",
+		sim.RoutingKbps(), sim.ProbingKbps())
+
+	// Show node 0's route table, flagging detours that beat the direct path.
+	fmt.Println("node 0 route table:")
+	fmt.Println("  dst   via   cost(ms)  direct(ms)")
+	detours := 0
+	for _, r := range sim.RouteTable(0) {
+		direct := sim.DirectLatency(0, r.Dst)
+		mark := ""
+		if r.Hop != r.Dst {
+			detours++
+			mark = fmt.Sprintf("  <- detour saves %.0f ms", direct-float64(r.Cost))
+		}
+		fmt.Printf("  %3d   %3d   %8d  %9.0f%s\n", r.Dst, r.Hop, r.Cost, direct, mark)
+	}
+	fmt.Printf("\n%d of %d routes improve on the direct path\n", detours, n-1)
+
+	// Inject a failure and watch the overlay route around it.
+	r, ok := sim.BestHop(0, 12)
+	if !ok {
+		log.Fatal("no route 0->12")
+	}
+	fmt.Printf("\nbest route 0->12 before failure: via %d, %d ms\n", r.Hop, r.Cost)
+	sim.FailLink(0, 12, true)
+	if r.Hop != 12 {
+		sim.FailLink(0, r.Hop, true) // kill the detour too (§4.1 scenario 1)
+	}
+	sim.Run(2 * time.Minute)
+	if r2, ok := sim.BestHop(0, 12); ok {
+		fmt.Printf("best route 0->12 after failures:  via %d, %d ms\n", r2.Hop, r2.Cost)
+	} else {
+		fmt.Println("0->12 unreachable after failures")
+	}
+}

@@ -1,0 +1,85 @@
+// Package core implements the paper's primary contribution: the two-round
+// grid-quorum routing algorithm that gives every node in a full-mesh overlay
+// its provably optimal one-hop route to every other node with Θ(n√n)
+// per-node communication (§3), together with the failure-handling machinery
+// of §4, the multi-hop extension, and the RON-style full-mesh link-state
+// baseline (§5) it is evaluated against.
+//
+// Routers are sans-IO state machines: a host (internal/overlay) dispatches
+// incoming routing messages to them, calls Tick every routing interval, and
+// supplies the local measurements through callbacks. All slots are indices
+// into the current membership view.
+package core
+
+import (
+	"time"
+
+	"allpairs/internal/wire"
+)
+
+// RouteSource records how a route table entry was learned.
+type RouteSource int
+
+// Route sources.
+const (
+	// SourceNone marks an empty entry.
+	SourceNone RouteSource = iota
+	// SourceRendezvous marks a recommendation received from a rendezvous
+	// server in round 2.
+	SourceRendezvous
+	// SourceSelf marks a route the node computed acting as its own
+	// rendezvous (the destination is one of its rendezvous clients).
+	SourceSelf
+	// SourceFallback marks a route computed from neighbors' link-state rows
+	// (§4.2's redundant-information fallback), produced only by BestHop.
+	SourceFallback
+)
+
+// String names the source.
+func (s RouteSource) String() string {
+	switch s {
+	case SourceRendezvous:
+		return "rendezvous"
+	case SourceSelf:
+		return "self"
+	case SourceFallback:
+		return "fallback"
+	default:
+		return "none"
+	}
+}
+
+// RouteEntry is one destination's entry in a node's route table.
+type RouteEntry struct {
+	// Hop is the slot of the best one-hop intermediary; Hop == Dst means the
+	// direct path is best; -1 means no usable path is known.
+	Hop int
+	// Cost is the total path cost in milliseconds.
+	Cost wire.Cost
+	// When is when the route was learned.
+	When time.Time
+	// From is the slot of the rendezvous that recommended the route
+	// (-1 for self-computed or fallback entries).
+	From int
+	// Source records the provenance of the entry.
+	Source RouteSource
+}
+
+// Router is the interface shared by the quorum router and the full-mesh
+// baseline, as consumed by the overlay node.
+type Router interface {
+	// Tick runs one routing interval: round-1 link-state dissemination and
+	// round-2 rendezvous computation (for the baseline, a full broadcast and
+	// a local recompute).
+	Tick()
+	// HandleLinkState processes a received link-state row.
+	HandleLinkState(h wire.Header, body []byte)
+	// HandleRecommendation processes a received recommendation message.
+	HandleRecommendation(h wire.Header, body []byte)
+	// BestHop returns the current best route to the destination slot.
+	BestHop(dst int) (RouteEntry, bool)
+	// Routes returns a snapshot of the route table, indexed by slot.
+	Routes() []RouteEntry
+	// Interval returns the router's routing interval r.
+	Interval() time.Duration
+}

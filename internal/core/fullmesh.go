@@ -1,0 +1,159 @@
+package core
+
+import (
+	"time"
+
+	"allpairs/internal/lsdb"
+	"allpairs/internal/membership"
+	"allpairs/internal/transport"
+	"allpairs/internal/wire"
+)
+
+// FullMeshConfig tunes the RON-style baseline router.
+type FullMeshConfig struct {
+	// Interval is the routing interval (default 30 s, the paper's RON
+	// setting — twice the quorum router's, because full-mesh converges in
+	// one interval).
+	Interval time.Duration
+	// Staleness is the maximum row age used in route computation
+	// (default 3·Interval, matching the quorum configuration).
+	Staleness time.Duration
+}
+
+func (c *FullMeshConfig) fill() {
+	if c.Interval <= 0 {
+		c.Interval = 30 * time.Second
+	}
+	if c.Staleness <= 0 {
+		c.Staleness = 3 * c.Interval
+	}
+}
+
+// FullMesh is the conventional full-mesh link-state router used by RON
+// (§5): every node broadcasts its link-state row to every other node each
+// routing interval and computes all best one-hop routes locally. It is the
+// paper's comparison baseline, with the same compact row encoding.
+type FullMesh struct {
+	env  transport.Env
+	cfg  FullMeshConfig
+	view *membership.ViewInfo
+	self int
+	seq  uint32
+
+	table  *lsdb.Table
+	routes []RouteEntry
+
+	// SelfRow returns the node's current measured link-state row. Required.
+	SelfRow func() []wire.LinkEntry
+	// OnRouteUpdate, if non-nil, observes route table writes.
+	OnRouteUpdate func(dst int, e RouteEntry)
+
+	stats struct {
+		linkStatesSent uint64
+	}
+}
+
+// NewFullMesh creates the baseline router for the node at slot self.
+func NewFullMesh(env transport.Env, cfg FullMeshConfig, view *membership.ViewInfo, self int) *FullMesh {
+	cfg.fill()
+	f := &FullMesh{env: env, cfg: cfg}
+	f.SetView(view, self)
+	return f
+}
+
+// SetView installs a new membership view, resetting routing state.
+func (f *FullMesh) SetView(view *membership.ViewInfo, self int) {
+	f.view = view
+	f.self = self
+	f.table = lsdb.NewTable(view.N())
+	f.routes = make([]RouteEntry, view.N())
+}
+
+// Interval implements Router.
+func (f *FullMesh) Interval() time.Duration { return f.cfg.Interval }
+
+// LinkStatesSent returns the number of link-state broadcasts sent.
+func (f *FullMesh) LinkStatesSent() uint64 { return f.stats.linkStatesSent }
+
+// Table exposes the received-rows database (read-only).
+func (f *FullMesh) Table() *lsdb.Table { return f.table }
+
+// Tick implements Router: broadcast the row to all n−1 nodes (the Θ(n²)
+// behaviour the paper improves on), then recompute the full route table.
+func (f *FullMesh) Tick() {
+	f.seq++
+	msg := wire.AppendLinkState(nil, f.env.LocalID(), wire.LinkState{
+		ViewVersion: f.view.VersionNum(),
+		Seq:         f.seq,
+		Entries:     f.SelfRow(),
+	})
+	for s := 0; s < f.view.N(); s++ {
+		if s == f.self {
+			continue
+		}
+		f.env.Send(f.view.IDAt(s), msg)
+		f.stats.linkStatesSent++
+	}
+	f.recompute()
+}
+
+// recompute rebuilds the route table from the link-state database.
+func (f *FullMesh) recompute() {
+	now := f.env.Now()
+	row := f.SelfRow()
+	for dst := 0; dst < f.view.N(); dst++ {
+		if dst == f.self {
+			continue
+		}
+		hop, cost := lsdb.BestOneHopVia(row, f.table, dst, now, f.cfg.Staleness)
+		if hop < 0 {
+			continue // keep the stale entry; BestHop ages it out
+		}
+		e := RouteEntry{Hop: hop, Cost: cost, When: now, From: -1, Source: SourceSelf}
+		f.routes[dst] = e
+		if f.OnRouteUpdate != nil {
+			f.OnRouteUpdate(dst, e)
+		}
+	}
+}
+
+// HandleLinkState implements Router.
+func (f *FullMesh) HandleLinkState(h wire.Header, body []byte) {
+	ls, err := wire.ParseLinkState(body)
+	if err != nil || ls.ViewVersion != f.view.VersionNum() {
+		return
+	}
+	slot, ok := f.view.SlotOf(h.Src)
+	if !ok || slot == f.self {
+		return
+	}
+	f.table.Put(slot, lsdb.Row{Seq: ls.Seq, When: f.env.Now(), Entries: ls.Entries})
+}
+
+// HandleRecommendation implements Router. The baseline never receives
+// recommendations; the message is ignored.
+func (f *FullMesh) HandleRecommendation(wire.Header, []byte) {}
+
+// BestHop implements Router.
+func (f *FullMesh) BestHop(dst int) (RouteEntry, bool) {
+	if dst == f.self || dst < 0 || dst >= len(f.routes) {
+		return RouteEntry{Hop: -1, Cost: wire.InfCost}, false
+	}
+	now := f.env.Now()
+	e := f.routes[dst]
+	if e.Source != SourceNone && e.Hop >= 0 && now.Sub(e.When) <= f.cfg.Staleness {
+		return e, true
+	}
+	hop, cost := lsdb.BestOneHopVia(f.SelfRow(), f.table, dst, now, f.cfg.Staleness)
+	if hop >= 0 && cost != wire.InfCost {
+		return RouteEntry{Hop: hop, Cost: cost, When: now, From: -1, Source: SourceFallback}, true
+	}
+	return RouteEntry{Hop: -1, Cost: wire.InfCost}, false
+}
+
+// Routes implements Router.
+func (f *FullMesh) Routes() []RouteEntry {
+	out := make([]RouteEntry, len(f.routes))
+	copy(out, f.routes)
+	return out
+}

@@ -1,0 +1,677 @@
+package core
+
+import (
+	"time"
+
+	"allpairs/internal/grid"
+	"allpairs/internal/lsdb"
+	"allpairs/internal/membership"
+	"allpairs/internal/transport"
+	"allpairs/internal/wire"
+)
+
+// QuorumConfig tunes the quorum router. Zero values take the paper's
+// defaults.
+type QuorumConfig struct {
+	// Interval is the routing interval r (default 15 s — half the probing
+	// interval, compensating for the algorithm's extra round, §5).
+	Interval time.Duration
+	// Staleness is the maximum age of client rows a rendezvous uses when
+	// computing recommendations (default 3r, §6.2.2).
+	Staleness time.Duration
+	// RouteTTL is how long a received recommendation stays authoritative
+	// before BestHop falls back to neighbor link-state (default Staleness).
+	RouteTTL time.Duration
+	// RemoteSilence is how long a rendezvous may go without recommending a
+	// route to a destination before the node declares a remote rendezvous
+	// failure for that destination (default 2.5r; the paper bounds detection
+	// by one routing interval plus propagation).
+	RemoteSilence time.Duration
+	// DeadRecheck is how long a destination declared dead is left alone
+	// before failover may be attempted again (default 2r).
+	DeadRecheck time.Duration
+	// DisableFailover turns off §4.1's rapid rendezvous failover, for the
+	// ablation study.
+	DisableFailover bool
+	// Asymmetric runs the footnote 2 variant: round-1 rows carry both
+	// directed costs (5 bytes per entry) and recommendations are computed
+	// per direction, so a→b and b→a may use different hops. Requires the
+	// host to supply SelfAsymRow.
+	Asymmetric bool
+	// ReliableLinkState enables the §6.2.2 option: rendezvous servers
+	// acknowledge round-1 rows and unacknowledged rows are retransmitted
+	// once, trading a little bandwidth for loss tolerance. The option must
+	// be enabled overlay-wide.
+	ReliableLinkState bool
+	// RetransmitTimeout is the ack wait before the single retransmission
+	// (default 2 s).
+	RetransmitTimeout time.Duration
+}
+
+func (c *QuorumConfig) fill() {
+	if c.Interval <= 0 {
+		c.Interval = 15 * time.Second
+	}
+	if c.Staleness <= 0 {
+		c.Staleness = 3 * c.Interval
+	}
+	if c.RouteTTL <= 0 {
+		c.RouteTTL = c.Staleness
+	}
+	if c.RemoteSilence <= 0 {
+		c.RemoteSilence = c.Interval*5/2 + time.Second
+	}
+	if c.DeadRecheck <= 0 {
+		c.DeadRecheck = 2 * c.Interval
+	}
+	if c.RetransmitTimeout <= 0 {
+		c.RetransmitTimeout = 2 * time.Second
+	}
+}
+
+// QuorumStats exposes the router's failure-handling counters.
+type QuorumStats struct {
+	// FailoverAttempts counts failover rendezvous recruitments.
+	FailoverAttempts uint64
+	// DoubleFailures is the number of destinations whose two default
+	// rendezvous were both unusable at the last tick (Figure 11's metric).
+	DoubleFailures int
+	// DeadDestinations is the number of destinations currently presumed
+	// dead (no client row shows them alive).
+	DeadDestinations int
+	// RecommendationsSent counts round-2 messages sent.
+	RecommendationsSent uint64
+	// LinkStatesSent counts round-1 messages sent.
+	LinkStatesSent uint64
+	// Retransmits counts reliable-mode row retransmissions.
+	Retransmits uint64
+}
+
+// failoverState tracks §4.1 recovery for one destination.
+type failoverState struct {
+	server         int          // recruited failover rendezvous (-1 when none)
+	recruited      time.Time    // when the current server was recruited
+	tried          map[int]bool // candidates used this episode
+	suspendedUntil time.Time    // dead-destination backoff
+}
+
+// Quorum is the two-round grid-quorum router (§3) with the failure handling
+// of §4.
+type Quorum struct {
+	env  transport.Env
+	cfg  QuorumConfig
+	view *membership.ViewInfo
+	g    *grid.Grid
+	self int
+	seq  uint32
+
+	table    *lsdb.Table     // rows received from rendezvous clients
+	atable   *lsdb.AsymTable // directional rows (asymmetric mode)
+	routes   []RouteEntry    // per destination slot
+	servers  []int           // default rendezvous servers (grid row + column)
+	defaults [][]int         // per destination: the common rendezvous set for (self, dst)
+
+	// lastRecAbout[k][dst] is when server k last recommended a route to dst;
+	// used for remote rendezvous failure detection. Lazily allocated per
+	// server.
+	lastRecAbout map[int][]time.Time
+	failovers    map[int]*failoverState
+	pendingAcks  map[int]uint32 // server slot → row seq awaiting ack (reliable mode)
+	started      time.Time
+	stats        QuorumStats
+
+	// SelfRow returns the node's current measured link-state row (owned by
+	// the prober; read synchronously). Required.
+	SelfRow func() []wire.LinkEntry
+	// SelfAsymRow returns the directional row; required in asymmetric mode.
+	SelfAsymRow func() []wire.AsymEntry
+	// LinkAlive reports the prober's liveness belief for a slot. Required.
+	LinkAlive func(slot int) bool
+	// OnRouteUpdate, if non-nil, observes every route table write (used for
+	// freshness accounting).
+	OnRouteUpdate func(dst int, e RouteEntry)
+
+	// scratch buffers reused across ticks.
+	clientsBuf []int
+	recsBuf    [][]wire.RecEntry
+}
+
+// NewQuorum creates a quorum router for the node at slot self of view.
+func NewQuorum(env transport.Env, cfg QuorumConfig, view *membership.ViewInfo, self int) (*Quorum, error) {
+	cfg.fill()
+	q := &Quorum{env: env, cfg: cfg}
+	if err := q.SetView(view, self); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// SetView installs a new membership view, resetting all routing state. The
+// node's own measurements (SelfRow) are view-relative and owned by the
+// prober, which is reset in lockstep by the overlay.
+func (q *Quorum) SetView(view *membership.ViewInfo, self int) error {
+	g, err := grid.New(view.N())
+	if err != nil {
+		return err
+	}
+	q.view = view
+	q.g = g
+	q.self = self
+	q.table = lsdb.NewTable(view.N())
+	if q.cfg.Asymmetric {
+		q.atable = lsdb.NewAsymTable(view.N())
+	}
+	q.routes = make([]RouteEntry, view.N())
+	q.servers = g.Servers(self)
+	q.defaults = make([][]int, view.N())
+	for dst := 0; dst < view.N(); dst++ {
+		if dst != self {
+			q.defaults[dst] = g.Common(self, dst)
+		}
+	}
+	q.lastRecAbout = make(map[int][]time.Time)
+	q.failovers = make(map[int]*failoverState)
+	q.pendingAcks = make(map[int]uint32)
+	q.started = q.env.Now()
+	q.stats = QuorumStats{}
+	return nil
+}
+
+// Interval implements Router.
+func (q *Quorum) Interval() time.Duration { return q.cfg.Interval }
+
+// Stats returns a copy of the router's counters.
+func (q *Quorum) Stats() QuorumStats { return q.stats }
+
+// Grid exposes the quorum layout (read-only).
+func (q *Quorum) Grid() *grid.Grid { return q.g }
+
+// Table exposes the received-rows database (read-only, for §4.2 consumers
+// and tests).
+func (q *Quorum) Table() *lsdb.Table { return q.table }
+
+// Tick implements Router: one routing interval of the two-round protocol
+// plus the failure-detection pass.
+func (q *Quorum) Tick() {
+	q.sendLinkState()
+	q.sendRecommendations()
+	q.detectFailures()
+}
+
+// activeServers appends the default servers with live links plus any
+// recruited failover servers.
+func (q *Quorum) activeServers(dst []int) []int {
+	for _, s := range q.servers {
+		if q.LinkAlive(s) {
+			dst = append(dst, s)
+		}
+	}
+	for _, fo := range q.failovers {
+		if fo.server >= 0 && q.LinkAlive(fo.server) {
+			found := false
+			for _, s := range dst {
+				if s == fo.server {
+					found = true
+					break
+				}
+			}
+			if !found {
+				dst = append(dst, fo.server)
+			}
+		}
+	}
+	return dst
+}
+
+// sendLinkState is round 1: the node's measured row goes to every active
+// rendezvous server. In reliable mode each server owes an ack; rows still
+// unacknowledged after RetransmitTimeout are resent once.
+func (q *Quorum) sendLinkState() {
+	q.seq++
+	msg := q.buildLinkState()
+	q.clientsBuf = q.activeServers(q.clientsBuf[:0])
+	for _, s := range q.clientsBuf {
+		q.env.Send(q.view.IDAt(s), msg)
+		q.stats.LinkStatesSent++
+		if q.cfg.ReliableLinkState {
+			q.pendingAcks[s] = q.seq
+		}
+	}
+	if q.cfg.ReliableLinkState && len(q.pendingAcks) > 0 {
+		seq := q.seq
+		view := q.view
+		q.env.After(q.cfg.RetransmitTimeout, func() { q.retransmit(seq, view.VersionNum(), msg) })
+	}
+}
+
+// retransmit resends the round-1 row to servers that never acknowledged it.
+func (q *Quorum) retransmit(seq uint32, viewVersion uint32, msg []byte) {
+	if q.view.VersionNum() != viewVersion || seq != q.seq {
+		return // view changed or a newer row has superseded this one
+	}
+	for s, pending := range q.pendingAcks {
+		if pending != seq {
+			continue
+		}
+		delete(q.pendingAcks, s) // single retransmission
+		if q.LinkAlive(s) {
+			q.env.Send(q.view.IDAt(s), msg)
+			q.stats.LinkStatesSent++
+			q.stats.Retransmits++
+		}
+	}
+}
+
+// HandleLinkStateAck clears a pending reliable-delivery ack.
+func (q *Quorum) HandleLinkStateAck(h wire.Header, body []byte) {
+	seq, err := wire.ParseLinkStateAck(body)
+	if err != nil {
+		return
+	}
+	slot, ok := q.view.SlotOf(h.Src)
+	if !ok {
+		return
+	}
+	if q.pendingAcks[slot] == seq {
+		delete(q.pendingAcks, slot)
+	}
+}
+
+// buildLinkState encodes the current measurements at the current sequence
+// number, in the configured row format.
+func (q *Quorum) buildLinkState() []byte {
+	if q.cfg.Asymmetric {
+		return wire.AppendLinkStateAsym(nil, q.env.LocalID(), wire.LinkStateAsym{
+			ViewVersion: q.view.VersionNum(),
+			Seq:         q.seq,
+			Entries:     q.SelfAsymRow(),
+		})
+	}
+	return wire.AppendLinkState(nil, q.env.LocalID(), wire.LinkState{
+		ViewVersion: q.view.VersionNum(),
+		Seq:         q.seq,
+		Entries:     q.SelfRow(),
+	})
+}
+
+// sendRecommendations is round 2: acting as a rendezvous server, compute the
+// best one-hop route for every pair of clients with fresh rows and send each
+// client one message covering all its pairs. The node also serves itself:
+// routes between it and each client are computed and installed locally.
+func (q *Quorum) sendRecommendations() {
+	if q.cfg.Asymmetric {
+		q.sendRecommendationsAsym()
+		return
+	}
+	now := q.env.Now()
+	clients := q.table.FreshSlots(q.clientsBuf[:0], now, q.cfg.Staleness)
+	q.clientsBuf = clients
+	if len(clients) == 0 {
+		return
+	}
+
+	if cap(q.recsBuf) < len(clients) {
+		q.recsBuf = make([][]wire.RecEntry, len(clients))
+	}
+	recs := q.recsBuf[:len(clients)]
+	for i := range recs {
+		recs[i] = recs[i][:0]
+	}
+
+	selfRow := q.SelfRow()
+	rows := make([][]wire.LinkEntry, len(clients))
+	for i, c := range clients {
+		rows[i] = q.table.Get(c).Entries
+	}
+
+	// Pairs among clients: compute once per unordered pair (links are
+	// bidirectional, so the optimal hop is shared).
+	for i := 0; i < len(clients); i++ {
+		for j := i + 1; j < len(clients); j++ {
+			hop, cost := lsdb.BestOneHop(clients[i], rows[i], clients[j], rows[j])
+			hopID := wire.NilNode
+			if hop >= 0 {
+				hopID = q.view.IDAt(hop)
+			}
+			recs[i] = append(recs[i], wire.RecEntry{Dst: q.view.IDAt(clients[j]), Hop: hopID, Cost: cost})
+			recs[j] = append(recs[j], wire.RecEntry{Dst: q.view.IDAt(clients[i]), Hop: hopID, Cost: cost})
+		}
+	}
+
+	// Pairs (self, client): install locally and tell the client its route to
+	// us.
+	for i, c := range clients {
+		hop, cost := lsdb.BestOneHop(q.self, selfRow, c, rows[i])
+		q.install(c, RouteEntry{Hop: hop, Cost: cost, When: now, From: q.self, Source: SourceSelf})
+		hopID := wire.NilNode
+		if hop >= 0 {
+			hopID = q.view.IDAt(hop)
+		}
+		recs[i] = append(recs[i], wire.RecEntry{Dst: q.env.LocalID(), Hop: hopID, Cost: cost})
+	}
+
+	for i, c := range clients {
+		msg := wire.AppendRecommendation(nil, q.env.LocalID(), wire.Recommendation{
+			ViewVersion: q.view.VersionNum(),
+			Entries:     recs[i],
+		})
+		q.env.Send(q.view.IDAt(c), msg)
+		q.stats.RecommendationsSent++
+	}
+}
+
+// install writes a route table entry and fires the update hook.
+func (q *Quorum) install(dst int, e RouteEntry) {
+	q.routes[dst] = e
+	if q.OnRouteUpdate != nil {
+		q.OnRouteUpdate(dst, e)
+	}
+}
+
+// HandleLinkState implements Router: stores a client's row (making the
+// sender a rendezvous client of this node, including failover clients who
+// recruited us). Both row formats are accepted; each feeds its own table.
+func (q *Quorum) HandleLinkState(h wire.Header, body []byte) {
+	slot, ok := q.view.SlotOf(h.Src)
+	if !ok || slot == q.self {
+		return
+	}
+	if h.Type == wire.TLinkStateAsym {
+		if q.atable == nil {
+			return // not in asymmetric mode
+		}
+		ls, err := wire.ParseLinkStateAsym(body)
+		if err != nil || ls.ViewVersion != q.view.VersionNum() {
+			return
+		}
+		q.atable.Put(slot, lsdb.AsymRow{Seq: ls.Seq, When: q.env.Now(), Entries: ls.Entries})
+		q.maybeAck(h.Src, ls.Seq)
+		return
+	}
+	if q.cfg.Asymmetric {
+		return // symmetric rows carry no directional data; reject in this mode
+	}
+	ls, err := wire.ParseLinkState(body)
+	if err != nil || ls.ViewVersion != q.view.VersionNum() {
+		return
+	}
+	q.table.Put(slot, lsdb.Row{Seq: ls.Seq, When: q.env.Now(), Entries: ls.Entries})
+	q.maybeAck(h.Src, ls.Seq)
+}
+
+// maybeAck acknowledges a received row in reliable mode.
+func (q *Quorum) maybeAck(src wire.NodeID, seq uint32) {
+	if q.cfg.ReliableLinkState {
+		q.env.Send(src, wire.AppendLinkStateAck(nil, q.env.LocalID(), seq))
+	}
+}
+
+// HandleRecommendation implements Router: installs round-2 best-hop
+// recommendations. The latest recommendation for a destination wins, per the
+// paper's footnote 11.
+func (q *Quorum) HandleRecommendation(h wire.Header, body []byte) {
+	rec, err := wire.ParseRecommendation(body)
+	if err != nil || rec.ViewVersion != q.view.VersionNum() {
+		return
+	}
+	from, ok := q.view.SlotOf(h.Src)
+	if !ok || from == q.self {
+		return
+	}
+	now := q.env.Now()
+	about := q.lastRecAbout[from]
+	if about == nil {
+		about = make([]time.Time, q.view.N())
+		q.lastRecAbout[from] = about
+	}
+	for _, e := range rec.Entries {
+		dst, ok := q.view.SlotOf(e.Dst)
+		if !ok || dst == q.self {
+			continue
+		}
+		about[dst] = now
+		hop := -1
+		if e.Hop != wire.NilNode {
+			if hs, ok := q.view.SlotOf(e.Hop); ok {
+				hop = hs
+			}
+		}
+		if hop < 0 && e.Cost != wire.InfCost {
+			continue // malformed entry: usable cost but no hop
+		}
+		q.install(dst, RouteEntry{Hop: hop, Cost: e.Cost, When: now, From: from, Source: SourceRendezvous})
+	}
+}
+
+// BestHop implements Router. Resolution order (§4.2): a fresh recommendation
+// if one exists; otherwise the best one-hop computable from the neighbors'
+// rows this node holds as a rendezvous server; otherwise failure.
+func (q *Quorum) BestHop(dst int) (RouteEntry, bool) {
+	if dst == q.self || dst < 0 || dst >= len(q.routes) {
+		return RouteEntry{Hop: -1, Cost: wire.InfCost}, false
+	}
+	now := q.env.Now()
+	e := q.routes[dst]
+	if e.Source != SourceNone && e.Hop >= 0 && now.Sub(e.When) <= q.cfg.RouteTTL {
+		return e, true
+	}
+	var hop int
+	var cost wire.Cost
+	if q.cfg.Asymmetric {
+		hop, cost = lsdb.BestOneHopViaAsym(q.SelfAsymRow(), q.atable, dst, now, q.cfg.Staleness)
+	} else {
+		hop, cost = lsdb.BestOneHopVia(q.SelfRow(), q.table, dst, now, q.cfg.Staleness)
+	}
+	if hop >= 0 && cost != wire.InfCost {
+		return RouteEntry{Hop: hop, Cost: cost, When: now, From: -1, Source: SourceFallback}, true
+	}
+	return RouteEntry{Hop: -1, Cost: wire.InfCost}, false
+}
+
+// Routes implements Router.
+func (q *Quorum) Routes() []RouteEntry {
+	out := make([]RouteEntry, len(q.routes))
+	copy(out, q.routes)
+	return out
+}
+
+// defaultRendezvousLive reports whether rendezvous k is currently usable for
+// reaching information about destination dst: the link to k is alive and k
+// has recommended a route to dst recently enough. k == dst means the
+// destination itself serves as the rendezvous (same row or column), in which
+// case link liveness alone decides.
+func (q *Quorum) defaultRendezvousLive(k, dst int, now time.Time) bool {
+	if !q.LinkAlive(k) {
+		return false // proximal rendezvous failure
+	}
+	if k == dst {
+		return true
+	}
+	var last time.Time
+	if about := q.lastRecAbout[k]; about != nil {
+		last = about[dst]
+	}
+	if last.IsZero() {
+		last = q.started // startup grace
+	}
+	return now.Sub(last) <= q.cfg.RemoteSilence // else remote rendezvous failure
+}
+
+// destinationSeemsAlive scans the client rows for evidence that dst is up —
+// the paper's guard against the whole overlay failing over toward a dead
+// node (§4.1).
+func (q *Quorum) destinationSeemsAlive(dst int, now time.Time) bool {
+	if q.LinkAlive(dst) {
+		return true
+	}
+	for s := 0; s < q.view.N(); s++ {
+		if s == dst {
+			continue
+		}
+		if q.cfg.Asymmetric {
+			if r := q.atable.Fresh(s, now, q.cfg.Staleness); r != nil && r.OutCost(dst) != wire.InfCost {
+				return true
+			}
+			continue
+		}
+		if r := q.table.Fresh(s, now, q.cfg.Staleness); r != nil && r.Cost(dst) != wire.InfCost {
+			return true
+		}
+	}
+	return false
+}
+
+// detectFailures runs §4.1: per destination, check the default rendezvous
+// pair; on a double rendezvous failure recruit a random failover server from
+// the destination's row and column; abandon failover for destinations that
+// appear dead; revert when a default recovers.
+func (q *Quorum) detectFailures() {
+	now := q.env.Now()
+	doubles := 0
+	dead := 0
+	for dst := 0; dst < q.view.N(); dst++ {
+		if dst == q.self {
+			continue
+		}
+		defaults := q.defaults[dst]
+		anyLive := false
+		for _, k := range defaults {
+			if k == q.self {
+				continue // we always hold our own row; it carries no info about dst's links beyond the direct one
+			}
+			if q.defaultRendezvousLive(k, dst, now) {
+				anyLive = true
+				break
+			}
+		}
+		if anyLive {
+			delete(q.failovers, dst) // revert to the default rendezvous
+			continue
+		}
+		doubles++
+		if q.cfg.DisableFailover {
+			continue
+		}
+		fo := q.failovers[dst]
+		if fo == nil {
+			fo = &failoverState{server: -1, tried: make(map[int]bool)}
+			q.failovers[dst] = fo
+		}
+		if now.Before(fo.suspendedUntil) {
+			dead++
+			continue
+		}
+		// Keep the current failover while it remains usable. A freshly
+		// recruited server gets a grace period to produce its first
+		// recommendation before silence counts against it.
+		if fo.server >= 0 && q.LinkAlive(fo.server) {
+			if now.Sub(fo.recruited) <= q.cfg.RemoteSilence || q.defaultRendezvousLive(fo.server, dst, now) {
+				continue
+			}
+		}
+		// Dead-destination check after the initial failover attempt.
+		if len(fo.tried) > 0 && !q.destinationSeemsAlive(dst, now) {
+			fo.server = -1
+			fo.suspendedUntil = now.Add(q.cfg.DeadRecheck)
+			dead++
+			continue
+		}
+		q.recruitFailover(dst, fo)
+	}
+	q.stats.DoubleFailures = doubles
+	q.stats.DeadDestinations = dead
+}
+
+// recruitFailover picks a random reachable candidate from the destination's
+// row and column (§4.1's 2√n-candidate set), records it, and sends it our
+// link state immediately so recovery completes within two routing intervals.
+func (q *Quorum) recruitFailover(dst int, fo *failoverState) {
+	cands := q.g.FailoverCandidates(dst)
+	var usable []int
+	for _, c := range cands {
+		if c == q.self || fo.tried[c] || !q.LinkAlive(c) {
+			continue
+		}
+		usable = append(usable, c)
+	}
+	if len(usable) == 0 {
+		// Exhausted the candidate set: restart the episode (the paper's
+		// "failover process restarts").
+		fo.tried = make(map[int]bool)
+		fo.server = -1
+		return
+	}
+	f := usable[q.env.Rand().Intn(len(usable))]
+	fo.server = f
+	fo.recruited = q.env.Now()
+	fo.tried[f] = true
+	q.stats.FailoverAttempts++
+
+	// Push our row to the new rendezvous right away; it will answer with
+	// recommendations covering dst at its next tick.
+	q.seq++
+	q.env.Send(q.view.IDAt(f), q.buildLinkState())
+	q.stats.LinkStatesSent++
+}
+
+// FailoverServer returns the active failover rendezvous for dst, or -1.
+func (q *Quorum) FailoverServer(dst int) int {
+	if fo := q.failovers[dst]; fo != nil {
+		return fo.server
+	}
+	return -1
+}
+
+// sendRecommendationsAsym is round 2 in asymmetric mode: best hops are
+// computed per direction, since out- and in-costs differ (footnote 2).
+func (q *Quorum) sendRecommendationsAsym() {
+	now := q.env.Now()
+	clients := q.atable.FreshSlots(q.clientsBuf[:0], now, q.cfg.Staleness)
+	q.clientsBuf = clients
+	if len(clients) == 0 {
+		return
+	}
+	if cap(q.recsBuf) < len(clients) {
+		q.recsBuf = make([][]wire.RecEntry, len(clients))
+	}
+	recs := q.recsBuf[:len(clients)]
+	for i := range recs {
+		recs[i] = recs[i][:0]
+	}
+
+	selfRow := q.SelfAsymRow()
+	rows := make([][]wire.AsymEntry, len(clients))
+	for i, c := range clients {
+		rows[i] = q.atable.Get(c).Entries
+	}
+
+	hopID := func(hop int) wire.NodeID {
+		if hop < 0 {
+			return wire.NilNode
+		}
+		return q.view.IDAt(hop)
+	}
+
+	for i := 0; i < len(clients); i++ {
+		for j := i + 1; j < len(clients); j++ {
+			h1, c1 := lsdb.BestOneHopAsym(clients[i], rows[i], clients[j], rows[j])
+			h2, c2 := lsdb.BestOneHopAsym(clients[j], rows[j], clients[i], rows[i])
+			recs[i] = append(recs[i], wire.RecEntry{Dst: q.view.IDAt(clients[j]), Hop: hopID(h1), Cost: c1})
+			recs[j] = append(recs[j], wire.RecEntry{Dst: q.view.IDAt(clients[i]), Hop: hopID(h2), Cost: c2})
+		}
+	}
+	for i, c := range clients {
+		hop, cost := lsdb.BestOneHopAsym(q.self, selfRow, c, rows[i])
+		q.install(c, RouteEntry{Hop: hop, Cost: cost, When: now, From: q.self, Source: SourceSelf})
+		hBack, cBack := lsdb.BestOneHopAsym(c, rows[i], q.self, selfRow)
+		recs[i] = append(recs[i], wire.RecEntry{Dst: q.env.LocalID(), Hop: hopID(hBack), Cost: cBack})
+	}
+	for i, c := range clients {
+		msg := wire.AppendRecommendation(nil, q.env.LocalID(), wire.Recommendation{
+			ViewVersion: q.view.VersionNum(),
+			Entries:     recs[i],
+		})
+		q.env.Send(q.view.IDAt(c), msg)
+		q.stats.RecommendationsSent++
+	}
+}

@@ -1,0 +1,569 @@
+package emul
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"allpairs/internal/core"
+	"allpairs/internal/grid"
+	"allpairs/internal/metrics"
+	"allpairs/internal/overlay"
+	"allpairs/internal/probe"
+	"allpairs/internal/stats"
+	"allpairs/internal/traces"
+	"allpairs/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1 — one-hop detours on high-latency paths (pure computation over a
+// latency matrix; the paper used the 2005 PlanetLab all-pairs-ping dataset).
+// ---------------------------------------------------------------------------
+
+// Fig1Result holds the four CDFs of Figure 1, over pairs whose direct RTT
+// exceeds the threshold.
+type Fig1Result struct {
+	HighPairs int
+	Direct    *stats.CDF // "Point-to-Point Latencies"
+	Best      *stats.CDF // "Best 1-Hop Paths"
+	Excl3     *stats.CDF // "Excluding Top 3% of 1-Hops"
+	Excl50    *stats.CDF // "Excluding Top 50% of 1-Hops"
+}
+
+// Fig1 computes the Figure 1 curves for an environment: for every pair with
+// direct RTT above thresholdMS, the direct latency, the best one-hop
+// latency, and the best remaining one-hop after excluding the top 3% and
+// 50% of one-hop alternatives.
+func Fig1(env *traces.Env, thresholdMS float64) *Fig1Result {
+	r := &Fig1Result{
+		Direct: &stats.CDF{}, Best: &stats.CDF{}, Excl3: &stats.CDF{}, Excl50: &stats.CDF{},
+	}
+	n := env.N
+	alts := make([]float64, 0, n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			direct := env.LatencyMS[a][b]
+			if direct <= thresholdMS {
+				continue
+			}
+			r.HighPairs++
+			alts = alts[:0]
+			for h := 0; h < n; h++ {
+				if h == a || h == b {
+					continue
+				}
+				alts = append(alts, env.LatencyMS[a][h]+env.LatencyMS[h][b])
+			}
+			sort.Float64s(alts)
+			r.Direct.Add(direct)
+			r.Best.Add(alts[0])
+			r.Excl3.Add(alts[excludeIndex(len(alts), 0.03)])
+			r.Excl50.Add(alts[excludeIndex(len(alts), 0.50)])
+		}
+	}
+	return r
+}
+
+// excludeIndex returns the index of the best remaining alternative after
+// removing the top frac of k sorted alternatives.
+func excludeIndex(k int, frac float64) int {
+	idx := int(math.Ceil(float64(k) * frac))
+	if idx >= k {
+		idx = k - 1
+	}
+	return idx
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — steady-state routing bandwidth vs overlay size.
+// ---------------------------------------------------------------------------
+
+// Fig9Point runs a failure-free emulation of n nodes under the given
+// algorithm and returns the average per-node routing traffic (in + out) in
+// Kbps, measured after a warmup as in the paper's 5-minute runs.
+func Fig9Point(n int, algo overlay.Algorithm, seed int64, warmup, measure time.Duration) float64 {
+	env := traces.Generate(n, seed, traces.Config{BadNodeFrac: 0.0001, InflateFrac: 0.05})
+	// Failure-free: clear loss and down fractions.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			env.Loss[a][b] = 0
+			env.DownFrac[a][b] = 0
+		}
+	}
+	f := NewFleet(FleetOptions{N: n, Algorithm: algo, Seed: seed, Env: env})
+	f.Run(warmup)
+	before := f.Col.Snapshot(wire.CatRouting)
+	f.Run(measure)
+	after := f.Col.Snapshot(wire.CatRouting)
+	per := RoutingKbpsPerNode(before, after, measure)
+	var sum float64
+	for _, v := range per {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8, 10, 11, 12, 13, 14 — the deployment-style run: one quorum fleet
+// under the PlanetLab-like failure model, sampled like the paper's 136-minute
+// measurement.
+// ---------------------------------------------------------------------------
+
+// DeploymentOptions configures a deployment-style run.
+type DeploymentOptions struct {
+	N        int
+	Seed     int64
+	Warmup   time.Duration // settle time before sampling (default 3 min)
+	Duration time.Duration // sampled portion (paper: 136 min)
+	Env      *traces.Env   // nil → traces.PlanetLab(N, Seed)
+}
+
+// DeploymentResult aggregates everything the deployment figures need.
+type DeploymentResult struct {
+	Opt DeploymentOptions
+	Env *traces.Env
+
+	// Per-node concurrent link failures (Figure 8): mean and max over 1-min
+	// samples.
+	MeanFailures, MaxFailures []float64
+	// Per-node routing bandwidth in Kbps (Figure 10): mean over the run and
+	// max over any 1-minute window.
+	MeanKbps, MaxKbps []float64
+	// Per-node destinations with double rendezvous failure (Figure 11):
+	// mean and max over 1-min samples.
+	MeanDouble, MaxDouble []float64
+	// Per-pair freshness statistics (Figure 12).
+	Pairs []metrics.PairStats
+	// Figure 13/14 subjects and their per-destination freshness.
+	WellNode, PoorNode   int
+	WellStats, PoorStats []metrics.PairStats
+	// Mean observed concurrent failures of the two subject nodes, reported
+	// in the figure captions.
+	WellMeanFailures, PoorMeanFailures float64
+}
+
+// RunDeployment executes the deployment experiment.
+func RunDeployment(opt DeploymentOptions) *DeploymentResult {
+	if opt.Warmup <= 0 {
+		opt.Warmup = 3 * time.Minute
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 136 * time.Minute
+	}
+	env := opt.Env
+	if env == nil {
+		env = traces.PlanetLab(opt.N, opt.Seed)
+	}
+	f := NewFleet(FleetOptions{
+		N:              opt.N,
+		Algorithm:      overlay.AlgQuorum,
+		Seed:           opt.Seed,
+		Env:            env,
+		TrackFreshness: true,
+	})
+	res := &DeploymentResult{
+		Opt: opt, Env: env,
+		MeanFailures: make([]float64, opt.N), MaxFailures: make([]float64, opt.N),
+		MeanKbps: make([]float64, opt.N), MaxKbps: make([]float64, opt.N),
+		MeanDouble: make([]float64, opt.N), MaxDouble: make([]float64, opt.N),
+	}
+
+	// Warm up with links all healthy, then inject the failure schedule.
+	f.Run(opt.Warmup)
+	f.ApplyFailureSchedule(env.FailureSchedule(opt.Duration, opt.Seed+1))
+
+	startWindow := int(opt.Warmup / time.Minute)
+	bwBefore := f.Col.Snapshot(wire.CatRouting)
+
+	failSamples := make([][]float64, opt.N)
+	doubleSamples := make([][]float64, opt.N)
+	sampleMin := func() {
+		for i := 0; i < opt.N; i++ {
+			failSamples[i] = append(failSamples[i], float64(f.Nodes[i].Prober().ConcurrentFailures()))
+			doubleSamples[i] = append(doubleSamples[i], float64(f.QuorumStats(i).DoubleFailures))
+		}
+	}
+	end := f.Elapsed() + opt.Duration
+	next30 := f.Elapsed() + 30*time.Second
+	nextMin := f.Elapsed() + time.Minute
+	for f.Elapsed() < end {
+		next := end
+		if next30 < next {
+			next = next30
+		}
+		if nextMin < next {
+			next = nextMin
+		}
+		f.Net.RunUntil(next)
+		if f.Elapsed() >= next30 {
+			if f.Fresh != nil {
+				f.Fresh.Sample(f.Net.Now(), f.Start().Add(opt.Warmup))
+			}
+			next30 += 30 * time.Second
+		}
+		if f.Elapsed() >= nextMin {
+			sampleMin()
+			nextMin += time.Minute
+		}
+	}
+
+	bwAfter := f.Col.Snapshot(wire.CatRouting)
+	meanKbps := RoutingKbpsPerNode(bwBefore, bwAfter, opt.Duration)
+	endWindow := int((opt.Warmup + opt.Duration) / time.Minute)
+	for i := 0; i < opt.N; i++ {
+		res.MeanKbps[i] = meanKbps[i]
+		res.MaxKbps[i] = f.Col.MaxWindowKbps(i, wire.CatRouting, startWindow, endWindow)
+		res.MeanFailures[i], res.MaxFailures[i] = meanMax(failSamples[i])
+		res.MeanDouble[i], res.MaxDouble[i] = meanMax(doubleSamples[i])
+	}
+	if f.Fresh != nil {
+		res.Pairs = f.Fresh.AllPairStats()
+	}
+	res.WellNode = env.WellConnected()
+	res.PoorNode = env.PoorlyConnected()
+	if f.Fresh != nil {
+		res.WellStats = f.Fresh.NodeStats(res.WellNode)
+		res.PoorStats = f.Fresh.NodeStats(res.PoorNode)
+	}
+	res.WellMeanFailures, _ = meanMax(failSamples[res.WellNode])
+	res.PoorMeanFailures, _ = meanMax(failSamples[res.PoorNode])
+	return res
+}
+
+func meanMax(vals []float64) (mean, max float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	for _, v := range vals {
+		mean += v
+		if v > max {
+			max = v
+		}
+	}
+	return mean / float64(len(vals)), max
+}
+
+// ---------------------------------------------------------------------------
+// §4.1 failure scenarios 1–3: recovery time measurement with live probing.
+// ---------------------------------------------------------------------------
+
+// ScenarioResult records one failover scenario run.
+type ScenarioResult struct {
+	Scenario      int
+	Src, Dst      int
+	Recovered     time.Duration // from failure injection to optimal route installed
+	Bound         time.Duration // the paper's bound: probe detection + k routing intervals
+	WithinBound   bool
+	FailoversUsed uint64
+}
+
+// RunFailoverScenario reproduces §4.1's scenarios on a 25-node quorum fleet
+// with real probing and returns the measured recovery time.
+//
+// Scenario 1: direct link and best-hop link fail (bound p + 2r).
+// Scenario 2: both default rendezvous (proximal) + direct fail (bound p + 2r).
+// Scenario 3: one proximal, one remote rendezvous failure + direct (bound p + 3r).
+func RunFailoverScenario(scenario int, seed int64) (*ScenarioResult, error) {
+	const n = 25
+	probeCfg := probe.Config{Interval: 30 * time.Second, ReplyTimeout: 3 * time.Second}
+	quorumCfg := core.QuorumConfig{Interval: 15 * time.Second}
+	env := traces.Generate(n, seed, traces.Config{BadNodeFrac: 0.0001})
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			env.Loss[a][b] = 0
+			env.DownFrac[a][b] = 0
+		}
+	}
+	f := NewFleet(FleetOptions{
+		N: n, Algorithm: overlay.AlgQuorum, Seed: seed, Env: env,
+		Probe: probeCfg, Quorum: quorumCfg,
+	})
+	// Let probing and two routing rounds settle.
+	f.Run(3 * time.Minute)
+
+	// Choose a destination whose current best route is the DIRECT link and
+	// which has two third-party rendezvous: the injected failures then truly
+	// invalidate the route, so the measurement captures re-derivation rather
+	// than an untouched detour surviving (in-flight recommendations for
+	// unaffected detours would otherwise report near-zero recovery).
+	src := 0
+	q := f.Nodes[src].Router().(*core.Quorum)
+	g := q.Grid()
+	dst := -1
+	for cand := 1; cand < n; cand++ {
+		e, ok := f.Nodes[src].Router().BestHop(cand)
+		if !ok || e.Hop != cand {
+			continue
+		}
+		third := 0
+		for _, k := range g.Common(src, cand) {
+			if k != src && k != cand {
+				third++
+			}
+		}
+		if third >= 2 {
+			dst = cand
+			break
+		}
+	}
+	if dst < 0 {
+		return nil, fmt.Errorf("emul: no direct-optimal destination with two third-party rendezvous")
+	}
+
+	res := &ScenarioResult{Scenario: scenario, Src: src, Dst: dst}
+	r := quorumCfg.Interval
+	p := probeCfg.Interval
+	switch scenario {
+	case 1:
+		e, ok := f.Nodes[src].Router().BestHop(dst)
+		if !ok {
+			return nil, fmt.Errorf("emul: no initial route")
+		}
+		hop := e.Hop
+		if hop == dst { // force an indirect route by failing direct first
+			hop = pickThirdParty(g, src, dst)
+		}
+		f.Net.SetLinkDown(src, dst, true)
+		f.Net.SetLinkDown(src, hop, true)
+		res.Bound = p + 2*r + 10*time.Second
+	case 2:
+		for _, k := range g.Common(src, dst) {
+			if k != src {
+				f.Net.SetLinkDown(src, k, true)
+			}
+		}
+		f.Net.SetLinkDown(src, dst, true)
+		res.Bound = p + 2*r + 10*time.Second
+	case 3:
+		var third []int
+		for _, k := range g.Common(src, dst) {
+			if k != src && k != dst {
+				third = append(third, k)
+			}
+		}
+		if len(third) < 2 {
+			return nil, fmt.Errorf("emul: pair lacks two third-party rendezvous")
+		}
+		f.Net.SetLinkDown(src, third[0], true) // proximal
+		f.Net.SetLinkDown(third[1], dst, true) // remote
+		f.Net.SetLinkDown(src, dst, true)      // direct
+		res.Bound = p + 3*r + quorumCfg.Interval*5/2 + 10*time.Second
+	default:
+		return nil, fmt.Errorf("emul: unknown scenario %d", scenario)
+	}
+
+	injected := f.Elapsed()
+	injectedAt := f.Net.Now()
+	deadline := injected + 20*time.Minute
+	for f.Elapsed() < deadline {
+		f.Run(time.Second)
+		want := oracleOneHop(f, env, src, dst)
+		e, ok := f.Nodes[src].Router().BestHop(dst)
+		// Recovery means the routing plane re-derived the route after the
+		// failures: a fresh (post-injection) rendezvous or self-computed
+		// entry that is optimal and whose links are really up. Cached
+		// pre-failure routes and the §4.2 fallback do not count — the
+		// paper's scenario clocks measure rendezvous recovery.
+		fresh := ok && e.When.After(injectedAt) &&
+			(e.Source == core.SourceRendezvous || e.Source == core.SourceSelf)
+		if fresh && want != wire.InfCost && withinMeasurementNoise(e.Cost, want) && routeUsable(f, src, dst, e) {
+			res.Recovered = f.Elapsed() - injected
+			res.WithinBound = res.Recovered <= res.Bound
+			res.FailoversUsed = f.QuorumStats(src).FailoverAttempts
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("emul: scenario %d never recovered", scenario)
+}
+
+// pickThirdParty returns a node that is neither src, dst, nor one of their
+// common rendezvous.
+func pickThirdParty(g *grid.Grid, src, dst int) int {
+	common := map[int]bool{src: true, dst: true}
+	for _, k := range g.Common(src, dst) {
+		common[k] = true
+	}
+	for h := 0; h < g.N(); h++ {
+		if !common[h] {
+			return h
+		}
+	}
+	return dst
+}
+
+// oracleOneHop computes the true optimal one-hop cost under current ground
+// truth (environment RTTs, simulator link states).
+func oracleOneHop(f *Fleet, env *traces.Env, a, b int) wire.Cost {
+	cost := func(x, y int) wire.Cost {
+		if x == y {
+			return 0
+		}
+		if !f.Net.Reachable(x, y) {
+			return wire.InfCost
+		}
+		return wire.Cost(env.LatencyMS[x][y] + 0.5)
+	}
+	best := wire.InfCost
+	for h := 0; h < env.N; h++ {
+		if h == a {
+			continue
+		}
+		if v := cost(a, h).Add(cost(h, b)); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// withinMeasurementNoise accepts costs within EWMA/quantization error of the
+// oracle (a few ms or 10%).
+func withinMeasurementNoise(got, want wire.Cost) bool {
+	d := int(got) - int(want)
+	if d < 0 {
+		d = -d
+	}
+	return d <= 5 || float64(d) <= 0.1*float64(want)
+}
+
+// routeUsable verifies a route against simulator ground truth: all its links
+// are currently up.
+func routeUsable(f *Fleet, src, dst int, e core.RouteEntry) bool {
+	if e.Hop < 0 {
+		return false
+	}
+	if e.Hop == dst {
+		return f.Net.Reachable(src, dst)
+	}
+	return f.Net.Reachable(src, e.Hop) && f.Net.Reachable(e.Hop, dst)
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: rendezvous redundancy (DESIGN.md `ablation-redundancy`).
+// ---------------------------------------------------------------------------
+
+// StalenessAblation runs a lossy quorum fleet with the given row-staleness
+// window and returns the mean route age (seconds since the last
+// recommendation) over all pairs at the end of the run — the
+// `ablation-staleness` experiment: the paper's 3r window keeps
+// recommendations flowing when round-1 rows are lost, a 1r window does not.
+func StalenessAblation(stalenessIntervals int, loss float64, seed int64) (meanAge, p97Age float64) {
+	const n = 25
+	r := 15 * time.Second
+	env := traces.Generate(n, seed, traces.Config{BadNodeFrac: 0.0001})
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				env.Loss[a][b] = loss
+			}
+			env.DownFrac[a][b] = 0
+		}
+	}
+	f := NewFleet(FleetOptions{
+		N: n, Algorithm: overlay.AlgQuorum, Seed: seed, Env: env,
+		Quorum:         core.QuorumConfig{Interval: r, Staleness: time.Duration(stalenessIntervals) * r},
+		TrackFreshness: true,
+	})
+	// Sample pair ages every 30 s, then summarize the per-pair worst case.
+	end := f.Elapsed() + 10*time.Minute
+	for f.Elapsed() < end {
+		f.Run(30 * time.Second)
+		f.Fresh.Sample(f.Net.Now(), f.Start())
+	}
+	ages := make([]float64, 0, n*(n-1))
+	for _, p := range f.Fresh.AllPairStats() {
+		ages = append(ages, p.Max)
+	}
+	st := stats.Summarize(ages)
+	return st.Mean, st.P97
+}
+
+// ReliabilityAblation runs a lossy quorum fleet with or without §6.2.2's
+// reliable link-state announcements and returns the mean and 97th-percentile
+// per-pair worst route age, plus the measured routing bandwidth in Kbps —
+// quantifying the paper's "at the cost of ... some bandwidth".
+func ReliabilityAblation(reliable bool, loss float64, seed int64) (meanAge, p97Age, kbps float64) {
+	const n = 25
+	r := 15 * time.Second
+	env := traces.Generate(n, seed, traces.Config{BadNodeFrac: 0.0001})
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				env.Loss[a][b] = loss
+			}
+			env.DownFrac[a][b] = 0
+		}
+	}
+	f := NewFleet(FleetOptions{
+		N: n, Algorithm: overlay.AlgQuorum, Seed: seed, Env: env,
+		Quorum:         core.QuorumConfig{Interval: r, ReliableLinkState: reliable},
+		TrackFreshness: true,
+	})
+	before := f.Col.Snapshot(wire.CatRouting)
+	end := f.Elapsed() + 10*time.Minute
+	for f.Elapsed() < end {
+		f.Run(30 * time.Second)
+		f.Fresh.Sample(f.Net.Now(), f.Start())
+	}
+	after := f.Col.Snapshot(wire.CatRouting)
+	per := RoutingKbpsPerNode(before, after, 10*time.Minute)
+	var sum float64
+	for _, v := range per {
+		sum += v
+	}
+	ages := make([]float64, 0, n*(n-1))
+	for _, p := range f.Fresh.AllPairStats() {
+		ages = append(ages, p.Max)
+	}
+	st := stats.Summarize(ages)
+	return st.Mean, st.P97, sum / n
+}
+
+// RedundancyAblation computes, under an environment's stationary failure
+// model, the expected fraction of (src, dst) pairs with no usable rendezvous
+// when each pair has (a) the grid's two default rendezvous vs (b) only one.
+// It quantifies why the construction's double intersection matters (§4).
+func RedundancyAblation(env *traces.Env) (double, single float64) {
+	n := env.N
+	g, err := grid.New(n)
+	if err != nil {
+		return 0, 0
+	}
+	pairs := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			common := g.Common(a, b)
+			var probs []float64
+			for _, k := range common {
+				if k == a {
+					continue
+				}
+				var pFail float64
+				if k == b {
+					pFail = env.DownFrac[a][b]
+				} else {
+					// rendezvous usable iff both a–k and k–b are up
+					pFail = 1 - (1-env.DownFrac[a][k])*(1-env.DownFrac[k][b])
+				}
+				probs = append(probs, pFail)
+			}
+			if len(probs) == 0 {
+				continue
+			}
+			pairs++
+			all := 1.0
+			for _, p := range probs {
+				all *= p
+			}
+			double += all
+			single += probs[0]
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return double / float64(pairs), single / float64(pairs)
+}

@@ -1,0 +1,268 @@
+// Package grid implements the grid quorum construction at the heart of the
+// paper's routing algorithm (§3).
+//
+// The n overlay nodes are laid out row-major in a near-square grid. A node's
+// rendezvous servers are all the other nodes in its row and column, so any
+// two nodes share at least one — normally two — rendezvous servers (the two
+// "corners" of the rectangle their positions span). This is what lets a
+// two-round protocol find every optimal one-hop route with only O(√n)
+// messages per node per round.
+//
+// Non-perfect squares are handled exactly as in the paper: with
+// a = √n − ⌊√n⌋, the grid is ⌈√n⌉×⌊√n⌋ when a < 0.5 and ⌈√n⌉×⌈√n⌉
+// otherwise, leaving blanks only in the last row. Nodes whose column ends in
+// a blank are given one bottom-row node as an extra rendezvous server (and
+// vice versa), restoring the two-server intersection property without
+// doubling any node's load.
+//
+// The package works on grid slots (integers 0..n-1). Mapping slots to node
+// IDs — by filling the grid from the sorted member list — is the membership
+// layer's job, which keeps this package a pure, exhaustively testable
+// construction.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Grid is an immutable quorum layout for n nodes. All methods are safe for
+// concurrent use.
+type Grid struct {
+	n       int
+	rows    int
+	cols    int
+	lastRow int // number of occupied slots in the final row
+
+	// servers[i] is the sorted rendezvous server set of slot i (its row and
+	// column, plus blank-compensation extras; never includes i itself).
+	servers [][]int
+}
+
+// New constructs the grid quorum for n ≥ 1 nodes.
+func New(n int) (*Grid, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("grid: need at least 1 node, got %d", n)
+	}
+	root := math.Sqrt(float64(n))
+	floor := int(math.Floor(root))
+	ceil := int(math.Ceil(root))
+	// Guard against floating-point error on perfect squares.
+	if floor*floor == n {
+		ceil = floor
+	} else if ceil == floor {
+		ceil = floor + 1
+	}
+
+	g := &Grid{n: n}
+	if root-float64(floor) < 0.5 {
+		g.rows, g.cols = ceil, floor
+	} else {
+		g.rows, g.cols = ceil, ceil
+	}
+	if g.cols == 0 {
+		g.cols = 1
+	}
+	if g.rows*g.cols < n {
+		// Cannot happen for the construction above; guard regardless.
+		return nil, fmt.Errorf("grid: internal error, %dx%d < %d", g.rows, g.cols, n)
+	}
+	g.lastRow = n - (g.rows-1)*g.cols
+	if g.lastRow <= 0 {
+		return nil, fmt.Errorf("grid: internal error, empty last row for n=%d", n)
+	}
+
+	g.servers = make([][]int, n)
+	for i := 0; i < n; i++ {
+		g.servers[i] = g.buildServers(i)
+	}
+	return g, nil
+}
+
+// buildServers computes the rendezvous server set for one slot.
+func (g *Grid) buildServers(slot int) []int {
+	r, c := g.Position(slot)
+	set := make(map[int]struct{}, 2*g.rows)
+	// Row.
+	for cc := 0; cc < g.cols; cc++ {
+		if s, ok := g.SlotAt(r, cc); ok && s != slot {
+			set[s] = struct{}{}
+		}
+	}
+	// Column.
+	for rr := 0; rr < g.rows; rr++ {
+		if s, ok := g.SlotAt(rr, c); ok && s != slot {
+			set[s] = struct{}{}
+		}
+	}
+	// Blank compensation (§3, "Non perfect-square grids"), 0-indexed: with k
+	// occupied slots in the last row, the bottom-row node in column c0 < k is
+	// paired with the nodes (c0, j) for k ≤ j < cols, symmetrically.
+	if k := g.lastRow; k < g.cols {
+		if r == g.rows-1 {
+			// Bottom-row node at column c: extras are row c's tail.
+			for j := k; j < g.cols; j++ {
+				if s, ok := g.SlotAt(c, j); ok {
+					set[s] = struct{}{}
+				}
+			}
+		}
+		if c >= k && r < k {
+			// Tail-column node in row r < k: extra is bottom-row node (rows-1, r).
+			if s, ok := g.SlotAt(g.rows-1, r); ok {
+				set[s] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// N returns the number of nodes.
+func (g *Grid) N() int { return g.n }
+
+// Rows returns the number of grid rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// Cols returns the number of grid columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// LastRowLen returns the number of occupied slots in the final row.
+func (g *Grid) LastRowLen() int { return g.lastRow }
+
+// IsComplete reports whether the grid has no blank slots.
+func (g *Grid) IsComplete() bool { return g.lastRow == g.cols }
+
+// Position returns the (row, col) of a slot. It panics if slot is out of
+// range, which always indicates a programming error in the caller.
+func (g *Grid) Position(slot int) (row, col int) {
+	if slot < 0 || slot >= g.n {
+		panic(fmt.Sprintf("grid: slot %d out of range [0,%d)", slot, g.n))
+	}
+	return slot / g.cols, slot % g.cols
+}
+
+// SlotAt returns the slot at (row, col), or ok=false if the position is out
+// of range or blank.
+func (g *Grid) SlotAt(row, col int) (slot int, ok bool) {
+	if row < 0 || row >= g.rows || col < 0 || col >= g.cols {
+		return 0, false
+	}
+	s := row*g.cols + col
+	if s >= g.n {
+		return 0, false
+	}
+	return s, true
+}
+
+// Servers returns slot's rendezvous server set: every other node in its row
+// and column, plus blank-compensation extras. The returned slice is owned by
+// the Grid and must not be modified.
+func (g *Grid) Servers(slot int) []int {
+	if slot < 0 || slot >= g.n {
+		panic(fmt.Sprintf("grid: slot %d out of range [0,%d)", slot, g.n))
+	}
+	return g.servers[slot]
+}
+
+// Clients returns the slots for which slot acts as a rendezvous server. For
+// the grid quorum the relation is symmetric (R_i = C_i, §3), so this equals
+// Servers; both names are provided because the routing protocol treats the
+// two roles differently.
+func (g *Grid) Clients(slot int) []int { return g.Servers(slot) }
+
+// IsServerOf reports whether server ∈ Servers(client).
+func (g *Grid) IsServerOf(server, client int) bool {
+	ss := g.Servers(client)
+	i := sort.SearchInts(ss, server)
+	return i < len(ss) && ss[i] == server
+}
+
+// Common returns the sorted set of nodes that can act as rendezvous for the
+// pair (a, b): nodes in Servers(a) ∩ Servers(b), plus a and/or b themselves
+// when one is a server of the other (pairs sharing a row or column rendezvous
+// through their endpoints — each receives the other's link state directly).
+// For a == b it returns nil. The two-intersection property guarantees
+// len ≥ 2 for all pairs when n ≥ 4.
+func (g *Grid) Common(a, b int) []int {
+	if a == b {
+		return nil
+	}
+	sa, sb := g.Servers(a), g.Servers(b)
+	var out []int
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] == sb[j]:
+			out = append(out, sa[i])
+			i++
+			j++
+		case sa[i] < sb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	// Endpoints acting as their own rendezvous.
+	if g.IsServerOf(b, a) {
+		out = append(out, a, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FailoverCandidates returns the slots a node may recruit as failover
+// rendezvous servers for destination dst: all other nodes in dst's row and
+// column (§4.1's 2√n candidate set). The caller filters by reachability. The
+// returned slice is owned by the Grid and must not be modified (it is dst's
+// server set, which by construction is exactly dst's row-column set).
+func (g *Grid) FailoverCandidates(dst int) []int { return g.Servers(dst) }
+
+// MaxLoad returns the maximum rendezvous set size over all slots. The paper
+// shows this is at most 2√n even with blank compensation.
+func (g *Grid) MaxLoad() int {
+	m := 0
+	for _, s := range g.servers {
+		if len(s) > m {
+			m = len(s)
+		}
+	}
+	return m
+}
+
+// VerifyInvariants exhaustively checks the construction's guarantees and
+// returns a descriptive error on the first violation. Intended for tests and
+// the experiments harness; cost is O(n²·√n).
+func (g *Grid) VerifyInvariants() error {
+	// Symmetry: j ∈ Servers(i) ⟺ i ∈ Servers(j).
+	for i := 0; i < g.n; i++ {
+		for _, j := range g.servers[i] {
+			if !g.IsServerOf(i, j) {
+				return fmt.Errorf("grid: asymmetric rendezvous relation %d->%d", i, j)
+			}
+		}
+	}
+	// Pair coverage: every pair shares a rendezvous; for n ≥ 4, two.
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			c := g.Common(i, j)
+			if len(c) == 0 {
+				return fmt.Errorf("grid: pair (%d,%d) has no common rendezvous", i, j)
+			}
+			if g.n >= 4 && len(c) < 2 {
+				return fmt.Errorf("grid: pair (%d,%d) has only %d common rendezvous", i, j, len(c))
+			}
+		}
+	}
+	// Load bound: |R_i| ≤ 2·⌈√n⌉ (paper: at most 2√n clients and servers).
+	bound := 2 * int(math.Ceil(math.Sqrt(float64(g.n))))
+	if m := g.MaxLoad(); m > bound {
+		return fmt.Errorf("grid: max rendezvous load %d exceeds 2·⌈√n⌉ = %d", m, bound)
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadN(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) should fail", n)
+		}
+	}
+}
+
+func TestShapeMatchesPaperRule(t *testing.T) {
+	// Footnote 5: a = √n − ⌊√n⌋; a < 0.5 → ⌈√n⌉×⌊√n⌋, else ⌈√n⌉×⌈√n⌉.
+	cases := []struct {
+		n, rows, cols, last int
+	}{
+		{1, 1, 1, 1},
+		{2, 2, 1, 1},
+		{3, 2, 2, 1},
+		{4, 2, 2, 2},
+		{5, 3, 2, 1},
+		{6, 3, 2, 2},
+		{7, 3, 3, 1},
+		{8, 3, 3, 2},
+		{9, 3, 3, 3},
+		{12, 4, 3, 3},    // √12≈3.46, a<.5 → 4×3, exact fit
+		{15, 4, 4, 3},    // √15≈3.87, a≥.5 → 4×4
+		{18, 5, 4, 2},    // the paper's §3 example: 5×4 with 2 in the last row
+		{140, 12, 12, 8}, // the deployment size
+		{144, 12, 12, 12},
+	}
+	for _, c := range cases {
+		g, err := New(c.n)
+		if err != nil {
+			t.Fatalf("New(%d): %v", c.n, err)
+		}
+		if g.Rows() != c.rows || g.Cols() != c.cols || g.LastRowLen() != c.last {
+			t.Errorf("n=%d: got %dx%d last=%d, want %dx%d last=%d",
+				c.n, g.Rows(), g.Cols(), g.LastRowLen(), c.rows, c.cols, c.last)
+		}
+		if g.N() != c.n {
+			t.Errorf("n=%d: N()=%d", c.n, g.N())
+		}
+		if g.IsComplete() != (c.last == c.cols) {
+			t.Errorf("n=%d: IsComplete=%v", c.n, g.IsComplete())
+		}
+	}
+}
+
+func TestPositionSlotAtRoundTrip(t *testing.T) {
+	g, _ := New(18)
+	for s := 0; s < 18; s++ {
+		r, c := g.Position(s)
+		got, ok := g.SlotAt(r, c)
+		if !ok || got != s {
+			t.Errorf("slot %d -> (%d,%d) -> %d ok=%v", s, r, c, got, ok)
+		}
+	}
+	if _, ok := g.SlotAt(4, 2); ok {
+		t.Error("blank slot (4,2) should not exist") // 5×4 grid, 18 nodes: slots 18,19 blank
+	}
+	if _, ok := g.SlotAt(-1, 0); ok {
+		t.Error("negative row should not exist")
+	}
+	if _, ok := g.SlotAt(0, 99); ok {
+		t.Error("out-of-range col should not exist")
+	}
+}
+
+func TestPositionPanicsOutOfRange(t *testing.T) {
+	g, _ := New(9)
+	defer func() {
+		if recover() == nil {
+			t.Error("Position(9) should panic")
+		}
+	}()
+	g.Position(9)
+}
+
+func TestServersPerfectSquare(t *testing.T) {
+	// Figure 2: 3×3 grid. Node 8 (paper's node 9, 1-indexed) sits at (2,2);
+	// its rendezvous servers are its row {6,7} and column {2,5}.
+	g, _ := New(9)
+	want := []int{2, 5, 6, 7}
+	got := g.Servers(8)
+	if len(got) != len(want) {
+		t.Fatalf("Servers(8) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Servers(8) = %v, want %v", got, want)
+		}
+	}
+	// Count: 2(√n − 1) for perfect squares.
+	for s := 0; s < 9; s++ {
+		if len(g.Servers(s)) != 4 {
+			t.Errorf("slot %d has %d servers, want 4", s, len(g.Servers(s)))
+		}
+	}
+}
+
+func TestCommonPerfectSquare(t *testing.T) {
+	g, _ := New(9)
+	// Nodes 0 (at 0,0) and 8 (at 2,2) intersect at (0,2)=2 and (2,0)=6.
+	c := g.Common(0, 8)
+	if len(c) != 2 || c[0] != 2 || c[1] != 6 {
+		t.Errorf("Common(0,8) = %v, want [2 6]", c)
+	}
+	// Same-row nodes 0 and 1: common includes each other (they exchange link
+	// state directly) plus the third row member 2.
+	c = g.Common(0, 1)
+	if len(c) < 3 {
+		t.Errorf("Common(0,1) = %v, want ≥3 entries", c)
+	}
+	found0, found1 := false, false
+	for _, x := range c {
+		if x == 0 {
+			found0 = true
+		}
+		if x == 1 {
+			found1 = true
+		}
+	}
+	if !found0 || !found1 {
+		t.Errorf("Common(0,1) = %v should contain both endpoints", c)
+	}
+	if g.Common(4, 4) != nil {
+		t.Error("Common(i,i) should be nil")
+	}
+}
+
+func TestBlankCompensationPaperExample(t *testing.T) {
+	// n=18: 5×4 grid, last row has k=2 nodes (16, 17). Paper's figure pairs
+	// the bottom-row node in column 0 with the row-0 tail nodes (0,2), (0,3).
+	g, _ := New(18)
+	servers16 := g.Servers(16) // at (4,0)
+	wantExtra := map[int]bool{2: true, 3: true}
+	for _, s := range servers16 {
+		delete(wantExtra, s)
+	}
+	if len(wantExtra) != 0 {
+		t.Errorf("Servers(16) = %v missing extras from row 0 tail", servers16)
+	}
+	// Symmetric: node 2 at (0,2) must have 16 as a server.
+	if !g.IsServerOf(16, 2) {
+		t.Errorf("node 2 should have bottom-row node 16 as a server; got %v", g.Servers(2))
+	}
+	// Node 17 at (4,1) pairs with row-1 tail (1,2)=6 and (1,3)=7.
+	if !g.IsServerOf(6, 17) || !g.IsServerOf(7, 17) {
+		t.Errorf("Servers(17) = %v, want extras 6 and 7", g.Servers(17))
+	}
+}
+
+func TestInvariantsExhaustiveSmall(t *testing.T) {
+	for n := 1; n <= 150; n++ {
+		g, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		if err := g.VerifyInvariants(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestInvariantsLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, n := range []int{197, 256, 300, 359, 416, 500, 1000} {
+		g, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		if err := g.VerifyInvariants(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// Property: for random n, every pair of slots shares ≥2 rendezvous (n ≥ 4)
+// and the load bound holds. VerifyInvariants covers this; quick.Check drives
+// it across arbitrary sizes.
+func TestInvariantsQuick(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := 4 + int(raw)%600
+		g, err := New(n)
+		if err != nil {
+			return false
+		}
+		return g.VerifyInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: message count bound from Theorem 1 — each node sends its link
+// state to |R_i| ≤ 2√n rendezvous servers and recommendations to as many
+// clients, so per-round sends ≤ 4√n.
+func TestTheorem1MessageBound(t *testing.T) {
+	for n := 2; n <= 400; n += 7 {
+		g, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 4 * math.Sqrt(float64(n))
+		for s := 0; s < n; s++ {
+			msgs := len(g.Servers(s)) + len(g.Clients(s))
+			if float64(msgs) > bound {
+				t.Errorf("n=%d slot=%d: %d messages exceeds 4√n = %.1f", n, s, msgs, bound)
+			}
+		}
+	}
+}
+
+func TestFailoverCandidatesAreDstRowCol(t *testing.T) {
+	g, _ := New(25)
+	for dst := 0; dst < 25; dst++ {
+		cands := g.FailoverCandidates(dst)
+		r, c := g.Position(dst)
+		for _, f := range cands {
+			fr, fc := g.Position(f)
+			if fr != r && fc != c {
+				t.Errorf("dst %d: candidate %d at (%d,%d) not in row %d or col %d",
+					dst, f, fr, fc, r, c)
+			}
+		}
+		if len(cands) != 8 { // 2(√25 − 1)
+			t.Errorf("dst %d: %d candidates, want 8", dst, len(cands))
+		}
+	}
+}
+
+func TestTinyGrids(t *testing.T) {
+	// n=1: no servers, no pairs.
+	g1, _ := New(1)
+	if len(g1.Servers(0)) != 0 {
+		t.Errorf("n=1 Servers(0) = %v", g1.Servers(0))
+	}
+	// n=2: 2×1 column; each is the other's server.
+	g2, _ := New(2)
+	if !g2.IsServerOf(0, 1) || !g2.IsServerOf(1, 0) {
+		t.Error("n=2 nodes should serve each other")
+	}
+	c := g2.Common(0, 1)
+	if len(c) != 2 {
+		t.Errorf("n=2 Common = %v", c)
+	}
+	// n=3: 2×2 with one blank.
+	g3, _ := New(3)
+	if err := g3.VerifyInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxLoad(t *testing.T) {
+	g, _ := New(140)
+	bound := 2 * int(math.Ceil(math.Sqrt(140)))
+	if g.MaxLoad() > bound {
+		t.Errorf("MaxLoad = %d > %d", g.MaxLoad(), bound)
+	}
+	if g.MaxLoad() < 2 {
+		t.Errorf("MaxLoad = %d suspiciously small", g.MaxLoad())
+	}
+}

@@ -1,0 +1,176 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"allpairs/internal/grid"
+)
+
+// completeEdges returns all edges of K_n.
+func completeEdges(n int) []Edge {
+	var es []Edge
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			es = append(es, Edge{a, b})
+		}
+	}
+	return es
+}
+
+func TestChoose4(t *testing.T) {
+	cases := map[int]int64{0: 0, 3: 0, 4: 1, 5: 5, 6: 15, 10: 210}
+	for n, want := range cases {
+		if got := Choose4(n); got != want {
+			t.Errorf("C(%d,4) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Lemma 2: the complete graph on n vertices has exactly 3·C(n,4) diamonds.
+// Verified exhaustively via the codegree counter for small n.
+func TestLemma2Exhaustive(t *testing.T) {
+	for n := 4; n <= 12; n++ {
+		got := CountDiamonds(n, completeEdges(n))
+		want := DiamondsInComplete(n)
+		if got != want {
+			t.Errorf("n=%d: counted %d diamonds, Lemma 2 says %d", n, got, want)
+		}
+	}
+}
+
+func TestCountDiamondsBasics(t *testing.T) {
+	// A single 4-cycle is one diamond.
+	square := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	if got := CountDiamonds(4, square); got != 1 {
+		t.Errorf("square = %d diamonds", got)
+	}
+	// A triangle has none.
+	tri := []Edge{{0, 1}, {1, 2}, {2, 0}}
+	if got := CountDiamonds(3, tri); got != 0 {
+		t.Errorf("triangle = %d diamonds", got)
+	}
+	// A path has none.
+	path := []Edge{{0, 1}, {1, 2}, {2, 3}}
+	if got := CountDiamonds(4, path); got != 0 {
+		t.Errorf("path = %d diamonds", got)
+	}
+	// K4 has 3.
+	if got := CountDiamonds(4, completeEdges(4)); got != 3 {
+		t.Errorf("K4 = %d diamonds", got)
+	}
+	// Garbage edges are ignored.
+	if got := CountDiamonds(4, []Edge{{0, 0}, {-1, 2}, {1, 9}}); got != 0 {
+		t.Errorf("garbage edges = %d diamonds", got)
+	}
+}
+
+// Lemma 3: every set of e edges forms at most e² diamonds. Property-checked
+// over random graphs.
+func TestLemma3Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		all := completeEdges(n)
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		e := rng.Intn(len(all) + 1)
+		sub := all[:e]
+		return CountDiamonds(n, sub) <= Lemma3Bound(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 4 arithmetic: the bound grows as n^1.5.
+func TestMinEdgesPerNodeScaling(t *testing.T) {
+	if MinEdgesPerNode(3) != 0 {
+		t.Error("n<4 should be 0")
+	}
+	for _, n := range []int{16, 64, 256, 1024} {
+		lb := MinEdgesPerNode(n)
+		ref := math.Pow(float64(n), 1.5)
+		ratio := lb / ref
+		// 3·C(n,4)/n ≈ n³/8, so lb ≈ n^1.5/√8 ≈ 0.354·n^1.5.
+		if ratio < 0.25 || ratio > 0.40 {
+			t.Errorf("n=%d: lb/n^1.5 = %.3f", n, ratio)
+		}
+	}
+}
+
+// The grid-quorum scheme is within a small constant of the Appendix A lower
+// bound, converging to 2√8 ≈ 5.66.
+func TestOptimalityRatio(t *testing.T) {
+	if OptimalityRatio(2) != 0 {
+		t.Error("tiny n should yield 0")
+	}
+	prev := math.Inf(1)
+	for _, n := range []int{100, 400, 1600, 6400} {
+		r := OptimalityRatio(n)
+		if r < 4 || r > 8 {
+			t.Errorf("n=%d: ratio %.2f outside [4,8]", n, r)
+		}
+		// Converges from above toward 2√8.
+		if r > prev+0.5 {
+			t.Errorf("ratio increasing sharply at n=%d: %.2f after %.2f", n, r, prev)
+		}
+		prev = r
+	}
+	limit := 2 * math.Sqrt(8)
+	if math.Abs(OptimalityRatio(10000)-limit) > 0.6 {
+		t.Errorf("ratio at n=10000 = %.2f, want ≈ %.2f", OptimalityRatio(10000), limit)
+	}
+}
+
+// Theorem 1's coverage premise: under the grid quorum, every pair's rows
+// meet at some node. Checked for a range of sizes including non-squares.
+func TestQuorumCoverage(t *testing.T) {
+	for _, n := range []int{4, 9, 18, 25, 40, 140} {
+		g, err := grid.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsAt := make([][]int, n)
+		for k := 0; k < n; k++ {
+			rowsAt[k] = append([]int{k}, g.Clients(k)...)
+		}
+		if un := CoverageCheck(n, rowsAt); un != 0 {
+			t.Errorf("n=%d: %d uncovered pairs", n, un)
+		}
+	}
+}
+
+// A broken scheme (each node holds only its own row) covers nothing.
+func TestCoverageCheckDetectsGaps(t *testing.T) {
+	n := 9
+	rowsAt := make([][]int, n)
+	for k := 0; k < n; k++ {
+		rowsAt[k] = []int{k}
+	}
+	want := n * (n - 1) / 2
+	if un := CoverageCheck(n, rowsAt); un != want {
+		t.Errorf("uncovered = %d, want %d", un, want)
+	}
+	// Out-of-range row entries are ignored safely.
+	rowsAt[0] = []int{0, 99, -3}
+	if un := CoverageCheck(n, rowsAt); un != want {
+		t.Errorf("uncovered with garbage = %d, want %d", un, want)
+	}
+}
+
+// Communication accounting: the quorum scheme's received-edge count is 2n√n
+// up to rounding.
+func TestQuorumEdgesPerNode(t *testing.T) {
+	for _, n := range []int{16, 100, 400} {
+		got := QuorumEdgesPerNode(n)
+		want := 2 * (math.Sqrt(float64(n)) - 1) * float64(n)
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("n=%d: edges %.0f, want ≈ %.0f", n, got, want)
+		}
+	}
+	if QuorumEdgesPerNode(1) != 0 {
+		t.Error("n=1 should be 0")
+	}
+}

@@ -1,0 +1,145 @@
+package lsdb
+
+import (
+	"time"
+
+	"allpairs/internal/wire"
+)
+
+// AsymRow is one node's directional link-state vector (footnote 2 mode):
+// for every slot, the one-way cost toward it and the one-way cost back.
+type AsymRow struct {
+	Seq     uint32
+	When    time.Time
+	Entries []wire.AsymEntry
+}
+
+// OutCost returns the directed cost origin→slot.
+func (r *AsymRow) OutCost(slot int) wire.Cost {
+	if r == nil || slot < 0 || slot >= len(r.Entries) {
+		return wire.InfCost
+	}
+	return r.Entries[slot].OutCost()
+}
+
+// InCost returns the directed cost slot→origin.
+func (r *AsymRow) InCost(slot int) wire.Cost {
+	if r == nil || slot < 0 || slot >= len(r.Entries) {
+		return wire.InfCost
+	}
+	return r.Entries[slot].InCost()
+}
+
+// AsymTable stores the most recent directional row from each slot.
+type AsymTable struct {
+	n    int
+	rows []AsymRow
+	have []bool
+}
+
+// NewAsymTable returns an empty table for an n-slot view.
+func NewAsymTable(n int) *AsymTable {
+	return &AsymTable{n: n, rows: make([]AsymRow, n), have: make([]bool, n)}
+}
+
+// N returns the number of slots in the view.
+func (t *AsymTable) N() int { return t.n }
+
+// Put stores a row for slot unless it is older than the stored one.
+func (t *AsymTable) Put(slot int, row AsymRow) bool {
+	if slot < 0 || slot >= t.n || len(row.Entries) != t.n {
+		return false
+	}
+	if t.have[slot] && row.Seq < t.rows[slot].Seq {
+		return false
+	}
+	t.rows[slot] = row
+	t.have[slot] = true
+	return true
+}
+
+// Get returns the stored row for slot, or nil.
+func (t *AsymTable) Get(slot int) *AsymRow {
+	if slot < 0 || slot >= t.n || !t.have[slot] {
+		return nil
+	}
+	return &t.rows[slot]
+}
+
+// Fresh returns the row if it is younger than maxAge, or nil.
+func (t *AsymTable) Fresh(slot int, now time.Time, maxAge time.Duration) *AsymRow {
+	r := t.Get(slot)
+	if r == nil || now.Sub(r.When) > maxAge {
+		return nil
+	}
+	return r
+}
+
+// FreshSlots appends to dst the slots with rows fresher than maxAge.
+func (t *AsymTable) FreshSlots(dst []int, now time.Time, maxAge time.Duration) []int {
+	for s := 0; s < t.n; s++ {
+		if t.have[s] && now.Sub(t.rows[s].When) <= maxAge {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// BestOneHopAsym returns the optimal one-hop path in the DIRECTED sense from
+// slot a (whose row gives out-costs a→h) to slot b (whose row gives in-costs
+// h→b): the hop h ≠ a minimizing out_a(h) + in_b(h). Because costs are
+// directional, the optimal hop for a→b may differ from b→a's. Self-entries
+// must be zero so h == b surfaces the direct path.
+func BestOneHopAsym(a int, rowA []wire.AsymEntry, b int, rowB []wire.AsymEntry) (hop int, cost wire.Cost) {
+	hop, cost = -1, wire.InfCost
+	n := len(rowA)
+	if len(rowB) < n {
+		n = len(rowB)
+	}
+	for h := 0; h < n; h++ {
+		if h == a {
+			continue
+		}
+		c := rowA[h].OutCost().Add(rowB[h].InCost())
+		if c < cost {
+			cost = c
+			hop = h
+		}
+	}
+	return hop, cost
+}
+
+// BestOneHopViaAsym is the §4.2 fallback in directional mode: the best route
+// from the holder of rowA to dst using only intermediates with fresh rows in
+// the table (cost out_a(h) + out_h(dst)), or the direct out-cost.
+func BestOneHopViaAsym(rowA []wire.AsymEntry, table *AsymTable, dst int, now time.Time, maxAge time.Duration) (hop int, cost wire.Cost) {
+	hop, cost = -1, wire.InfCost
+	if dst < 0 || dst >= len(rowA) {
+		return
+	}
+	if c := rowA[dst].OutCost(); c < cost {
+		hop, cost = dst, c
+	}
+	for h := 0; h < table.n && h < len(rowA); h++ {
+		if h == dst {
+			continue
+		}
+		r := table.Fresh(h, now, maxAge)
+		if r == nil {
+			continue
+		}
+		c := rowA[h].OutCost().Add(r.OutCost(dst))
+		if c < cost {
+			hop, cost = h, c
+		}
+	}
+	return hop, cost
+}
+
+// SelfAsymRow forces the self-entry of a directional row to zero/alive.
+func SelfAsymRow(self int, entries []wire.AsymEntry) []wire.AsymEntry {
+	if self >= 0 && self < len(entries) {
+		entries[self] = wire.AsymEntry{Status: wire.MakeStatus(true, 0)}
+	}
+	return entries
+}

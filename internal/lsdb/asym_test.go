@@ -1,0 +1,120 @@
+package lsdb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"allpairs/internal/wire"
+)
+
+func aentry(out, in int, alive bool) wire.AsymEntry {
+	return wire.AsymEntry{Out: uint16(out), In: uint16(in), Status: wire.MakeStatus(alive, 0)}
+}
+
+func TestAsymTableBasics(t *testing.T) {
+	tb := NewAsymTable(3)
+	if tb.N() != 3 {
+		t.Fatalf("N = %d", tb.N())
+	}
+	row := AsymRow{Seq: 2, When: t0, Entries: []wire.AsymEntry{aentry(0, 0, true), aentry(10, 20, true), aentry(5, 5, false)}}
+	if !tb.Put(0, row) {
+		t.Fatal("Put rejected")
+	}
+	if tb.Put(0, AsymRow{Seq: 1, When: t0, Entries: row.Entries}) {
+		t.Error("stale seq accepted")
+	}
+	if tb.Put(5, row) || tb.Put(0, AsymRow{Seq: 3, Entries: row.Entries[:1]}) {
+		t.Error("bad shape accepted")
+	}
+	got := tb.Get(0)
+	if got == nil || got.OutCost(1) != 10 || got.InCost(1) != 20 {
+		t.Errorf("directional costs wrong: %+v", got)
+	}
+	if got.OutCost(2) != wire.InfCost || got.InCost(2) != wire.InfCost {
+		t.Error("dead entry not Inf")
+	}
+	if got.OutCost(-1) != wire.InfCost {
+		t.Error("out of range not Inf")
+	}
+	var nilRow *AsymRow
+	if nilRow.OutCost(0) != wire.InfCost || nilRow.InCost(0) != wire.InfCost {
+		t.Error("nil row not Inf")
+	}
+	if tb.Fresh(0, t0.Add(time.Hour), time.Minute) != nil {
+		t.Error("stale row reported fresh")
+	}
+	slots := tb.FreshSlots(nil, t0.Add(time.Second), time.Minute)
+	if len(slots) != 1 || slots[0] != 0 {
+		t.Errorf("FreshSlots = %v", slots)
+	}
+}
+
+func TestBestOneHopAsymDirectionality(t *testing.T) {
+	// Three nodes. Link 0-2 asymmetric: 0→2 cheap (10), 2→0 expensive (300).
+	// Link 0-1: 50/50. Link 1-2: 40/40.
+	// Route 0→2: direct 10 beats via 1 (50+40=90).
+	// Route 2→0: direct 300 loses to via 1 (40+50=90).
+	rowA := SelfAsymRow(0, []wire.AsymEntry{{}, aentry(50, 50, true), aentry(10, 300, true)})
+	rowC := SelfAsymRow(2, []wire.AsymEntry{aentry(300, 10, true), aentry(40, 40, true), {}})
+
+	hop, cost := BestOneHopAsym(0, rowA, 2, rowC)
+	if hop != 2 || cost != 10 {
+		t.Errorf("0→2: hop=%d cost=%d, want direct 2/10", hop, cost)
+	}
+	hop, cost = BestOneHopAsym(2, rowC, 0, rowA)
+	if hop != 1 || cost != 90 {
+		t.Errorf("2→0: hop=%d cost=%d, want via 1/90", hop, cost)
+	}
+}
+
+func TestBestOneHopViaAsym(t *testing.T) {
+	tb := NewAsymTable(3)
+	tb.Put(1, AsymRow{Seq: 1, When: t0, Entries: SelfAsymRow(1, []wire.AsymEntry{aentry(50, 50, true), {}, aentry(40, 40, true)})})
+	rowA := SelfAsymRow(0, []wire.AsymEntry{{}, aentry(50, 50, true), aentry(0, 0, false)})
+	hop, cost := BestOneHopViaAsym(rowA, tb, 2, t0.Add(time.Second), time.Minute)
+	if hop != 1 || cost != 90 {
+		t.Errorf("hop=%d cost=%d, want 1/90", hop, cost)
+	}
+	if hop, cost := BestOneHopViaAsym(rowA, tb, 9, t0, time.Minute); hop != -1 || cost != wire.InfCost {
+		t.Error("bad dst not rejected")
+	}
+}
+
+// Property: directional best-hop matches exhaustive search per direction.
+func TestBestOneHopAsymQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		a, b := 0, 1+rng.Intn(n-1)
+		rowA := make([]wire.AsymEntry, n)
+		rowB := make([]wire.AsymEntry, n)
+		for i := 0; i < n; i++ {
+			rowA[i] = aentry(rng.Intn(500), rng.Intn(500), rng.Intn(8) > 0)
+			rowB[i] = aentry(rng.Intn(500), rng.Intn(500), rng.Intn(8) > 0)
+		}
+		SelfAsymRow(a, rowA)
+		SelfAsymRow(b, rowB)
+		hop, cost := BestOneHopAsym(a, rowA, b, rowB)
+		want := wire.InfCost
+		for h := 0; h < n; h++ {
+			if h == a {
+				continue
+			}
+			if c := rowA[h].OutCost().Add(rowB[h].InCost()); c < want {
+				want = c
+			}
+		}
+		if cost != want {
+			return false
+		}
+		if cost == wire.InfCost {
+			return hop == -1
+		}
+		return rowA[hop].OutCost().Add(rowB[hop].InCost()) == cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

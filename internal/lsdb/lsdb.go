@@ -1,0 +1,165 @@
+// Package lsdb implements the link-state database: the partial n×n matrix of
+// estimated latency and liveness each node maintains (§5, "Table Exchange"),
+// and the best-one-hop computation a rendezvous server runs over the rows of
+// its clients.
+//
+// Rows are indexed by grid slot (the node's position in the membership
+// view), not by node ID; a table is only meaningful for a single membership
+// view and is rebuilt when the view changes.
+package lsdb
+
+import (
+	"time"
+
+	"allpairs/internal/wire"
+)
+
+// Row is one node's link-state vector: its measured latency and liveness to
+// every slot in the view.
+type Row struct {
+	Seq     uint32           // sender's sequence number, monotone per view
+	When    time.Time        // local time the row was received/refreshed
+	Entries []wire.LinkEntry // indexed by grid slot
+}
+
+// Cost returns the link cost from the row's origin to slot.
+func (r *Row) Cost(slot int) wire.Cost {
+	if r == nil || slot < 0 || slot >= len(r.Entries) {
+		return wire.InfCost
+	}
+	return r.Entries[slot].Cost()
+}
+
+// Table stores the most recent link-state row received from each slot.
+// The zero value is unusable; create tables with NewTable.
+type Table struct {
+	n    int
+	rows []Row
+	have []bool
+}
+
+// NewTable returns an empty table for an n-slot view.
+func NewTable(n int) *Table {
+	return &Table{n: n, rows: make([]Row, n), have: make([]bool, n)}
+}
+
+// N returns the number of slots in the view.
+func (t *Table) N() int { return t.n }
+
+// Put stores a row for slot if it is not older than what the table already
+// holds (sequence numbers break ties in favour of the new row, so refreshed
+// timestamps win). It reports whether the row was stored.
+func (t *Table) Put(slot int, row Row) bool {
+	if slot < 0 || slot >= t.n || len(row.Entries) != t.n {
+		return false
+	}
+	if t.have[slot] && row.Seq < t.rows[slot].Seq {
+		return false
+	}
+	t.rows[slot] = row
+	t.have[slot] = true
+	return true
+}
+
+// Drop removes the row for slot, if any.
+func (t *Table) Drop(slot int) {
+	if slot >= 0 && slot < t.n {
+		t.have[slot] = false
+		t.rows[slot] = Row{}
+	}
+}
+
+// Get returns the stored row for slot, or nil if none.
+func (t *Table) Get(slot int) *Row {
+	if slot < 0 || slot >= t.n || !t.have[slot] {
+		return nil
+	}
+	return &t.rows[slot]
+}
+
+// Fresh returns the stored row for slot if it was received within maxAge of
+// now, or nil otherwise. The paper's rendezvous servers use measurements at
+// most 3 routing intervals old (§6.2.2).
+func (t *Table) Fresh(slot int, now time.Time, maxAge time.Duration) *Row {
+	r := t.Get(slot)
+	if r == nil || now.Sub(r.When) > maxAge {
+		return nil
+	}
+	return r
+}
+
+// FreshSlots appends to dst the slots with rows fresher than maxAge and
+// returns the result. Pass a reused buffer to avoid allocation.
+func (t *Table) FreshSlots(dst []int, now time.Time, maxAge time.Duration) []int {
+	for s := 0; s < t.n; s++ {
+		if t.have[s] && now.Sub(t.rows[s].When) <= maxAge {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// BestOneHop returns the optimal one-hop path from slot a (with link-state
+// rowA) to slot b (with rowB): the hop h minimizing cost(a→h) + cost(h→b),
+// where cost(h→b) is read from b's row under the paper's bidirectional-link
+// assumption (§3). Taking h = b yields the direct path (a row's self-entry
+// must be zero), so the result always considers the direct route; hop == b
+// in the result means "go direct". A hop of -1 means no usable path exists.
+func BestOneHop(a int, rowA []wire.LinkEntry, b int, rowB []wire.LinkEntry) (hop int, cost wire.Cost) {
+	hop, cost = -1, wire.InfCost
+	n := len(rowA)
+	if len(rowB) < n {
+		n = len(rowB)
+	}
+	for h := 0; h < n; h++ {
+		if h == a {
+			continue // "via self" is the direct path, surfaced as h == b
+		}
+		c := rowA[h].Cost().Add(rowB[h].Cost())
+		if c < cost {
+			cost = c
+			hop = h
+		}
+	}
+	return hop, cost
+}
+
+// BestOneHopVia computes the best one-hop path from the holder of rowA to
+// dst using only intermediates whose rows are present and fresh in table —
+// the redundant link-state fallback of §4.2, where a node whose rendezvous
+// servers have failed evaluates routes through its 2√n−2 known neighbors.
+// The direct path is considered via rowA itself. A hop of -1 means no usable
+// path was found.
+func BestOneHopVia(rowA []wire.LinkEntry, table *Table, dst int, now time.Time, maxAge time.Duration) (hop int, cost wire.Cost) {
+	hop, cost = -1, wire.InfCost
+	if dst < 0 || dst >= len(rowA) {
+		return
+	}
+	if c := rowA[dst].Cost(); c < cost {
+		hop, cost = dst, c
+	}
+	for h := 0; h < table.n && h < len(rowA); h++ {
+		if h == dst {
+			continue
+		}
+		r := table.Fresh(h, now, maxAge)
+		if r == nil {
+			continue
+		}
+		c := rowA[h].Cost().Add(r.Cost(dst))
+		if c < cost {
+			hop, cost = h, c
+		}
+	}
+	return hop, cost
+}
+
+// SelfRow builds the canonical self-measurement row for slot self with the
+// given entries, forcing the self-entry to zero latency and alive, the
+// invariant BestOneHop relies on to surface direct paths.
+func SelfRow(self int, entries []wire.LinkEntry) []wire.LinkEntry {
+	if self >= 0 && self < len(entries) {
+		entries[self] = wire.LinkEntry{Latency: 0, Status: wire.MakeStatus(true, 0)}
+	}
+	return entries
+}

@@ -1,0 +1,269 @@
+package lsdb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"allpairs/internal/wire"
+)
+
+func entry(lat int, alive bool) wire.LinkEntry {
+	return wire.LinkEntry{Latency: uint16(lat), Status: wire.MakeStatus(alive, 0)}
+}
+
+func aliveRow(lats ...int) []wire.LinkEntry {
+	r := make([]wire.LinkEntry, len(lats))
+	for i, l := range lats {
+		r[i] = entry(l, true)
+	}
+	return r
+}
+
+var t0 = time.Unix(1000, 0)
+
+func TestTablePutGet(t *testing.T) {
+	tb := NewTable(3)
+	if tb.N() != 3 {
+		t.Fatalf("N = %d", tb.N())
+	}
+	if tb.Get(0) != nil {
+		t.Error("empty table returned a row")
+	}
+	row := Row{Seq: 1, When: t0, Entries: aliveRow(0, 10, 20)}
+	if !tb.Put(0, row) {
+		t.Fatal("Put rejected valid row")
+	}
+	got := tb.Get(0)
+	if got == nil || got.Seq != 1 {
+		t.Fatalf("Get = %+v", got)
+	}
+	// Stale sequence rejected.
+	if tb.Put(0, Row{Seq: 0, When: t0.Add(time.Minute), Entries: aliveRow(0, 1, 2)}) {
+		t.Error("Put accepted stale seq")
+	}
+	// Equal sequence (refresh) accepted.
+	if !tb.Put(0, Row{Seq: 1, When: t0.Add(time.Minute), Entries: aliveRow(0, 1, 2)}) {
+		t.Error("Put rejected refresh at same seq")
+	}
+	if tb.Get(0).When != t0.Add(time.Minute) {
+		t.Error("refresh did not update timestamp")
+	}
+}
+
+func TestTablePutRejectsBadShape(t *testing.T) {
+	tb := NewTable(3)
+	if tb.Put(-1, Row{Entries: aliveRow(0, 0, 0)}) {
+		t.Error("accepted negative slot")
+	}
+	if tb.Put(3, Row{Entries: aliveRow(0, 0, 0)}) {
+		t.Error("accepted out-of-range slot")
+	}
+	if tb.Put(0, Row{Entries: aliveRow(0, 0)}) {
+		t.Error("accepted wrong-length row")
+	}
+}
+
+func TestTableDrop(t *testing.T) {
+	tb := NewTable(2)
+	tb.Put(1, Row{Seq: 5, When: t0, Entries: aliveRow(7, 0)})
+	tb.Drop(1)
+	if tb.Get(1) != nil {
+		t.Error("Drop did not remove row")
+	}
+	tb.Drop(-1) // must not panic
+	tb.Drop(9)
+}
+
+func TestFreshness(t *testing.T) {
+	tb := NewTable(2)
+	tb.Put(0, Row{Seq: 1, When: t0, Entries: aliveRow(0, 5)})
+	if tb.Fresh(0, t0.Add(30*time.Second), 45*time.Second) == nil {
+		t.Error("row within maxAge reported stale")
+	}
+	if tb.Fresh(0, t0.Add(46*time.Second), 45*time.Second) != nil {
+		t.Error("stale row reported fresh")
+	}
+	slots := tb.FreshSlots(nil, t0.Add(time.Second), 45*time.Second)
+	if len(slots) != 1 || slots[0] != 0 {
+		t.Errorf("FreshSlots = %v", slots)
+	}
+}
+
+func TestRowCost(t *testing.T) {
+	r := &Row{Entries: []wire.LinkEntry{entry(10, true), entry(20, false)}}
+	if r.Cost(0) != 10 {
+		t.Errorf("Cost(0) = %d", r.Cost(0))
+	}
+	if r.Cost(1) != wire.InfCost {
+		t.Errorf("dead Cost(1) = %d", r.Cost(1))
+	}
+	if r.Cost(-1) != wire.InfCost || r.Cost(2) != wire.InfCost {
+		t.Error("out-of-range cost not Inf")
+	}
+	var nilRow *Row
+	if nilRow.Cost(0) != wire.InfCost {
+		t.Error("nil row cost not Inf")
+	}
+}
+
+func TestBestOneHopPrefersDetour(t *testing.T) {
+	// 4 nodes: a=0, b=3. Direct a-b = 500; via h=1: 100+50=150; via h=2: dead.
+	rowA := SelfRow(0, []wire.LinkEntry{{}, entry(100, true), entry(30, false), entry(500, true)})
+	rowB := SelfRow(3, []wire.LinkEntry{entry(500, true), entry(50, true), entry(90, true), {}})
+	hop, cost := BestOneHop(0, rowA, 3, rowB)
+	if hop != 1 || cost != 150 {
+		t.Errorf("hop=%d cost=%d, want 1/150", hop, cost)
+	}
+}
+
+func TestBestOneHopPrefersDirect(t *testing.T) {
+	rowA := SelfRow(0, []wire.LinkEntry{{}, entry(100, true), entry(40, true)})
+	rowB := SelfRow(2, []wire.LinkEntry{entry(40, true), entry(100, true), {}})
+	hop, cost := BestOneHop(0, rowA, 2, rowB)
+	if hop != 2 || cost != 40 {
+		t.Errorf("hop=%d cost=%d, want direct 2/40", hop, cost)
+	}
+}
+
+func TestBestOneHopAllDead(t *testing.T) {
+	rowA := []wire.LinkEntry{entry(0, true), entry(10, false)}
+	rowB := []wire.LinkEntry{entry(10, false), entry(0, true)}
+	// a's self-entry is alive but b's entry to a is dead, and vice versa.
+	rowA[0] = entry(0, true)
+	hop, cost := BestOneHop(0, rowA, 1, rowB)
+	if cost != wire.InfCost || hop != -1 {
+		t.Errorf("hop=%d cost=%d, want -1/Inf", hop, cost)
+	}
+}
+
+func TestBestOneHopMismatchedLengths(t *testing.T) {
+	hop, cost := BestOneHop(1, aliveRow(5, 0), 0, aliveRow(0))
+	// Only h=0 considered: cost = 5 + 0.
+	if hop != 0 || cost != 5 {
+		t.Errorf("hop=%d cost=%d", hop, cost)
+	}
+}
+
+func TestBestOneHopVia(t *testing.T) {
+	// Node 0 routes to dst 3. Direct dead. Neighbor 1 has a fresh row with a
+	// live link to 3; neighbor 2's row is stale.
+	tb := NewTable(4)
+	tb.Put(1, Row{Seq: 1, When: t0, Entries: SelfRow(1, []wire.LinkEntry{entry(20, true), {}, entry(5, true), entry(30, true)})})
+	tb.Put(2, Row{Seq: 1, When: t0.Add(-10 * time.Minute), Entries: SelfRow(2, []wire.LinkEntry{entry(5, true), entry(5, true), {}, entry(5, true)})})
+	rowA := SelfRow(0, []wire.LinkEntry{{}, entry(20, true), entry(5, true), entry(100, false)})
+
+	hop, cost := BestOneHopVia(rowA, tb, 3, t0.Add(time.Second), 45*time.Second)
+	if hop != 1 || cost != 50 {
+		t.Errorf("hop=%d cost=%d, want 1/50", hop, cost)
+	}
+	// With a wider staleness window node 2's cheaper path appears.
+	hop, cost = BestOneHopVia(rowA, tb, 3, t0.Add(time.Second), time.Hour)
+	if hop != 2 || cost != 10 {
+		t.Errorf("hop=%d cost=%d, want 2/10", hop, cost)
+	}
+	// Out-of-range destination.
+	hop, cost = BestOneHopVia(rowA, tb, 9, t0, time.Hour)
+	if hop != -1 || cost != wire.InfCost {
+		t.Errorf("hop=%d cost=%d for bad dst", hop, cost)
+	}
+}
+
+func TestBestOneHopViaDirectOnly(t *testing.T) {
+	tb := NewTable(2)
+	rowA := SelfRow(0, []wire.LinkEntry{{}, entry(80, true)})
+	hop, cost := BestOneHopVia(rowA, tb, 1, t0, time.Minute)
+	if hop != 1 || cost != 80 {
+		t.Errorf("hop=%d cost=%d, want direct 1/80", hop, cost)
+	}
+}
+
+func TestSelfRowForcesZero(t *testing.T) {
+	r := SelfRow(1, []wire.LinkEntry{entry(9, true), entry(99, false), entry(9, true)})
+	if r[1].Latency != 0 || !wire.StatusAlive(r[1].Status) {
+		t.Errorf("self entry = %+v", r[1])
+	}
+	SelfRow(-1, r) // out of range must not panic
+	SelfRow(5, r)
+}
+
+// Property: BestOneHop equals exhaustive search over all intermediates and
+// never beats the true optimum.
+func TestBestOneHopMatchesExhaustiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a, b := 0, 1+rng.Intn(n-1)
+		rowA := make([]wire.LinkEntry, n)
+		rowB := make([]wire.LinkEntry, n)
+		for i := 0; i < n; i++ {
+			rowA[i] = entry(rng.Intn(1000), rng.Intn(10) > 0)
+			rowB[i] = entry(rng.Intn(1000), rng.Intn(10) > 0)
+		}
+		SelfRow(a, rowA)
+		SelfRow(b, rowB)
+		hop, cost := BestOneHop(a, rowA, b, rowB)
+		want := wire.InfCost
+		for h := 0; h < n; h++ {
+			if h == a {
+				continue
+			}
+			if c := rowA[h].Cost().Add(rowB[h].Cost()); c < want {
+				want = c
+			}
+		}
+		if cost != want {
+			return false
+		}
+		if cost != wire.InfCost {
+			return rowA[hop].Cost().Add(rowB[hop].Cost()) == cost
+		}
+		return hop == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the §4.2 fallback never reports a better cost than the true
+// optimum over the same intermediates, and always finds the direct path if
+// it is alive.
+func TestBestOneHopViaSoundQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		tb := NewTable(n)
+		for s := 1; s < n; s++ {
+			if rng.Intn(3) == 0 {
+				continue // some rows missing
+			}
+			row := make([]wire.LinkEntry, n)
+			for i := range row {
+				row[i] = entry(rng.Intn(500), rng.Intn(5) > 0)
+			}
+			tb.Put(s, Row{Seq: 1, When: t0, Entries: SelfRow(s, row)})
+		}
+		rowA := make([]wire.LinkEntry, n)
+		for i := range rowA {
+			rowA[i] = entry(rng.Intn(500), rng.Intn(5) > 0)
+		}
+		SelfRow(0, rowA)
+		dst := 1 + rng.Intn(n-1)
+		hop, cost := BestOneHopVia(rowA, tb, dst, t0, time.Minute)
+		if direct := rowA[dst].Cost(); cost > direct {
+			return false // must be at least as good as direct
+		}
+		if cost == wire.InfCost {
+			return hop == -1
+		}
+		if hop == dst {
+			return cost == rowA[dst].Cost()
+		}
+		r := tb.Get(hop)
+		return r != nil && rowA[hop].Cost().Add(r.Cost(dst)) == cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

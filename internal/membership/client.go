@@ -1,0 +1,121 @@
+package membership
+
+import (
+	"time"
+
+	"allpairs/internal/transport"
+	"allpairs/internal/wire"
+)
+
+// ClientConfig tunes a membership client.
+type ClientConfig struct {
+	// Heartbeat is the keep-alive interval to the coordinator (default 5 min).
+	Heartbeat time.Duration
+	// JoinRetry is the re-join interval until admitted (default 5 s).
+	JoinRetry time.Duration
+}
+
+func (c *ClientConfig) fill() {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = DefaultHeartbeat
+	}
+	if c.JoinRetry <= 0 {
+		c.JoinRetry = DefaultJoinRetry
+	}
+}
+
+// Client joins the overlay through the coordinator and tracks view updates.
+// It does not own the Env's packet handler — the overlay node dispatches
+// membership messages to HandlePacket — so it composes with the routing and
+// probing components on one socket.
+type Client struct {
+	env    transport.Env
+	cfg    ClientConfig
+	onView func(*ViewInfo)
+	view   *ViewInfo
+	joined bool
+}
+
+// NewClient creates a membership client. onView is invoked (inside the Env's
+// serialized context) whenever a new view is installed, including the first.
+// The caller must have bound CoordinatorID to the coordinator's address via
+// env.SetPeer before Start.
+func NewClient(env transport.Env, cfg ClientConfig, onView func(*ViewInfo)) *Client {
+	cfg.fill()
+	return &Client{env: env, cfg: cfg, onView: onView}
+}
+
+// Start begins the join loop.
+func (c *Client) Start() {
+	c.sendJoin()
+	c.env.After(c.cfg.JoinRetry, c.joinRetry)
+}
+
+// Joined reports whether the node has been admitted and holds a view.
+func (c *Client) Joined() bool { return c.joined && c.view != nil }
+
+// View returns the current view, or nil before the first one arrives.
+func (c *Client) View() *ViewInfo { return c.view }
+
+// Leave announces departure to the coordinator.
+func (c *Client) Leave() {
+	if id := c.env.LocalID(); id != wire.NilNode {
+		c.env.Send(CoordinatorID, wire.AppendLeave(nil, id))
+	}
+}
+
+func (c *Client) sendJoin() {
+	c.env.Send(CoordinatorID, wire.AppendJoin(nil, wire.Join{Addr: c.env.LocalAddr()}))
+}
+
+func (c *Client) joinRetry() {
+	if !c.joined {
+		c.sendJoin()
+		c.env.After(c.cfg.JoinRetry, c.joinRetry)
+	}
+}
+
+func (c *Client) heartbeat() {
+	if id := c.env.LocalID(); id != wire.NilNode {
+		c.env.Send(CoordinatorID, wire.AppendHeartbeat(nil, id))
+	}
+	c.env.After(c.cfg.Heartbeat, c.heartbeat)
+}
+
+// HandlePacket processes one membership-plane message. The overlay node
+// routes TJoinReply and TView here; other types are ignored.
+func (c *Client) HandlePacket(h wire.Header, body []byte) {
+	switch h.Type {
+	case wire.TJoinReply:
+		r, err := wire.ParseJoinReply(body)
+		if err != nil {
+			return
+		}
+		if !c.joined {
+			c.joined = true
+			c.env.SetLocalID(r.Assigned)
+			c.env.After(c.cfg.Heartbeat, c.heartbeat)
+		}
+	case wire.TView:
+		v, err := wire.ParseView(body)
+		if err != nil {
+			return
+		}
+		if c.view != nil && v.Version <= c.view.version {
+			return // stale or duplicate view
+		}
+		vi, err := NewViewInfo(v)
+		if err != nil {
+			return
+		}
+		c.view = vi
+		for _, m := range vi.members {
+			if m.ID != c.env.LocalID() {
+				c.env.SetPeer(m.ID, m.Addr)
+			}
+		}
+		if c.onView != nil {
+			c.onView(vi)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package membership
+
+import (
+	"net/netip"
+	"time"
+
+	"allpairs/internal/transport"
+	"allpairs/internal/wire"
+)
+
+// CoordinatorConfig tunes the membership coordinator.
+type CoordinatorConfig struct {
+	// Timeout expires members that have not been heard from (default 30 min,
+	// the paper's setting).
+	Timeout time.Duration
+	// Sweep is the expiry scan interval (default 1 min).
+	Sweep time.Duration
+	// Logf, if non-nil, receives membership events.
+	Logf func(format string, args ...any)
+}
+
+func (c *CoordinatorConfig) fill() {
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.Sweep <= 0 {
+		c.Sweep = DefaultSweep
+	}
+}
+
+type memberState struct {
+	addr     netip.AddrPort
+	lastSeen time.Time
+}
+
+// Coordinator is the centralized membership service. Bind it to an Env with
+// Start; all state transitions then happen inside the Env's serialized
+// callbacks.
+type Coordinator struct {
+	env     transport.Env
+	cfg     CoordinatorConfig
+	version uint32
+	nextID  wire.NodeID
+	members map[wire.NodeID]*memberState
+	byAddr  map[netip.AddrPort]wire.NodeID
+}
+
+// NewCoordinator creates a coordinator on env. Call Start to begin serving.
+func NewCoordinator(env transport.Env, cfg CoordinatorConfig) *Coordinator {
+	cfg.fill()
+	return &Coordinator{
+		env:     env,
+		cfg:     cfg,
+		members: make(map[wire.NodeID]*memberState),
+		byAddr:  make(map[netip.AddrPort]wire.NodeID),
+	}
+}
+
+// Start installs the packet handler and begins the expiry sweep.
+func (c *Coordinator) Start() {
+	c.env.SetLocalID(CoordinatorID)
+	c.env.Bind(c.handle)
+	c.env.After(c.cfg.Sweep, c.sweep)
+}
+
+// MemberCount returns the current number of admitted members. Call from
+// within env.Do.
+func (c *Coordinator) MemberCount() int { return len(c.members) }
+
+// Version returns the current view version. Call from within env.Do.
+func (c *Coordinator) Version() uint32 { return c.version }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) handle(from wire.NodeID, payload []byte) {
+	h, body, err := wire.ParseHeader(payload)
+	if err != nil {
+		return
+	}
+	switch h.Type {
+	case wire.TJoin:
+		j, err := wire.ParseJoin(body)
+		if err != nil {
+			return
+		}
+		c.handleJoin(j)
+	case wire.THeartbeat:
+		if m, ok := c.members[h.Src]; ok {
+			m.lastSeen = c.env.Now()
+		}
+	case wire.TLeave:
+		if _, ok := c.members[h.Src]; ok {
+			c.remove(h.Src, "leave")
+			c.broadcast()
+		}
+	}
+}
+
+func (c *Coordinator) handleJoin(j wire.Join) {
+	now := c.env.Now()
+	// Idempotent re-join: the same address keeps its ID, and no new view is
+	// produced. This makes client join retries harmless.
+	if id, ok := c.byAddr[j.Addr]; ok {
+		c.members[id].lastSeen = now
+		c.reply(id)
+		return
+	}
+	id := c.nextID
+	c.nextID++
+	c.members[id] = &memberState{addr: j.Addr, lastSeen: now}
+	c.byAddr[j.Addr] = id
+	c.env.SetPeer(id, j.Addr)
+	c.logf("membership: admitted %v as node %d (view %d)", j.Addr, id, c.version+1)
+	c.reply(id)
+	c.broadcast()
+}
+
+func (c *Coordinator) reply(id wire.NodeID) {
+	c.env.Send(id, wire.AppendJoinReply(nil, CoordinatorID, wire.JoinReply{Assigned: id}))
+}
+
+func (c *Coordinator) remove(id wire.NodeID, why string) {
+	m := c.members[id]
+	delete(c.members, id)
+	delete(c.byAddr, m.addr)
+	c.logf("membership: removed node %d (%s)", id, why)
+}
+
+func (c *Coordinator) view() wire.View {
+	ms := make([]wire.Member, 0, len(c.members))
+	for id, m := range c.members {
+		ms = append(ms, wire.Member{ID: id, Addr: m.addr})
+	}
+	// Deterministic order on the wire; clients re-sort anyway.
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].ID < ms[j-1].ID; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+	return wire.View{Version: c.version, Members: ms}
+}
+
+// broadcast bumps the version and sends the new view to every member.
+func (c *Coordinator) broadcast() {
+	c.version++
+	v := c.view()
+	payload := wire.AppendView(nil, CoordinatorID, v)
+	for id := range c.members {
+		c.env.Send(id, payload)
+	}
+}
+
+func (c *Coordinator) sweep() {
+	now := c.env.Now()
+	expired := false
+	for id, m := range c.members {
+		if now.Sub(m.lastSeen) > c.cfg.Timeout {
+			c.remove(id, "timeout")
+			expired = true
+		}
+	}
+	if expired {
+		c.broadcast()
+	}
+	c.env.After(c.cfg.Sweep, c.sweep)
+}

@@ -1,0 +1,92 @@
+// Package membership implements the paper's centralized membership service
+// (§5): a coordinator that admits nodes, assigns 2-byte IDs, and broadcasts
+// versioned views, plus the client run by every overlay node.
+//
+// The correctness of the quorum routing computation depends only on view
+// consistency: nodes holding the same view version build identical grids,
+// because the grid is populated row-major from the sorted member ID list.
+// Transient failures are handled by the overlay's failover machinery, not by
+// membership churn, so the coordinator uses the paper's long (30-minute)
+// membership timeout.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"allpairs/internal/wire"
+)
+
+// CoordinatorID is the well-known overlay ID of the membership coordinator.
+// It is outside the range ever assigned to members.
+const CoordinatorID wire.NodeID = 0xFFFE
+
+// Default protocol intervals.
+const (
+	// DefaultTimeout is the membership expiry from §5 (30 minutes).
+	DefaultTimeout = 30 * time.Minute
+	// DefaultHeartbeat keeps live members refreshed well inside the timeout.
+	DefaultHeartbeat = 5 * time.Minute
+	// DefaultSweep is how often the coordinator scans for expired members.
+	DefaultSweep = time.Minute
+	// DefaultJoinRetry is the client's re-join interval until admitted.
+	DefaultJoinRetry = 5 * time.Second
+)
+
+// ViewInfo is the client-side digest of a membership view: the sorted member
+// list and the slot mapping used to populate the routing grid. Slot i holds
+// the i-th smallest member ID (row-major fill from a sorted list, §5).
+type ViewInfo struct {
+	version uint32
+	members []wire.Member       // sorted by ID
+	slotOf  map[wire.NodeID]int // ID → slot
+}
+
+// NewViewInfo builds a ViewInfo from a raw wire view. Members are sorted by
+// ID; duplicate IDs are rejected.
+func NewViewInfo(v wire.View) (*ViewInfo, error) {
+	ms := append([]wire.Member(nil), v.Members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	slotOf := make(map[wire.NodeID]int, len(ms))
+	for i, m := range ms {
+		if _, dup := slotOf[m.ID]; dup {
+			return nil, fmt.Errorf("membership: duplicate ID %d in view %d", m.ID, v.Version)
+		}
+		slotOf[m.ID] = i
+	}
+	return &ViewInfo{version: v.Version, members: ms, slotOf: slotOf}, nil
+}
+
+// NewStaticView builds a ViewInfo directly from node IDs, for emulations and
+// tests that skip the join protocol. Version is 1.
+func NewStaticView(ids []wire.NodeID) *ViewInfo {
+	ms := make([]wire.Member, len(ids))
+	for i, id := range ids {
+		ms[i] = wire.Member{ID: id}
+	}
+	vi, err := NewViewInfo(wire.View{Version: 1, Members: ms})
+	if err != nil {
+		panic(err) // duplicate IDs in a static view are a programming error
+	}
+	return vi
+}
+
+// VersionNum returns the view's version number.
+func (v *ViewInfo) VersionNum() uint32 { return v.version }
+
+// N returns the number of members.
+func (v *ViewInfo) N() int { return len(v.members) }
+
+// Members returns the members sorted by ID. Callers must not modify the
+// returned slice.
+func (v *ViewInfo) Members() []wire.Member { return v.members }
+
+// IDAt returns the member ID occupying a grid slot.
+func (v *ViewInfo) IDAt(slot int) wire.NodeID { return v.members[slot].ID }
+
+// SlotOf returns the grid slot of a member ID.
+func (v *ViewInfo) SlotOf(id wire.NodeID) (int, bool) {
+	s, ok := v.slotOf[id]
+	return s, ok
+}

@@ -1,0 +1,259 @@
+package membership
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"allpairs/internal/simnet"
+	"allpairs/internal/transport"
+	"allpairs/internal/wire"
+)
+
+func TestNewViewInfoSortsAndMaps(t *testing.T) {
+	v := wire.View{Version: 3, Members: []wire.Member{{ID: 9}, {ID: 2}, {ID: 5}}}
+	vi, err := NewViewInfo(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.VersionNum() != 3 || vi.N() != 3 {
+		t.Fatalf("version=%d n=%d", vi.VersionNum(), vi.N())
+	}
+	wantOrder := []wire.NodeID{2, 5, 9}
+	for i, id := range wantOrder {
+		if vi.IDAt(i) != id {
+			t.Errorf("IDAt(%d) = %d, want %d", i, vi.IDAt(i), id)
+		}
+		if s, ok := vi.SlotOf(id); !ok || s != i {
+			t.Errorf("SlotOf(%d) = %d,%v", id, s, ok)
+		}
+	}
+	if _, ok := vi.SlotOf(99); ok {
+		t.Error("SlotOf(99) found")
+	}
+}
+
+func TestNewViewInfoRejectsDuplicates(t *testing.T) {
+	v := wire.View{Members: []wire.Member{{ID: 1}, {ID: 1}}}
+	if _, err := NewViewInfo(v); err == nil {
+		t.Error("want error for duplicate IDs")
+	}
+}
+
+func TestNewStaticView(t *testing.T) {
+	vi := NewStaticView([]wire.NodeID{4, 0, 2})
+	if vi.N() != 3 || vi.IDAt(0) != 0 || vi.IDAt(2) != 4 {
+		t.Errorf("static view wrong: %v", vi.Members())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate static IDs should panic")
+		}
+	}()
+	NewStaticView([]wire.NodeID{1, 1})
+}
+
+// simCluster wires a coordinator plus k clients over a simulated network.
+type simCluster struct {
+	nw      *simnet.Network
+	reg     *transport.Registry
+	coord   *Coordinator
+	clients []*Client
+	envs    []*transport.SimEnv
+	views   []*ViewInfo
+}
+
+func newSimCluster(t *testing.T, k int, cfg ClientConfig, ccfg CoordinatorConfig) *simCluster {
+	t.Helper()
+	nw := simnet.New(k+1, 7)
+	reg := transport.NewRegistry()
+	for a := 0; a <= k; a++ {
+		for b := 0; b <= k; b++ {
+			if a != b {
+				nw.SetLatency(a, b, 10*time.Millisecond)
+			}
+		}
+	}
+	sc := &simCluster{nw: nw, reg: reg, views: make([]*ViewInfo, k)}
+
+	cenv := transport.NewSimEnv(nw, reg, k, 1)
+	sc.coord = NewCoordinator(cenv, ccfg)
+	sc.coord.Start()
+
+	coordAddr := cenv.LocalAddr()
+	for i := 0; i < k; i++ {
+		i := i
+		env := transport.NewSimEnv(nw, reg, i, int64(i+2))
+		env.SetPeer(CoordinatorID, coordAddr)
+		cl := NewClient(env, cfg, func(v *ViewInfo) { sc.views[i] = v })
+		env.Bind(func(from wire.NodeID, payload []byte) {
+			h, body, err := wire.ParseHeader(payload)
+			if err != nil {
+				return
+			}
+			cl.HandlePacket(h, body)
+		})
+		sc.clients = append(sc.clients, cl)
+		sc.envs = append(sc.envs, env)
+	}
+	return sc
+}
+
+func TestJoinAssignsIDsAndConsistentViews(t *testing.T) {
+	sc := newSimCluster(t, 4, ClientConfig{}, CoordinatorConfig{})
+	for _, cl := range sc.clients {
+		cl.Start()
+	}
+	sc.nw.RunFor(10 * time.Second)
+
+	if sc.coord.MemberCount() != 4 {
+		t.Fatalf("member count = %d", sc.coord.MemberCount())
+	}
+	for i, cl := range sc.clients {
+		if !cl.Joined() {
+			t.Fatalf("client %d not joined", i)
+		}
+		if sc.envs[i].LocalID() == wire.NilNode {
+			t.Errorf("client %d has no ID", i)
+		}
+	}
+	// All clients converge to the same final view.
+	v0 := sc.views[0]
+	if v0 == nil || v0.N() != 4 {
+		t.Fatalf("view0 = %+v", v0)
+	}
+	for i, v := range sc.views {
+		if v == nil || v.VersionNum() != v0.VersionNum() || v.N() != 4 {
+			t.Errorf("client %d view = %+v", i, v)
+		}
+	}
+	// Slot mapping is identical everywhere.
+	for s := 0; s < 4; s++ {
+		for i := 1; i < len(sc.views); i++ {
+			if sc.views[i].IDAt(s) != v0.IDAt(s) {
+				t.Errorf("slot %d differs between clients", s)
+			}
+		}
+	}
+}
+
+func TestJoinRetryIsIdempotent(t *testing.T) {
+	// Lose the first join; the retry must succeed without assigning two IDs.
+	sc := newSimCluster(t, 1, ClientConfig{JoinRetry: time.Second}, CoordinatorConfig{})
+	sc.nw.SetLoss(0, 1, 1.0) // client 0 <-> coordinator at endpoint 1
+	sc.clients[0].Start()
+	sc.nw.RunFor(2500 * time.Millisecond)
+	sc.nw.SetLoss(0, 1, 0)
+	sc.nw.RunFor(10 * time.Second)
+	if !sc.clients[0].Joined() {
+		t.Fatal("client never joined")
+	}
+	if sc.coord.MemberCount() != 1 {
+		t.Errorf("member count = %d", sc.coord.MemberCount())
+	}
+	if got := sc.envs[0].LocalID(); got != 0 {
+		t.Errorf("assigned ID = %d, want 0", got)
+	}
+}
+
+func TestLeaveBroadcastsNewView(t *testing.T) {
+	sc := newSimCluster(t, 3, ClientConfig{}, CoordinatorConfig{})
+	for _, cl := range sc.clients {
+		cl.Start()
+	}
+	sc.nw.RunFor(5 * time.Second)
+	sc.clients[2].Leave()
+	sc.nw.RunFor(5 * time.Second)
+	if sc.coord.MemberCount() != 2 {
+		t.Fatalf("member count = %d after leave", sc.coord.MemberCount())
+	}
+	for i := 0; i < 2; i++ {
+		if sc.views[i] == nil || sc.views[i].N() != 2 {
+			t.Errorf("client %d view has %d members", i, sc.views[i].N())
+		}
+	}
+}
+
+func TestTimeoutExpiresSilentMembers(t *testing.T) {
+	ccfg := CoordinatorConfig{Timeout: time.Minute, Sweep: 10 * time.Second}
+	ccfg.Logf = t.Logf
+	sc := newSimCluster(t, 2, ClientConfig{Heartbeat: 15 * time.Second}, ccfg)
+	for _, cl := range sc.clients {
+		cl.Start()
+	}
+	sc.nw.RunFor(5 * time.Second)
+	if sc.coord.MemberCount() != 2 {
+		t.Fatalf("member count = %d", sc.coord.MemberCount())
+	}
+	// Kill node 1's connectivity entirely; its heartbeats stop and it should
+	// expire after the 1-minute timeout, while node 0 survives.
+	sc.nw.SetNodeDown(1, true)
+	sc.nw.RunFor(2 * time.Minute)
+	if sc.coord.MemberCount() != 1 {
+		t.Fatalf("member count = %d after timeout", sc.coord.MemberCount())
+	}
+	if sc.views[0] == nil || sc.views[0].N() != 1 {
+		t.Errorf("survivor's view = %+v", sc.views[0])
+	}
+}
+
+func TestStaleViewIgnored(t *testing.T) {
+	sc := newSimCluster(t, 1, ClientConfig{}, CoordinatorConfig{})
+	sc.clients[0].Start()
+	sc.nw.RunFor(5 * time.Second)
+	v := sc.views[0]
+	if v == nil {
+		t.Fatal("no view")
+	}
+	// Deliver a stale view directly.
+	stale := wire.View{Version: 0, Members: []wire.Member{{ID: 0}, {ID: 7}}}
+	h := wire.Header{Type: wire.TView, Src: CoordinatorID}
+	_, body, _ := wire.ParseHeader(wire.AppendView(nil, CoordinatorID, stale))
+	sc.clients[0].HandlePacket(h, body)
+	if sc.views[0].VersionNum() != v.VersionNum() {
+		t.Error("stale view replaced a newer one")
+	}
+}
+
+func TestClientLeaveWithoutJoinIsSafe(t *testing.T) {
+	nw := simnet.New(1, 1)
+	reg := transport.NewRegistry()
+	env := transport.NewSimEnv(nw, reg, 0, 1)
+	cl := NewClient(env, ClientConfig{}, nil)
+	cl.Leave() // no ID yet: must not panic or send
+	if cl.Joined() {
+		t.Error("unjoined client reports joined")
+	}
+	if cl.View() != nil {
+		t.Error("unjoined client has view")
+	}
+}
+
+func TestCoordinatorIgnoresGarbage(t *testing.T) {
+	nw := simnet.New(2, 1)
+	reg := transport.NewRegistry()
+	cenv := transport.NewSimEnv(nw, reg, 0, 1)
+	coord := NewCoordinator(cenv, CoordinatorConfig{})
+	coord.Start()
+	// Raw garbage and truncated join.
+	nw.Send(1, 0, []byte{byte(wire.TJoin), 0, 1, 2})
+	nw.Send(1, 0, wire.AppendHeartbeat(nil, 55)) // unknown member heartbeat
+	nw.RunFor(time.Second)
+	if coord.MemberCount() != 0 {
+		t.Errorf("member count = %d", coord.MemberCount())
+	}
+}
+
+func TestJoinAddrConvention(t *testing.T) {
+	// The sim addressing convention round-trips through the wire Join.
+	addr := netip.AddrPortFrom(netip.AddrFrom4([4]byte{}), 3)
+	b := wire.AppendJoin(nil, wire.Join{Addr: addr})
+	_, body, err := wire.ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := wire.ParseJoin(body)
+	if err != nil || j.Addr.Port() != 3 {
+		t.Errorf("join addr = %v err=%v", j.Addr, err)
+	}
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"allpairs/internal/wire"
+)
+
+var start = time.Unix(0, 0).UTC()
+
+func TestRecordTotals(t *testing.T) {
+	c := New(2, start, time.Minute)
+	if c.N() != 2 || c.Window() != time.Minute {
+		t.Fatalf("N=%d window=%v", c.N(), c.Window())
+	}
+	c.Record(0, Out, wire.CatRouting, 100, start)
+	c.Record(0, In, wire.CatRouting, 50, start.Add(time.Second))
+	c.Record(0, Out, wire.CatProbing, 0, start)
+
+	wantOut := uint64(100 + wire.PerPacketOverhead)
+	if got := c.Bytes(0, wire.CatRouting, Out); got != wantOut {
+		t.Errorf("routing out = %d, want %d", got, wantOut)
+	}
+	wantIn := uint64(50 + wire.PerPacketOverhead)
+	if got := c.Bytes(0, wire.CatRouting, In); got != wantIn {
+		t.Errorf("routing in = %d, want %d", got, wantIn)
+	}
+	if got := c.TotalBytes(0, wire.CatRouting); got != wantOut+wantIn {
+		t.Errorf("total = %d", got)
+	}
+	if got := c.Bytes(0, wire.CatProbing, Out); got != uint64(wire.PerPacketOverhead) {
+		t.Errorf("probe bytes = %d (overhead must be charged on empty payloads)", got)
+	}
+	if c.Packets(0, wire.CatRouting, Out) != 1 || c.Packets(0, wire.CatRouting, In) != 1 {
+		t.Error("packet counts wrong")
+	}
+	if c.TotalBytes(1, wire.CatRouting) != 0 {
+		t.Error("node 1 has traffic")
+	}
+	c.Record(-1, In, wire.CatRouting, 1, start) // out of range: ignored
+	c.Record(5, In, wire.CatRouting, 1, start)
+}
+
+func TestWindowing(t *testing.T) {
+	c := New(1, start, time.Minute)
+	// Window 0: 1000 payload bytes; window 2: 4000.
+	c.Record(0, Out, wire.CatRouting, 1000-wire.PerPacketOverhead, start.Add(10*time.Second))
+	c.Record(0, In, wire.CatRouting, 4000-wire.PerPacketOverhead, start.Add(2*time.Minute+5*time.Second))
+
+	if wc := c.WindowCount(0); wc != 3 {
+		t.Fatalf("window count = %d", wc)
+	}
+	// Max over windows 0..3: window 2 holds 4000 bytes = 32000 bits / 60 s.
+	gotMax := c.MaxWindowKbps(0, wire.CatRouting, 0, 3)
+	wantMax := 4000 * 8.0 / 60 / 1000
+	if math.Abs(gotMax-wantMax) > 1e-9 {
+		t.Errorf("max = %v, want %v", gotMax, wantMax)
+	}
+	// Mean over 3 windows: 5000 bytes / 180 s.
+	gotMean := c.MeanWindowKbps(0, wire.CatRouting, 0, 3)
+	wantMean := 5000 * 8.0 / 180 / 1000
+	if math.Abs(gotMean-wantMean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", gotMean, wantMean)
+	}
+	// Empty range.
+	if c.MeanWindowKbps(0, wire.CatRouting, 3, 3) != 0 {
+		t.Error("empty range mean != 0")
+	}
+	if c.MaxWindowKbps(0, wire.CatRouting, 5, 9) != 0 {
+		t.Error("out-of-range max != 0")
+	}
+}
+
+func TestRecordBeforeStartClampsToWindowZero(t *testing.T) {
+	c := New(1, start, time.Minute)
+	c.Record(0, Out, wire.CatProbing, 10, start.Add(-time.Hour))
+	if c.WindowCount(0) != 1 {
+		t.Errorf("window count = %d", c.WindowCount(0))
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := New(3, start, time.Minute)
+	c.Record(1, Out, wire.CatRouting, 10, start)
+	s := c.Snapshot(wire.CatRouting)
+	if len(s) != 3 || s[1] != uint64(10+wire.PerPacketOverhead) || s[0] != 0 {
+		t.Errorf("snapshot = %v", s)
+	}
+}
+
+func TestKbps(t *testing.T) {
+	if got := Kbps(7500, time.Minute); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("Kbps(7500, 1m) = %v, want 1.0", got)
+	}
+	if Kbps(100, 0) != 0 {
+		t.Error("zero duration should yield 0")
+	}
+}
+
+func TestDefaultWindow(t *testing.T) {
+	c := New(1, start, 0)
+	if c.Window() != time.Minute {
+		t.Errorf("default window = %v", c.Window())
+	}
+}
+
+func TestFreshnessTouchAndSample(t *testing.T) {
+	f := NewFreshness(3)
+	f.Touch(0, 1, start.Add(10*time.Second))
+	f.Touch(0, 2, start.Add(20*time.Second))
+	f.Touch(0, 1, start.Add(5*time.Second)) // older than existing: ignored
+	if got := f.Last(0, 1); !got.Equal(start.Add(10 * time.Second)) {
+		t.Errorf("Last(0,1) = %v", got)
+	}
+	f.Touch(-1, 0, start) // out of range: ignored
+	f.Touch(0, 9, start)
+
+	f.Sample(start.Add(30*time.Second), start)
+	// Pair (0,1): age 20s. Pair (0,2): age 10s. Pair (1,0): never → 30s.
+	if got := f.PairSamples(0, 1); len(got) != 1 || got[0] != 20 {
+		t.Errorf("samples(0,1) = %v", got)
+	}
+	if got := f.PairSamples(1, 0); len(got) != 1 || got[0] != 30 {
+		t.Errorf("samples(1,0) = %v", got)
+	}
+}
+
+func TestFreshnessStats(t *testing.T) {
+	f := NewFreshness(2)
+	// Four samples for pair (0,1): 1, 2, 3, 100.
+	for _, age := range []float64{1, 2, 3, 100} {
+		f.Touch(0, 1, start)
+		f.samples[0*2+1] = append(f.samples[0*2+1], age)
+	}
+	all := f.AllPairStats()
+	if len(all) != 1 {
+		t.Fatalf("AllPairStats len = %d", len(all))
+	}
+	st := all[0]
+	if st.Src != 0 || st.Dst != 1 {
+		t.Errorf("pair = (%d,%d)", st.Src, st.Dst)
+	}
+	if st.Median != 2.5 || st.Max != 100 || math.Abs(st.Mean-26.5) > 1e-9 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.P97 != 100 {
+		t.Errorf("p97 = %v", st.P97)
+	}
+	node := f.NodeStats(0)
+	if len(node) != 1 || node[0].Max != 100 {
+		t.Errorf("NodeStats = %+v", node)
+	}
+	if got := f.NodeStats(1); len(got) != 0 {
+		t.Errorf("NodeStats(1) = %+v", got)
+	}
+}
+
+func TestSummarizeOddEven(t *testing.T) {
+	got := summarize([]float64{5})
+	if got != [4]float64{5, 5, 5, 5} {
+		t.Errorf("single sample: %v", got)
+	}
+	got = summarize([]float64{4, 1, 3, 2})
+	if got[0] != 2.5 || got[1] != 2.5 || got[3] != 4 {
+		t.Errorf("even: %v", got)
+	}
+	got = summarize([]float64{3, 1, 2})
+	if got[0] != 2 || got[3] != 3 {
+		t.Errorf("odd: %v", got)
+	}
+}

@@ -1,0 +1,232 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"allpairs/internal/core"
+	"allpairs/internal/membership"
+	"allpairs/internal/probe"
+	"allpairs/internal/simnet"
+	"allpairs/internal/transport"
+	"allpairs/internal/wire"
+)
+
+// staticFleet builds n nodes with a pre-agreed view over a simulated
+// network, the configuration the emulation harness uses.
+func staticFleet(t *testing.T, n int, algo Algorithm, seed int64) (*simnet.Network, []*Node) {
+	t.Helper()
+	nw := simnet.New(n, seed)
+	reg := transport.NewRegistry()
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i)
+	}
+	view := membership.NewStaticView(ids)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				nw.SetLatency(a, b, time.Duration(5+(a+b)%40)*time.Millisecond)
+			}
+		}
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		env := transport.NewSimEnv(nw, reg, i, seed+int64(i))
+		env.SetLocalID(wire.NodeID(i)) // registers the endpoint mapping
+		node := New(env, Config{
+			Algorithm:  algo,
+			Probe:      probe.Config{Interval: 10 * time.Second, ReplyTimeout: time.Second},
+			Quorum:     core.QuorumConfig{Interval: 5 * time.Second},
+			FullMesh:   core.FullMeshConfig{Interval: 10 * time.Second},
+			StaticView: view,
+			StaticID:   wire.NodeID(i),
+		})
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	return nw, nodes
+}
+
+func TestStaticFleetConvergesQuorum(t *testing.T) {
+	nw, nodes := staticFleet(t, 16, AlgQuorum, 1)
+	nw.RunFor(2 * time.Minute)
+	for i, node := range nodes {
+		if !node.Ready() {
+			t.Fatalf("node %d not ready", i)
+		}
+		table := node.RouteTable()
+		if len(table) != 15 {
+			t.Errorf("node %d has %d routes, want 15", i, len(table))
+		}
+		for _, r := range table {
+			if r.Cost == wire.InfCost {
+				t.Errorf("node %d route to %d unreachable", i, r.Dst)
+			}
+		}
+	}
+	// Routes should reflect measured RTTs: direct cost for a pair must be
+	// near 2× the one-way latency.
+	r, ok := nodes[0].BestHop(1)
+	if !ok {
+		t.Fatal("no route 0->1")
+	}
+	if r.Hop == 0 || r.Dst != 1 {
+		t.Errorf("route = %+v", r)
+	}
+}
+
+func TestStaticFleetConvergesFullMesh(t *testing.T) {
+	nw, nodes := staticFleet(t, 9, AlgFullMesh, 2)
+	nw.RunFor(2 * time.Minute)
+	for i, node := range nodes {
+		if got := len(node.RouteTable()); got != 8 {
+			t.Errorf("node %d: %d routes", i, got)
+		}
+	}
+}
+
+func TestQuorumAndFullMeshAgreeOnCosts(t *testing.T) {
+	nwq, qnodes := staticFleet(t, 12, AlgQuorum, 3)
+	nwf, fnodes := staticFleet(t, 12, AlgFullMesh, 3)
+	nwq.RunFor(3 * time.Minute)
+	nwf.RunFor(3 * time.Minute)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if i == j {
+				continue
+			}
+			rq, okq := qnodes[i].BestHop(wire.NodeID(j))
+			rf, okf := fnodes[i].BestHop(wire.NodeID(j))
+			if !okq || !okf {
+				t.Fatalf("missing route %d->%d (q=%v f=%v)", i, j, okq, okf)
+			}
+			// EWMA measurement noise allows ±a few ms.
+			diff := int(rq.Cost) - int(rf.Cost)
+			if diff < -5 || diff > 5 {
+				t.Errorf("cost mismatch %d->%d: quorum %d, fullmesh %d", i, j, rq.Cost, rf.Cost)
+			}
+		}
+	}
+}
+
+func TestDynamicJoinThroughCoordinator(t *testing.T) {
+	const n = 9
+	nw := simnet.New(n+1, 7)
+	reg := transport.NewRegistry()
+	for a := 0; a <= n; a++ {
+		for b := 0; b <= n; b++ {
+			if a != b {
+				nw.SetLatency(a, b, 10*time.Millisecond)
+			}
+		}
+	}
+	cenv := transport.NewSimEnv(nw, reg, n, 99)
+	coord := membership.NewCoordinator(cenv, membership.CoordinatorConfig{})
+	coord.Start()
+
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		env := transport.NewSimEnv(nw, reg, i, int64(i+1))
+		env.SetPeer(membership.CoordinatorID, cenv.LocalAddr())
+		nodes[i] = New(env, Config{
+			Algorithm:  AlgQuorum,
+			Probe:      probe.Config{Interval: 10 * time.Second, ReplyTimeout: time.Second},
+			Quorum:     core.QuorumConfig{Interval: 5 * time.Second},
+			Membership: membership.ClientConfig{JoinRetry: 2 * time.Second},
+		})
+		if err := nodes[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.RunFor(3 * time.Minute)
+
+	if coord.MemberCount() != n {
+		t.Fatalf("coordinator has %d members", coord.MemberCount())
+	}
+	for i, node := range nodes {
+		if !node.Ready() {
+			t.Fatalf("node %d never installed a view", i)
+		}
+		if node.View().N() != n {
+			t.Errorf("node %d view has %d members", i, node.View().N())
+		}
+		if got := len(node.RouteTable()); got != n-1 {
+			t.Errorf("node %d: %d routes after dynamic join", i, got)
+		}
+	}
+
+	// A node leaves; the rest reconverge on an (n-1)-view.
+	nodes[n-1].Stop()
+	nw.RunFor(2 * time.Minute)
+	for i := 0; i < n-1; i++ {
+		if nodes[i].View().N() != n-1 {
+			t.Errorf("node %d still has %d members after leave", i, nodes[i].View().N())
+		}
+	}
+}
+
+func TestBestHopUnknownDestination(t *testing.T) {
+	nw, nodes := staticFleet(t, 4, AlgQuorum, 5)
+	nw.RunFor(time.Minute)
+	if _, ok := nodes[0].BestHop(99); ok {
+		t.Error("route to non-member returned")
+	}
+	if _, ok := nodes[0].BestHop(0); ok {
+		t.Error("route to self returned")
+	}
+}
+
+func TestOnRouteUpdateFires(t *testing.T) {
+	nw := simnet.New(4, 9)
+	reg := transport.NewRegistry()
+	ids := []wire.NodeID{0, 1, 2, 3}
+	view := membership.NewStaticView(ids)
+	updates := 0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				nw.SetLatency(i, j, 5*time.Millisecond)
+			}
+		}
+	}
+	var first *Node
+	for i := 0; i < 4; i++ {
+		env := transport.NewSimEnv(nw, reg, i, int64(i+1))
+		env.SetLocalID(wire.NodeID(i))
+		node := New(env, Config{
+			Algorithm:  AlgQuorum,
+			Probe:      probe.Config{Interval: 5 * time.Second, ReplyTimeout: time.Second},
+			Quorum:     core.QuorumConfig{Interval: 5 * time.Second},
+			StaticView: view,
+			StaticID:   wire.NodeID(i),
+		})
+		if i == 0 {
+			first = node
+			node.OnRouteUpdate = func(self, dst int, e core.RouteEntry) {
+				if self != 0 {
+					t.Errorf("self slot = %d", self)
+				}
+				updates++
+			}
+		}
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.RunFor(time.Minute)
+	if updates == 0 {
+		t.Error("no route updates observed")
+	}
+	if first.Slot() != 0 {
+		t.Errorf("slot = %d", first.Slot())
+	}
+	if first.Router() == nil || first.Prober() == nil {
+		t.Error("accessors returned nil")
+	}
+	if first.Env() == nil {
+		t.Error("Env returned nil")
+	}
+}

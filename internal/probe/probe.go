@@ -1,0 +1,378 @@
+// Package probe implements RON-style link monitoring (§5, "Link
+// Monitoring"): every node pings every other node each probing interval,
+// maintains an EWMA latency and loss estimate per link, and marks a link
+// dead after 5 consecutive losses. After a first loss the probing rate
+// temporarily increases (the paper's rapid failure detection), so failures
+// are detected within about one probing interval.
+//
+// The prober is passive with respect to scheduling ownership: it drives its
+// own per-destination timers through the node's transport.Env, and exposes
+// the measured link-state row that the routing layer announces.
+package probe
+
+import (
+	"time"
+
+	"allpairs/internal/lsdb"
+	"allpairs/internal/membership"
+	"allpairs/internal/stats"
+	"allpairs/internal/transport"
+	"allpairs/internal/wire"
+)
+
+// Config tunes the prober. Zero values take the paper's defaults.
+type Config struct {
+	// Interval is the probing interval p (default 30 s).
+	Interval time.Duration
+	// ReplyTimeout is how long to wait for a probe reply before declaring
+	// the probe lost (default 3 s; Internet RTTs fit comfortably).
+	ReplyTimeout time.Duration
+	// FailThreshold is the number of consecutive losses that mark a link
+	// dead (default 5, as in RON).
+	FailThreshold int
+	// RapidFactor divides Interval for the accelerated probing that follows
+	// a first loss (default 5, so 5 rapid probes fit in one interval).
+	RapidFactor int
+	// LatencyAlpha is the EWMA smoothing factor for latency (default 0.5).
+	LatencyAlpha float64
+	// LossAlpha is the EWMA smoothing factor for the loss rate (default 0.1).
+	LossAlpha float64
+	// Asymmetric additionally estimates one-way latencies from the probe
+	// reply's receive timestamp (footnote 2's "both costs"). Requires
+	// synchronized clocks across the overlay: exact under the simulator,
+	// NTP-grade in real deployments. Negative one-way estimates (clock skew
+	// exceeding the latency) are clamped to zero.
+	Asymmetric bool
+}
+
+func (c *Config) fill() {
+	if c.Interval <= 0 {
+		c.Interval = 30 * time.Second
+	}
+	if c.ReplyTimeout <= 0 {
+		c.ReplyTimeout = 3 * time.Second
+	}
+	if c.ReplyTimeout > c.Interval {
+		c.ReplyTimeout = c.Interval / 2
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 5
+	}
+	if c.RapidFactor <= 0 {
+		c.RapidFactor = 5
+	}
+	if c.LatencyAlpha <= 0 || c.LatencyAlpha > 1 {
+		c.LatencyAlpha = 0.5
+	}
+	if c.LossAlpha <= 0 || c.LossAlpha > 1 {
+		c.LossAlpha = 0.1
+	}
+}
+
+// linkState is the per-destination probe machine.
+type linkState struct {
+	seq        uint32
+	awaiting   bool
+	awaitSeq   uint32
+	sentAt     time.Time
+	consec     int // consecutive losses
+	alive      bool
+	everAlive  bool
+	latency    stats.EWMA
+	outLat     stats.EWMA // one-way toward the destination (asymmetric mode)
+	inLat      stats.EWMA // one-way back (asymmetric mode)
+	loss       stats.EWMA
+	probeTimer transport.Timer // next scheduled send
+	checkTimer transport.Timer // pending reply timeout
+}
+
+// Prober monitors the links from one node to every other node in the view.
+type Prober struct {
+	env  transport.Env
+	cfg  Config
+	view *membership.ViewInfo
+	self int
+
+	links   []linkState
+	row     []wire.LinkEntry
+	asymRow []wire.AsymEntry // maintained only in asymmetric mode
+
+	// OnLinkChange, if non-nil, is invoked when a link transitions between
+	// alive and dead. slot is the destination's grid slot.
+	OnLinkChange func(slot int, alive bool)
+	// OnMeasure, if non-nil, is invoked on every successful RTT measurement.
+	OnMeasure func(slot int, rtt time.Duration)
+}
+
+// New creates a prober for the node occupying slot self in view.
+func New(env transport.Env, cfg Config, view *membership.ViewInfo, self int) *Prober {
+	cfg.fill()
+	p := &Prober{env: env, cfg: cfg, view: view, self: self}
+	p.reset(view, self)
+	return p
+}
+
+// reset rebuilds per-destination state for a view.
+func (p *Prober) reset(view *membership.ViewInfo, self int) {
+	for i := range p.links {
+		if t := p.links[i].probeTimer; t != nil {
+			t.Stop()
+		}
+		if t := p.links[i].checkTimer; t != nil {
+			t.Stop()
+		}
+	}
+	n := view.N()
+	p.view = view
+	p.self = self
+	p.links = make([]linkState, n)
+	for i := range p.links {
+		p.links[i].latency.Alpha = p.cfg.LatencyAlpha
+		p.links[i].outLat.Alpha = p.cfg.LatencyAlpha
+		p.links[i].inLat.Alpha = p.cfg.LatencyAlpha
+		p.links[i].loss.Alpha = p.cfg.LossAlpha
+	}
+	p.row = make([]wire.LinkEntry, n)
+	for i := range p.row {
+		p.row[i] = wire.LinkEntry{Latency: 0, Status: wire.StatusDead}
+	}
+	lsdb.SelfRow(self, p.row)
+	if p.cfg.Asymmetric {
+		p.asymRow = make([]wire.AsymEntry, n)
+		for i := range p.asymRow {
+			p.asymRow[i] = wire.AsymEntry{Status: wire.StatusDead}
+		}
+		p.asymRow[self] = wire.AsymEntry{Status: wire.MakeStatus(true, 0)}
+	}
+}
+
+// SetView installs a new membership view, restarting probing. Measurements
+// do not carry over: slots are view-relative.
+func (p *Prober) SetView(view *membership.ViewInfo, self int) {
+	p.reset(view, self)
+	p.Start()
+}
+
+// Start begins probing all destinations, staggering initial probes uniformly
+// across one interval to avoid synchronized bursts.
+func (p *Prober) Start() {
+	for slot := 0; slot < p.view.N(); slot++ {
+		if slot == p.self {
+			continue
+		}
+		slot := slot
+		delay := time.Duration(p.env.Rand().Int63n(int64(p.cfg.Interval)))
+		p.links[slot].probeTimer = p.env.After(delay, func() { p.sendProbe(slot) })
+	}
+}
+
+// Stop cancels all timers.
+func (p *Prober) Stop() {
+	for i := range p.links {
+		if t := p.links[i].probeTimer; t != nil {
+			t.Stop()
+		}
+		if t := p.links[i].checkTimer; t != nil {
+			t.Stop()
+		}
+	}
+}
+
+// Row returns the current measured link-state row, indexed by slot. The
+// returned slice is the prober's live row; callers must copy it if they
+// retain it across events.
+func (p *Prober) Row() []wire.LinkEntry { return p.row }
+
+// AsymRow returns the directional link-state row (nil unless the prober was
+// configured with Asymmetric). Same ownership rules as Row.
+func (p *Prober) AsymRow() []wire.AsymEntry { return p.asymRow }
+
+// OneWay returns the current one-way latency estimates to and from a slot in
+// milliseconds (asymmetric mode only).
+func (p *Prober) OneWay(slot int) (out, in float64, ok bool) {
+	if !p.cfg.Asymmetric || slot < 0 || slot >= len(p.links) || !p.links[slot].outLat.Seeded() {
+		return 0, 0, false
+	}
+	return p.links[slot].outLat.Value(), p.links[slot].inLat.Value(), true
+}
+
+// Alive reports the prober's liveness belief for a slot. The self slot is
+// always alive.
+func (p *Prober) Alive(slot int) bool {
+	if slot == p.self {
+		return true
+	}
+	if slot < 0 || slot >= len(p.links) {
+		return false
+	}
+	return p.links[slot].alive
+}
+
+// Latency returns the current EWMA latency estimate for a slot in
+// milliseconds, or ok=false if the link has never been measured.
+func (p *Prober) Latency(slot int) (ms float64, ok bool) {
+	if slot < 0 || slot >= len(p.links) || !p.links[slot].latency.Seeded() {
+		return 0, false
+	}
+	return p.links[slot].latency.Value(), true
+}
+
+// ConcurrentFailures returns the number of destinations currently marked
+// dead that were alive at some point — the paper's "concurrent link
+// failures" metric (Figure 8).
+func (p *Prober) ConcurrentFailures() int {
+	c := 0
+	for i := range p.links {
+		if i == p.self {
+			continue
+		}
+		if p.links[i].everAlive && !p.links[i].alive {
+			c++
+		}
+	}
+	return c
+}
+
+// sendProbe transmits the next probe to slot and arms the reply timeout.
+func (p *Prober) sendProbe(slot int) {
+	ls := &p.links[slot]
+	ls.seq++
+	ls.awaiting = true
+	ls.awaitSeq = ls.seq
+	ls.sentAt = p.env.Now()
+	dst := p.view.IDAt(slot)
+	p.env.Send(dst, wire.AppendProbe(nil, p.env.LocalID(), wire.Probe{
+		Seq:  ls.seq,
+		Echo: ls.sentAt.UnixNano(),
+	}))
+	seq := ls.seq // capture: awaitSeq may advance before the timeout fires
+	ls.checkTimer = p.env.After(p.cfg.ReplyTimeout, func() { p.onTimeout(slot, seq) })
+}
+
+// onTimeout fires when a probe's reply window closes.
+func (p *Prober) onTimeout(slot int, seq uint32) {
+	ls := &p.links[slot]
+	if !ls.awaiting || ls.awaitSeq != seq {
+		return // answered in the meantime
+	}
+	ls.awaiting = false
+	ls.consec++
+	ls.loss.Update(1)
+	if ls.alive && ls.consec >= p.cfg.FailThreshold {
+		ls.alive = false
+		p.row[slot].Status = wire.StatusDead
+		if p.OnLinkChange != nil {
+			p.OnLinkChange(slot, false)
+		}
+	}
+	p.updateStatus(slot)
+	// Rapid re-probing until the link is declared dead; normal cadence
+	// afterwards so recovery is still noticed.
+	next := p.cfg.Interval
+	if ls.consec > 0 && ls.consec < p.cfg.FailThreshold {
+		next = p.cfg.Interval / time.Duration(p.cfg.RapidFactor)
+		if next > p.cfg.ReplyTimeout {
+			next -= p.cfg.ReplyTimeout
+		}
+	}
+	ls.probeTimer = p.env.After(next, func() { p.sendProbe(slot) })
+}
+
+// HandleProbe answers an incoming probe. The overlay dispatches TProbe here.
+func (p *Prober) HandleProbe(h wire.Header, body []byte) {
+	pr, err := wire.ParseProbe(body)
+	if err != nil {
+		return
+	}
+	p.env.Send(h.Src, wire.AppendProbeReply(nil, p.env.LocalID(), wire.ProbeReply{
+		Seq:    pr.Seq,
+		Echo:   pr.Echo,
+		RecvAt: p.env.Now().UnixNano(),
+	}))
+}
+
+// HandleReply folds in a probe reply. The overlay dispatches TProbeReply
+// here.
+func (p *Prober) HandleReply(h wire.Header, body []byte) {
+	r, err := wire.ParseProbeReply(body)
+	if err != nil {
+		return
+	}
+	slot, ok := p.view.SlotOf(h.Src)
+	if !ok || slot == p.self {
+		return
+	}
+	ls := &p.links[slot]
+	if !ls.awaiting || r.Seq != ls.awaitSeq {
+		return // duplicate or late reply
+	}
+	ls.awaiting = false
+	if ls.checkTimer != nil {
+		ls.checkTimer.Stop()
+	}
+	now := p.env.Now()
+	rtt := now.Sub(time.Unix(0, r.Echo))
+	if rtt < 0 {
+		rtt = 0
+	}
+	ls.consec = 0
+	ls.loss.Update(0)
+	ls.latency.Update(float64(rtt) / float64(time.Millisecond))
+	if p.cfg.Asymmetric {
+		fwd := time.Duration(r.RecvAt - r.Echo)
+		rev := now.Sub(time.Unix(0, r.RecvAt))
+		if fwd < 0 {
+			fwd = 0
+		}
+		if rev < 0 {
+			rev = 0
+		}
+		ls.outLat.Update(float64(fwd) / float64(time.Millisecond))
+		ls.inLat.Update(float64(rev) / float64(time.Millisecond))
+	}
+	if !ls.alive {
+		ls.alive = true
+		ls.everAlive = true
+		if p.OnLinkChange != nil {
+			p.OnLinkChange(slot, true)
+		}
+	}
+	p.updateStatus(slot)
+	if p.OnMeasure != nil {
+		p.OnMeasure(slot, rtt)
+	}
+	ls.probeTimer = p.env.After(p.cfg.Interval, func() { p.sendProbe(slot) })
+}
+
+// updateStatus refreshes the row entry for slot from the link estimators.
+func (p *Prober) updateStatus(slot int) {
+	ls := &p.links[slot]
+	if !ls.alive {
+		p.row[slot].Status = wire.StatusDead
+		if p.asymRow != nil {
+			p.asymRow[slot].Status = wire.StatusDead
+		}
+		return
+	}
+	status := wire.MakeStatus(true, int(ls.loss.Value()*100+0.5))
+	p.row[slot].Latency = clampMS(ls.latency.Value())
+	p.row[slot].Status = status
+	if p.asymRow != nil {
+		p.asymRow[slot] = wire.AsymEntry{
+			Out:    clampMS(ls.outLat.Value()),
+			In:     clampMS(ls.inLat.Value()),
+			Status: status,
+		}
+	}
+}
+
+// clampMS converts a millisecond estimate to the wire's uint16 range.
+func clampMS(v float64) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 65535 {
+		return 65535
+	}
+	return uint16(v)
+}

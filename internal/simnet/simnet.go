@@ -1,0 +1,281 @@
+// Package simnet is a deterministic, virtual-time datagram network
+// simulator: the substrate on which all of the paper's experiments run, in
+// the same spirit as the paper's own in-system emulation (§6.1, "the
+// emulation uses the same implementation as the one deployed").
+//
+// A Network owns a set of endpoints and a priority queue of timed events.
+// Packets sent between endpoints are delivered after the configured one-way
+// link latency, subject to per-link loss probability, link failures, and
+// node failures. Timers and packet deliveries interleave in strict timestamp
+// order (ties broken by scheduling order), so a simulation is a pure
+// function of its inputs and seed.
+//
+// The event loop is single-threaded by design: protocol handlers run
+// synchronously inside Run, which keeps node logic free of locks and makes
+// hundreds of emulated nodes cheap.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Handler receives a packet delivered to an endpoint.
+type Handler func(from int, payload []byte)
+
+// link holds the directed-link configuration between two endpoints.
+// Latency is one-way; Loss is the per-packet drop probability; Down marks an
+// injected hard failure.
+type link struct {
+	latency time.Duration
+	loss    float64
+	down    bool
+}
+
+// event is a scheduled callback. A cancelled timer keeps its heap slot with
+// fn set to nil.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil
+	return true
+}
+
+// Network is a simulated datagram network. Create one with New; methods are
+// not safe for concurrent use (the simulation is single-threaded).
+type Network struct {
+	epoch    time.Time
+	now      time.Duration
+	seq      uint64
+	rng      *rand.Rand
+	events   eventHeap
+	links    [][]link
+	nodeDown []bool
+	handlers []Handler
+
+	// OnSend, if non-nil, observes every attempted transmission (including
+	// ones that will be dropped); used for outgoing bandwidth accounting.
+	OnSend func(from, to int, payload []byte)
+	// OnDeliver, if non-nil, observes every successful delivery just before
+	// the receiving handler runs; used for incoming bandwidth accounting.
+	OnDeliver func(from, to int, payload []byte)
+	// OnDrop, if non-nil, observes packets lost to link loss, link failure,
+	// or node failure.
+	OnDrop func(from, to int, payload []byte)
+
+	delivered uint64
+	dropped   uint64
+}
+
+// New creates a network of n endpoints with every link up, zero latency and
+// zero loss, using the given deterministic seed. Virtual time starts at the
+// Unix epoch.
+func New(n int, seed int64) *Network {
+	nw := &Network{
+		epoch:    time.Unix(0, 0).UTC(),
+		rng:      rand.New(rand.NewSource(seed)),
+		links:    make([][]link, n),
+		nodeDown: make([]bool, n),
+		handlers: make([]Handler, n),
+	}
+	for i := range nw.links {
+		nw.links[i] = make([]link, n)
+	}
+	return nw
+}
+
+// Size returns the number of endpoints.
+func (nw *Network) Size() int { return len(nw.links) }
+
+// Now returns the current virtual time.
+func (nw *Network) Now() time.Time { return nw.epoch.Add(nw.now) }
+
+// Elapsed returns the virtual time since the start of the simulation.
+func (nw *Network) Elapsed() time.Duration { return nw.now }
+
+// Rand returns the simulation's deterministic random source.
+func (nw *Network) Rand() *rand.Rand { return nw.rng }
+
+// Delivered returns the count of successfully delivered packets.
+func (nw *Network) Delivered() uint64 { return nw.delivered }
+
+// Dropped returns the count of dropped packets.
+func (nw *Network) Dropped() uint64 { return nw.dropped }
+
+// Pending returns the number of scheduled events (including cancelled
+// timers not yet reaped).
+func (nw *Network) Pending() int { return len(nw.events) }
+
+// SetHandler installs the packet handler for endpoint i.
+func (nw *Network) SetHandler(i int, h Handler) {
+	nw.handlers[i] = h
+}
+
+// SetLatency sets the symmetric one-way latency between a and b.
+func (nw *Network) SetLatency(a, b int, d time.Duration) {
+	nw.links[a][b].latency = d
+	nw.links[b][a].latency = d
+}
+
+// SetLatencyOneWay sets the directed one-way latency from a to b only.
+func (nw *Network) SetLatencyOneWay(a, b int, d time.Duration) {
+	nw.links[a][b].latency = d
+}
+
+// Latency returns the configured one-way latency from a to b.
+func (nw *Network) Latency(a, b int) time.Duration { return nw.links[a][b].latency }
+
+// SetLoss sets the symmetric per-packet loss probability between a and b.
+func (nw *Network) SetLoss(a, b int, p float64) {
+	nw.links[a][b].loss = p
+	nw.links[b][a].loss = p
+}
+
+// SetLinkDown marks the link between a and b as failed (or restores it).
+// Both directions are affected, matching the paper's bidirectional links.
+func (nw *Network) SetLinkDown(a, b int, down bool) {
+	nw.links[a][b].down = down
+	nw.links[b][a].down = down
+}
+
+// LinkDown reports whether the a–b link is failed in the a→b direction.
+func (nw *Network) LinkDown(a, b int) bool { return nw.links[a][b].down }
+
+// SetNodeDown fails (or revives) a node: all its packets, in and out, are
+// dropped while it is down.
+func (nw *Network) SetNodeDown(a int, down bool) { nw.nodeDown[a] = down }
+
+// NodeDown reports whether node a is failed.
+func (nw *Network) NodeDown(a int) bool { return nw.nodeDown[a] }
+
+// Reachable reports whether a packet sent now from a to b would be
+// delivered, ignoring probabilistic loss. This is the ground-truth
+// reachability used by the experiment harness.
+func (nw *Network) Reachable(a, b int) bool {
+	return !nw.nodeDown[a] && !nw.nodeDown[b] && !nw.links[a][b].down
+}
+
+// After schedules fn to run d from now. A non-positive d runs at the current
+// time, after already-queued events. The returned timer can cancel it.
+func (nw *Network) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	nw.seq++
+	ev := &event{at: nw.now + d, seq: nw.seq, fn: fn}
+	heap.Push(&nw.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Send transmits payload from endpoint `from` to endpoint `to`. Delivery
+// happens after the link's one-way latency unless the packet is dropped by
+// link loss, link failure, or node failure. Loss and failure are evaluated
+// at send time. Sending to self delivers after zero latency.
+func (nw *Network) Send(from, to int, payload []byte) {
+	if from < 0 || from >= len(nw.links) || to < 0 || to >= len(nw.links) {
+		panic(fmt.Sprintf("simnet: send %d->%d out of range [0,%d)", from, to, len(nw.links)))
+	}
+	if nw.OnSend != nil {
+		nw.OnSend(from, to, payload)
+	}
+	l := &nw.links[from][to]
+	if nw.nodeDown[from] || nw.nodeDown[to] || l.down || (l.loss > 0 && nw.rng.Float64() < l.loss) {
+		nw.dropped++
+		if nw.OnDrop != nil {
+			nw.OnDrop(from, to, payload)
+		}
+		return
+	}
+	nw.After(l.latency, func() {
+		if nw.nodeDown[to] { // receiver died while the packet was in flight
+			nw.dropped++
+			if nw.OnDrop != nil {
+				nw.OnDrop(from, to, payload)
+			}
+			return
+		}
+		nw.delivered++
+		if nw.OnDeliver != nil {
+			nw.OnDeliver(from, to, payload)
+		}
+		if h := nw.handlers[to]; h != nil {
+			h(from, payload)
+		}
+	})
+}
+
+// Step executes the earliest pending event and reports whether one ran.
+func (nw *Network) Step() bool {
+	for len(nw.events) > 0 {
+		ev := heap.Pop(&nw.events).(*event)
+		if ev.fn == nil {
+			continue // cancelled timer
+		}
+		nw.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunFor advances virtual time by d, executing every event scheduled within
+// the window, and leaves the clock exactly d later.
+func (nw *Network) RunFor(d time.Duration) {
+	nw.RunUntil(nw.now + d)
+}
+
+// RunUntil executes all events scheduled at or before the elapsed-time mark
+// t and sets the clock to t.
+func (nw *Network) RunUntil(t time.Duration) {
+	for len(nw.events) > 0 {
+		ev := nw.events[0]
+		if ev.at > t {
+			break
+		}
+		heap.Pop(&nw.events)
+		if ev.fn == nil {
+			continue
+		}
+		nw.now = ev.at
+		ev.fn()
+	}
+	if t > nw.now {
+		nw.now = t
+	}
+}

@@ -1,0 +1,206 @@
+// Package stats provides the small statistics toolkit shared by the
+// experiment harness: empirical CDFs, percentile summaries, and exponentially
+// weighted moving averages. Every figure in the paper's evaluation is either
+// a CDF or a per-key percentile summary, so these types are the common
+// currency of internal/emul and cmd/experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+// The zero value is an empty distribution ready for use.
+type CDF struct {
+	sorted bool
+	vals   []float64
+}
+
+// NewCDF returns a CDF over a copy of vals.
+func NewCDF(vals []float64) *CDF {
+	c := &CDF{vals: append([]float64(nil), vals...)}
+	c.sort()
+	return c
+}
+
+// Add appends a sample.
+func (c *CDF) Add(v float64) {
+	c.vals = append(c.vals, v)
+	c.sorted = false
+}
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.vals)
+		c.sorted = true
+	}
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.vals) }
+
+// FractionLE returns the fraction of samples ≤ x, i.e. F(x).
+func (c *CDF) FractionLE(x float64) float64 {
+	if len(c.vals) == 0 {
+		return 0
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.vals, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.vals))
+}
+
+// CountLE returns the number of samples ≤ x.
+func (c *CDF) CountLE(x float64) int {
+	if len(c.vals) == 0 {
+		return 0
+	}
+	c.sort()
+	return sort.SearchFloat64s(c.vals, math.Nextafter(x, math.Inf(1)))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear interpolation
+// between order statistics. Quantile(0) is the minimum, Quantile(1) the
+// maximum. It returns NaN for an empty distribution.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.vals) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	if q <= 0 {
+		return c.vals[0]
+	}
+	if q >= 1 {
+		return c.vals[len(c.vals)-1]
+	}
+	pos := q * float64(len(c.vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c.vals[lo]
+	}
+	frac := pos - float64(lo)
+	return c.vals[lo]*(1-frac) + c.vals[hi]*frac
+}
+
+// Min returns the smallest sample (NaN if empty).
+func (c *CDF) Min() float64 { return c.Quantile(0) }
+
+// Max returns the largest sample (NaN if empty).
+func (c *CDF) Max() float64 { return c.Quantile(1) }
+
+// Median returns the 50th percentile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Mean returns the arithmetic mean (NaN if empty).
+func (c *CDF) Mean() float64 {
+	if len(c.vals) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range c.vals {
+		s += v
+	}
+	return s / float64(len(c.vals))
+}
+
+// Values returns the sorted samples. The returned slice is owned by the CDF
+// and must not be modified.
+func (c *CDF) Values() []float64 {
+	c.sort()
+	return c.vals
+}
+
+// Point is one (x, y) sample of a rendered curve.
+type Point struct {
+	X, Y float64
+}
+
+// Curve renders the CDF as points suitable for plotting: for each sample v
+// (deduplicated), the point (v, F(v)). This matches the "fraction of … with
+// value ≤ x" axes used throughout the paper's figures.
+func (c *CDF) Curve() []Point {
+	c.sort()
+	pts := make([]Point, 0, len(c.vals))
+	n := float64(len(c.vals))
+	for i, v := range c.vals {
+		if i+1 < len(c.vals) && c.vals[i+1] == v {
+			continue // keep only the last (highest-F) point per x
+		}
+		pts = append(pts, Point{X: v, Y: float64(i+1) / n})
+	}
+	return pts
+}
+
+// CountCurve renders the CDF with absolute counts on the y axis, matching
+// figures whose y axis is "number of nodes with ≤ x" (Figures 8, 10, 11).
+func (c *CDF) CountCurve() []Point {
+	c.sort()
+	pts := make([]Point, 0, len(c.vals))
+	for i, v := range c.vals {
+		if i+1 < len(c.vals) && c.vals[i+1] == v {
+			continue
+		}
+		pts = append(pts, Point{X: v, Y: float64(i + 1)})
+	}
+	return pts
+}
+
+// Summary holds the per-key percentile statistics reported in the freshness
+// figures (median / average / 97 % / max).
+type Summary struct {
+	Median float64
+	Mean   float64
+	P97    float64
+	Max    float64
+}
+
+// Summarize computes a Summary from samples. It returns a zero Summary if
+// samples is empty.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	c := NewCDF(samples)
+	return Summary{
+		Median: c.Median(),
+		Mean:   c.Mean(),
+		P97:    c.Quantile(0.97),
+		Max:    c.Max(),
+	}
+}
+
+// String renders the summary for logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("median=%.2f mean=%.2f p97=%.2f max=%.2f", s.Median, s.Mean, s.P97, s.Max)
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha: after Update(x), Value = alpha*x + (1-alpha)*old. The first update
+// seeds the average directly, as in RON's latency estimator.
+type EWMA struct {
+	Alpha  float64
+	value  float64
+	seeded bool
+}
+
+// Update folds a new observation in and returns the new average.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.seeded {
+		e.value = x
+		e.seeded = true
+		return x
+	}
+	e.value = e.Alpha*x + (1-e.Alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Seeded reports whether the average has received at least one sample.
+func (e *EWMA) Seeded() bool { return e.seeded }
+
+// Reset clears the average to its unseeded state.
+func (e *EWMA) Reset() { e.value, e.seeded = 0, false }

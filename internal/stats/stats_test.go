@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.N() != 0 {
+		t.Error("empty N != 0")
+	}
+	if c.FractionLE(10) != 0 {
+		t.Error("empty FractionLE != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty quantile not NaN")
+	}
+	if !math.IsNaN(c.Mean()) {
+		t.Error("empty mean not NaN")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4})
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.FractionLE(2); got != 0.5 {
+		t.Errorf("FractionLE(2) = %v", got)
+	}
+	if got := c.FractionLE(0.5); got != 0 {
+		t.Errorf("FractionLE(0.5) = %v", got)
+	}
+	if got := c.FractionLE(4); got != 1 {
+		t.Errorf("FractionLE(4) = %v", got)
+	}
+	if got := c.CountLE(3); got != 3 {
+		t.Errorf("CountLE(3) = %v", got)
+	}
+	if c.Min() != 1 || c.Max() != 4 {
+		t.Errorf("min/max = %v/%v", c.Min(), c.Max())
+	}
+	if c.Median() != 2.5 {
+		t.Errorf("median = %v", c.Median())
+	}
+	if c.Mean() != 2.5 {
+		t.Errorf("mean = %v", c.Mean())
+	}
+}
+
+func TestCDFAddResorts(t *testing.T) {
+	var c CDF
+	c.Add(5)
+	c.Add(1)
+	if c.Median() != 3 {
+		t.Errorf("median = %v", c.Median())
+	}
+	c.Add(0)
+	if c.Median() != 1 {
+		t.Errorf("median after add = %v", c.Median())
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	if got := c.Quantile(0.25); got != 2.5 {
+		t.Errorf("q(0.25) = %v", got)
+	}
+	if got := c.Quantile(-1); got != 0 {
+		t.Errorf("q(-1) = %v", got)
+	}
+	if got := c.Quantile(2); got != 10 {
+		t.Errorf("q(2) = %v", got)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	c := NewCDF([]float64{1, 1, 2, 3})
+	pts := c.Curve()
+	want := []Point{{1, 0.5}, {2, 0.75}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+	cpts := c.CountCurve()
+	wantC := []Point{{1, 2}, {2, 3}, {3, 4}}
+	for i := range wantC {
+		if cpts[i] != wantC[i] {
+			t.Errorf("count point %d = %+v, want %+v", i, cpts[i], wantC[i])
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Median != 3 || s.Mean != 3 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P97 < 4.8 || s.P97 > 5 {
+		t.Errorf("p97 = %v", s.P97)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	zero := Summarize(nil)
+	if zero != (Summary{}) {
+		t.Errorf("empty summary = %+v", zero)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if e.Seeded() {
+		t.Error("new EWMA seeded")
+	}
+	if got := e.Update(100); got != 100 {
+		t.Errorf("first update = %v", got)
+	}
+	if got := e.Update(50); got != 75 {
+		t.Errorf("second update = %v", got)
+	}
+	if e.Value() != 75 {
+		t.Errorf("value = %v", e.Value())
+	}
+	e.Reset()
+	if e.Seeded() || e.Value() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by [min, max].
+func TestQuantileMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 100
+		}
+		c := NewCDF(vals)
+		q1 := rng.Float64()
+		q2 := rng.Float64()
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := c.Quantile(q1), c.Quantile(q2)
+		return v1 <= v2 && v1 >= c.Min() && v2 <= c.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FractionLE is a valid CDF: monotone, 0 before min, 1 at max.
+func TestFractionLEQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(r.Intn(100))
+		}
+		c := NewCDF(vals)
+		xs := []float64{-1, 0, 25, 50, 99, 100}
+		prev := -1.0
+		for _, x := range xs {
+			fx := c.FractionLE(x)
+			if fx < prev || fx < 0 || fx > 1 {
+				return false
+			}
+			prev = fx
+		}
+		return c.FractionLE(c.Max()) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EWMA stays within the range of its inputs.
+func TestEWMABoundedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := EWMA{Alpha: 0.1 + 0.8*r.Float64()}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 100; i++ {
+			x := r.Float64() * 1000
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			v := e.Update(x)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Curve y-values are the true empirical CDF at each x.
+func TestCurveConsistencyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(r.Intn(20))
+		}
+		c := NewCDF(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for _, p := range c.Curve() {
+			if math.Abs(c.FractionLE(p.X)-p.Y) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"allpairs/internal/simnet"
+	"allpairs/internal/wire"
+)
+
+// Registry maps overlay node IDs to simulator endpoint indexes for one
+// simulation. The emulation harness registers each node (and the membership
+// coordinator) before traffic flows; unknown destinations are dropped like
+// misaddressed UDP datagrams.
+type Registry struct {
+	byID map[wire.NodeID]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[wire.NodeID]int)}
+}
+
+// Register binds an overlay ID to a simulator endpoint.
+func (r *Registry) Register(id wire.NodeID, endpoint int) {
+	r.byID[id] = endpoint
+}
+
+// Lookup resolves an overlay ID to its endpoint.
+func (r *Registry) Lookup(id wire.NodeID) (endpoint int, ok bool) {
+	ep, ok := r.byID[id]
+	return ep, ok
+}
+
+// SimEnv adapts one simnet endpoint to the Env interface. The simulation is
+// single-threaded, so serialization is inherent and Do simply runs its
+// argument.
+type SimEnv struct {
+	net      *simnet.Network
+	reg      *Registry
+	endpoint int
+	id       wire.NodeID
+	rng      *rand.Rand
+	handler  Handler
+}
+
+var _ Env = (*SimEnv)(nil)
+
+// NewSimEnv creates an Env for the node at the given simulator endpoint.
+// The node starts with ID wire.NilNode until membership assigns one (use
+// SetLocalID, which also registers the mapping).
+func NewSimEnv(net *simnet.Network, reg *Registry, endpoint int, seed int64) *SimEnv {
+	e := &SimEnv{
+		net:      net,
+		reg:      reg,
+		endpoint: endpoint,
+		id:       wire.NilNode,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	net.SetHandler(endpoint, func(from int, payload []byte) {
+		if e.handler == nil {
+			return
+		}
+		// The wire header's Src is authoritative for the overlay identity;
+		// transport-level identity is only meaningful pre-membership.
+		h, _, err := wire.ParseHeader(payload)
+		if err != nil {
+			return
+		}
+		e.handler(h.Src, payload)
+	})
+	return e
+}
+
+// Endpoint returns the simulator endpoint index.
+func (e *SimEnv) Endpoint() int { return e.endpoint }
+
+// LocalAddr implements Env using the simulator addressing convention: the
+// endpoint index is carried in the port of an all-zero IPv4 address. This
+// lets the membership protocol run unchanged over the simulator.
+func (e *SimEnv) LocalAddr() netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{}), uint16(e.endpoint))
+}
+
+// SetPeer implements Env by registering the ID against the endpoint index
+// encoded in the address port (see LocalAddr).
+func (e *SimEnv) SetPeer(id wire.NodeID, addr netip.AddrPort) {
+	if id == wire.NilNode {
+		return
+	}
+	e.reg.Register(id, int(addr.Port()))
+}
+
+// LocalID implements Env.
+func (e *SimEnv) LocalID() wire.NodeID { return e.id }
+
+// SetLocalID implements Env and registers the ID→endpoint mapping so other
+// simulated nodes can address this one.
+func (e *SimEnv) SetLocalID(id wire.NodeID) {
+	e.id = id
+	if id != wire.NilNode {
+		e.reg.Register(id, e.endpoint)
+	}
+}
+
+// Now implements Env.
+func (e *SimEnv) Now() time.Time { return e.net.Now() }
+
+// Send implements Env. Destinations not present in the registry are dropped.
+func (e *SimEnv) Send(to wire.NodeID, payload []byte) {
+	ep, ok := e.reg.Lookup(to)
+	if !ok {
+		return
+	}
+	e.net.Send(e.endpoint, ep, payload)
+}
+
+// After implements Env.
+func (e *SimEnv) After(d time.Duration, fn func()) Timer {
+	return e.net.After(d, fn)
+}
+
+// Rand implements Env.
+func (e *SimEnv) Rand() *rand.Rand { return e.rng }
+
+// Bind implements Env.
+func (e *SimEnv) Bind(h Handler) { e.handler = h }
+
+// Do implements Env. The simulation loop is single-threaded, so fn runs
+// directly; callers must invoke Do between simulation steps, never from
+// another goroutine while the simulation is running.
+func (e *SimEnv) Do(fn func()) { fn() }

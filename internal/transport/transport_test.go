@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"allpairs/internal/simnet"
+	"allpairs/internal/wire"
+)
+
+func TestSimEnvSendReceive(t *testing.T) {
+	nw := simnet.New(2, 1)
+	nw.SetLatency(0, 1, 10*time.Millisecond)
+	reg := NewRegistry()
+	a := NewSimEnv(nw, reg, 0, 1)
+	b := NewSimEnv(nw, reg, 1, 2)
+	a.SetLocalID(10)
+	b.SetLocalID(20)
+
+	var gotFrom wire.NodeID
+	var gotType wire.MsgType
+	b.Bind(func(from wire.NodeID, payload []byte) {
+		gotFrom = from
+		gotType = wire.PeekType(payload)
+	})
+	a.Send(20, wire.AppendProbe(nil, a.LocalID(), wire.Probe{Seq: 1}))
+	nw.RunFor(time.Second)
+	if gotFrom != 10 || gotType != wire.TProbe {
+		t.Errorf("from=%d type=%v", gotFrom, gotType)
+	}
+}
+
+func TestSimEnvUnknownDestinationDropped(t *testing.T) {
+	nw := simnet.New(1, 1)
+	reg := NewRegistry()
+	a := NewSimEnv(nw, reg, 0, 1)
+	a.SetLocalID(1)
+	a.Send(99, wire.AppendHeartbeat(nil, 1)) // must not panic
+	nw.RunFor(time.Millisecond)
+}
+
+func TestSimEnvMalformedPacketIgnored(t *testing.T) {
+	nw := simnet.New(2, 1)
+	reg := NewRegistry()
+	a := NewSimEnv(nw, reg, 0, 1)
+	b := NewSimEnv(nw, reg, 1, 2)
+	a.SetLocalID(1)
+	b.SetLocalID(2)
+	called := false
+	b.Bind(func(wire.NodeID, []byte) { called = true })
+	nw.Send(0, 1, []byte{0xFF}) // bogus bytes straight onto the wire
+	nw.RunFor(time.Millisecond)
+	if called {
+		t.Error("handler ran for malformed packet")
+	}
+}
+
+func TestSimEnvAddressingConvention(t *testing.T) {
+	nw := simnet.New(3, 1)
+	reg := NewRegistry()
+	a := NewSimEnv(nw, reg, 0, 1)
+	c := NewSimEnv(nw, reg, 2, 3)
+	a.SetLocalID(7)
+
+	if got := c.LocalAddr().Port(); got != 2 {
+		t.Fatalf("LocalAddr port = %d, want endpoint index 2", got)
+	}
+	// a learns c's ID→endpoint binding through SetPeer, as the membership
+	// layer would from a view.
+	a.SetPeer(42, c.LocalAddr())
+	received := false
+	c.Bind(func(from wire.NodeID, _ []byte) { received = from == 7 })
+	a.Send(42, wire.AppendHeartbeat(nil, 7))
+	nw.RunFor(time.Millisecond)
+	if !received {
+		t.Error("packet not routed via SetPeer binding")
+	}
+	// NilNode bindings are ignored.
+	a.SetPeer(wire.NilNode, c.LocalAddr())
+	if _, ok := reg.Lookup(wire.NilNode); ok {
+		t.Error("NilNode registered")
+	}
+}
+
+func TestSimEnvTimerAndNow(t *testing.T) {
+	nw := simnet.New(1, 1)
+	reg := NewRegistry()
+	a := NewSimEnv(nw, reg, 0, 1)
+	var at time.Time
+	a.After(30*time.Millisecond, func() { at = a.Now() })
+	tm := a.After(10*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	tm.Stop()
+	nw.RunFor(time.Second)
+	if want := time.Unix(0, 0).UTC().Add(30 * time.Millisecond); !at.Equal(want) {
+		t.Errorf("timer fired at %v, want %v", at, want)
+	}
+	ran := false
+	a.Do(func() { ran = true })
+	if !ran {
+		t.Error("Do did not run")
+	}
+	if a.Rand() == nil {
+		t.Error("nil Rand")
+	}
+}
+
+func TestUDPEnvRoundTrip(t *testing.T) {
+	a, err := NewUDPEnv("127.0.0.1:0", netip.AddrPort{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDPEnv("127.0.0.1:0", netip.AddrPort{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.SetLocalID(1)
+	b.SetLocalID(2)
+	a.SetPeer(2, b.LocalAddr())
+
+	var mu sync.Mutex
+	var got []wire.NodeID
+	done := make(chan struct{}, 4)
+	b.Bind(func(from wire.NodeID, payload []byte) {
+		mu.Lock()
+		got = append(got, from)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	// b learns a's address from the incoming packet, so it can reply without
+	// an explicit SetPeer.
+	a.Send(2, wire.AppendHeartbeat(nil, 1))
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for packet")
+	}
+
+	replied := make(chan struct{}, 1)
+	a.Bind(func(from wire.NodeID, payload []byte) {
+		if from == 2 {
+			replied <- struct{}{}
+		}
+	})
+	b.Send(1, wire.AppendHeartbeat(nil, 2))
+	select {
+	case <-replied:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for opportunistic reply path")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestUDPEnvTimers(t *testing.T) {
+	e, err := NewUDPEnv("127.0.0.1:0", netip.AddrPort{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	fired := make(chan struct{})
+	e.After(10*time.Millisecond, func() { close(fired) })
+	tm := e.After(time.Minute, func() { t.Error("long timer fired") })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer did not fire")
+	}
+	if !tm.Stop() {
+		t.Error("Stop returned false for pending timer")
+	}
+}
+
+func TestUDPEnvCloseIdempotentAndQuiescent(t *testing.T) {
+	e, err := NewUDPEnv("127.0.0.1:0", netip.AddrPort{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetLocalID(5)
+	if e.LocalID() != 5 {
+		t.Errorf("LocalID = %d", e.LocalID())
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	// After close, timers and Do are suppressed.
+	e.After(time.Millisecond, func() { t.Error("timer after close fired") })
+	e.Do(func() { t.Error("Do after close ran") })
+	e.Send(5, wire.AppendHeartbeat(nil, 5)) // must not panic
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestUDPEnvBadListenAddr(t *testing.T) {
+	if _, err := NewUDPEnv("not-an-addr:xyz", netip.AddrPort{}, 1); err == nil {
+		t.Error("want error for bad listen address")
+	}
+}

@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"allpairs/internal/wire"
+)
+
+// UDPEnv implements Env over a real UDP socket for Internet deployments
+// (cmd/overlayd, cmd/coordinator). A single read loop drains the socket; the
+// callback mutex serializes packet handlers, timer callbacks, and Do, giving
+// node code the same single-threaded discipline it enjoys under simulation.
+//
+// Locking: cbMu is the callback lock — held while any handler, timer
+// function, or Do body runs. stateMu protects the peer table and local ID.
+// Send only touches stateMu, so node code may call Send freely from inside
+// callbacks without deadlocking.
+type UDPEnv struct {
+	cbMu    sync.Mutex // serializes handler/timer/Do callbacks
+	stateMu sync.RWMutex
+	conn    *net.UDPConn
+	local   netip.AddrPort
+	id      wire.NodeID
+	rng     *rand.Rand
+	handler Handler
+	peers   map[wire.NodeID]netip.AddrPort
+	closed  atomic.Bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+var _ Env = (*UDPEnv)(nil)
+
+// maxDatagram bounds receive buffers; a link-state row for 5000 nodes fits
+// comfortably.
+const maxDatagram = 64 * 1024
+
+// NewUDPEnv opens a UDP socket on listen (e.g. ":4400" or "10.0.0.1:4400")
+// and starts its read loop. advertise, if valid, is the externally reachable
+// address announced to the membership service; otherwise the socket's local
+// address is used.
+func NewUDPEnv(listen string, advertise netip.AddrPort, seed int64) (*UDPEnv, error) {
+	addr, err := net.ResolveUDPAddr("udp4", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", listen, err)
+	}
+	local := advertise
+	if !local.IsValid() {
+		if la, ok := conn.LocalAddr().(*net.UDPAddr); ok {
+			local = la.AddrPort()
+		}
+	}
+	e := &UDPEnv{
+		conn:  conn,
+		local: local,
+		id:    wire.NilNode,
+		rng:   rand.New(rand.NewSource(seed)),
+		peers: make(map[wire.NodeID]netip.AddrPort),
+		done:  make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.readLoop()
+	return e, nil
+}
+
+func (e *UDPEnv) readLoop() {
+	defer e.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, raddr, err := e.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		h, _, err := wire.ParseHeader(payload)
+		if err != nil {
+			continue
+		}
+		// Learn/refresh the sender's address opportunistically so replies
+		// work even before a full view arrives.
+		if h.Src != wire.NilNode {
+			e.stateMu.Lock()
+			e.peers[h.Src] = raddr
+			e.stateMu.Unlock()
+		}
+		e.stateMu.RLock()
+		handler := e.handler
+		e.stateMu.RUnlock()
+		e.cbMu.Lock()
+		if !e.closed.Load() && handler != nil {
+			handler(h.Src, payload)
+		}
+		e.cbMu.Unlock()
+	}
+}
+
+// LocalID implements Env.
+func (e *UDPEnv) LocalID() wire.NodeID {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	return e.id
+}
+
+// SetLocalID implements Env.
+func (e *UDPEnv) SetLocalID(id wire.NodeID) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	e.id = id
+}
+
+// LocalAddr implements Env.
+func (e *UDPEnv) LocalAddr() netip.AddrPort { return e.local }
+
+// SetPeer implements Env.
+func (e *UDPEnv) SetPeer(id wire.NodeID, addr netip.AddrPort) {
+	if id == wire.NilNode {
+		return
+	}
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	e.peers[id] = addr
+}
+
+// Now implements Env.
+func (e *UDPEnv) Now() time.Time { return time.Now() }
+
+// Send implements Env. Unknown destinations are dropped silently, like any
+// misaddressed datagram. Safe to call from within callbacks.
+func (e *UDPEnv) Send(to wire.NodeID, payload []byte) {
+	if e.closed.Load() {
+		return
+	}
+	e.stateMu.RLock()
+	addr, ok := e.peers[to]
+	e.stateMu.RUnlock()
+	if !ok {
+		return
+	}
+	e.SendTo(addr, payload)
+}
+
+// SendTo transmits a datagram to an explicit address, used by the
+// coordinator to answer Join messages from nodes that have no ID yet.
+func (e *UDPEnv) SendTo(addr netip.AddrPort, payload []byte) {
+	_, _ = e.conn.WriteToUDPAddrPort(payload, addr)
+}
+
+// udpTimer wraps time.Timer to satisfy the Timer interface.
+type udpTimer struct{ t *time.Timer }
+
+func (t udpTimer) Stop() bool { return t.t.Stop() }
+
+// After implements Env. The callback is serialized with packet handlers and
+// skipped if the environment has been closed.
+func (e *UDPEnv) After(d time.Duration, fn func()) Timer {
+	t := time.AfterFunc(d, func() {
+		e.cbMu.Lock()
+		defer e.cbMu.Unlock()
+		if !e.closed.Load() {
+			fn()
+		}
+	})
+	return udpTimer{t: t}
+}
+
+// Rand implements Env. Must only be used from within handler/timer/Do
+// callbacks, which the Env serializes.
+func (e *UDPEnv) Rand() *rand.Rand { return e.rng }
+
+// Bind implements Env. Safe to call from within callbacks (it takes only
+// the state lock, never the callback lock).
+func (e *UDPEnv) Bind(h Handler) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	e.handler = h
+}
+
+// Do implements Env.
+func (e *UDPEnv) Do(fn func()) {
+	e.cbMu.Lock()
+	defer e.cbMu.Unlock()
+	if !e.closed.Load() {
+		fn()
+	}
+}
+
+// Close shuts down the socket and prevents further callbacks. It is safe to
+// call more than once.
+func (e *UDPEnv) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	close(e.done)
+	err := e.conn.Close()
+	e.wg.Wait()
+	return err
+}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"encoding/binary"
+)
+
+// Data is an application datagram forwarded through the overlay: either
+// directly to its destination or via the current best one-hop (or bounded
+// multi-hop) route. Origin is the first overlay sender; Dst the final
+// destination; TTL bounds forwarding (decremented per overlay hop) so
+// transient routing loops cannot circulate packets.
+type Data struct {
+	Origin  NodeID
+	Dst     NodeID
+	TTL     uint8
+	Payload []byte
+}
+
+// DefaultDataTTL bounds overlay forwarding; one-hop routing needs 2, the
+// multi-hop extension more.
+const DefaultDataTTL = 8
+
+// dataFixed is the encoded size of Data's fixed fields.
+const dataFixed = 2 + 2 + 1
+
+// AppendData encodes d with its header. src is the transmitting node (the
+// current overlay hop), which may differ from d.Origin.
+func AppendData(b []byte, src NodeID, d Data) []byte {
+	b = AppendHeader(b, TData, src)
+	b = binary.BigEndian.AppendUint16(b, uint16(d.Origin))
+	b = binary.BigEndian.AppendUint16(b, uint16(d.Dst))
+	b = append(b, d.TTL)
+	return append(b, d.Payload...)
+}
+
+// ParseData decodes a Data body. The returned payload aliases body; copy it
+// if retained beyond the handler.
+func ParseData(body []byte) (Data, error) {
+	if len(body) < dataFixed {
+		return Data{}, ErrShort
+	}
+	return Data{
+		Origin:  NodeID(binary.BigEndian.Uint16(body)),
+		Dst:     NodeID(binary.BigEndian.Uint16(body[2:])),
+		TTL:     body[4],
+		Payload: body[dataFixed:],
+	}, nil
+}
+
+// DataSize returns the encoded payload size of a data message carrying n
+// payload bytes, excluding per-packet overhead.
+func DataSize(n int) int { return HeaderLen + dataFixed + n }

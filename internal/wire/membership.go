@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Member is one entry in a membership view: the node's assigned ID and its
+// UDP endpoint. Simulated deployments leave the endpoint zero.
+type Member struct {
+	ID   NodeID
+	Addr netip.AddrPort // IPv4 only on the wire
+}
+
+// memberLen is the encoded size of a Member: id (2) + IPv4 (4) + port (2).
+const memberLen = 8
+
+// as4 converts an address to its 4-byte form, mapping invalid or non-IPv4
+// addresses to 0.0.0.0 (the simulator convention carries meaning only in the
+// port).
+func as4(a netip.Addr) [4]byte {
+	if a.Is4() || a.Is4In6() {
+		return a.As4()
+	}
+	return [4]byte{}
+}
+
+func appendMember(b []byte, m Member) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(m.ID))
+	a4 := as4(m.Addr.Addr())
+	b = append(b, a4[:]...)
+	return binary.BigEndian.AppendUint16(b, m.Addr.Port())
+}
+
+func parseMember(b []byte) Member {
+	var a4 [4]byte
+	copy(a4[:], b[2:6])
+	return Member{
+		ID:   NodeID(binary.BigEndian.Uint16(b)),
+		Addr: netip.AddrPortFrom(netip.AddrFrom4(a4), binary.BigEndian.Uint16(b[6:8])),
+	}
+}
+
+// Join asks the membership coordinator to admit the sender. Addr is the
+// joiner's UDP endpoint as it wishes to be advertised to other members.
+type Join struct {
+	Addr netip.AddrPort
+}
+
+// AppendJoin encodes j with its header. Join messages use NilNode as the
+// source because the joiner has not been assigned an ID yet.
+func AppendJoin(b []byte, j Join) []byte {
+	b = AppendHeader(b, TJoin, NilNode)
+	a4 := as4(j.Addr.Addr())
+	b = append(b, a4[:]...)
+	return binary.BigEndian.AppendUint16(b, j.Addr.Port())
+}
+
+// ParseJoin decodes a Join body.
+func ParseJoin(body []byte) (Join, error) {
+	if len(body) != 6 {
+		return Join{}, ErrBadLen
+	}
+	var a4 [4]byte
+	copy(a4[:], body[:4])
+	return Join{Addr: netip.AddrPortFrom(netip.AddrFrom4(a4), binary.BigEndian.Uint16(body[4:6]))}, nil
+}
+
+// JoinReply tells a joiner its assigned node ID. The full view follows in a
+// separate View message (also broadcast to existing members).
+type JoinReply struct {
+	Assigned NodeID
+}
+
+// AppendJoinReply encodes r with its header.
+func AppendJoinReply(b []byte, src NodeID, r JoinReply) []byte {
+	b = AppendHeader(b, TJoinReply, src)
+	return binary.BigEndian.AppendUint16(b, uint16(r.Assigned))
+}
+
+// ParseJoinReply decodes a JoinReply body.
+func ParseJoinReply(body []byte) (JoinReply, error) {
+	if len(body) != 2 {
+		return JoinReply{}, ErrBadLen
+	}
+	return JoinReply{Assigned: NodeID(binary.BigEndian.Uint16(body))}, nil
+}
+
+// View is the coordinator's authoritative membership snapshot. Nodes with
+// the same view version build identical grids (§5, "Membership Service").
+type View struct {
+	Version uint32
+	Members []Member
+}
+
+// AppendView encodes v with its header.
+func AppendView(b []byte, src NodeID, v View) []byte {
+	b = AppendHeader(b, TView, src)
+	b = binary.BigEndian.AppendUint32(b, v.Version)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(v.Members)))
+	for _, m := range v.Members {
+		b = appendMember(b, m)
+	}
+	return b
+}
+
+// ParseView decodes a View body.
+func ParseView(body []byte) (View, error) {
+	const fixed = 4 + 2
+	if len(body) < fixed {
+		return View{}, ErrShort
+	}
+	v := View{Version: binary.BigEndian.Uint32(body)}
+	n := int(binary.BigEndian.Uint16(body[4:]))
+	body = body[fixed:]
+	if len(body) != n*memberLen {
+		return View{}, fmt.Errorf("%w: want %d member bytes, have %d", ErrBadLen, n*memberLen, len(body))
+	}
+	v.Members = make([]Member, n)
+	for i := 0; i < n; i++ {
+		v.Members[i] = parseMember(body[i*memberLen:])
+	}
+	return v, nil
+}
+
+// AppendLeave encodes a Leave notification (no body).
+func AppendLeave(b []byte, src NodeID) []byte {
+	return AppendHeader(b, TLeave, src)
+}
+
+// AppendHeartbeat encodes a membership heartbeat (no body). Members send
+// these to the coordinator so the 30-minute membership timeout (§5) only
+// expires truly departed nodes.
+func AppendHeartbeat(b []byte, src NodeID) []byte {
+	return AppendHeader(b, THeartbeat, src)
+}

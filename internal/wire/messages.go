@@ -1,0 +1,391 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// StatusDead is the liveness/loss byte marking a dead link (5 consecutive
+// probe losses, §5 "Link Monitoring"). Any other value is the measured loss
+// percentage of an alive link, clamped to [0, 100].
+const StatusDead byte = 0xFF
+
+// MakeStatus packs liveness and loss into the 1-byte representation used in
+// link-state rows.
+func MakeStatus(alive bool, lossPct int) byte {
+	if !alive {
+		return StatusDead
+	}
+	if lossPct < 0 {
+		lossPct = 0
+	}
+	if lossPct > 100 {
+		lossPct = 100
+	}
+	return byte(lossPct)
+}
+
+// StatusAlive reports whether a status byte denotes an alive link.
+func StatusAlive(s byte) bool { return s != StatusDead }
+
+// LinkEntry is one destination's measurement in a link-state row: 2 bytes of
+// EWMA latency in milliseconds and 1 byte of liveness/loss, the paper's
+// 3-byte-per-node compact representation.
+type LinkEntry struct {
+	Latency uint16
+	Status  byte
+}
+
+// Cost returns the routing cost of the link: its latency if alive, InfCost
+// otherwise.
+func (e LinkEntry) Cost() Cost {
+	if !StatusAlive(e.Status) {
+		return InfCost
+	}
+	return Cost(e.Latency)
+}
+
+// linkEntryLen is the encoded size of a LinkEntry.
+const linkEntryLen = 3
+
+// Probe is a liveness/latency probe. Echo carries the sender's clock (in
+// nanoseconds of its own epoch) and is reflected verbatim by the reply so
+// the prober can compute the RTT without synchronized clocks.
+type Probe struct {
+	Seq  uint32
+	Echo int64
+}
+
+// probeBodyLen is the encoded body size of Probe and ProbeReply.
+const probeBodyLen = 12
+
+// AppendProbe encodes p with its header.
+func AppendProbe(b []byte, src NodeID, p Probe) []byte {
+	b = AppendHeader(b, TProbe, src)
+	b = binary.BigEndian.AppendUint32(b, p.Seq)
+	return binary.BigEndian.AppendUint64(b, uint64(p.Echo))
+}
+
+// ProbeReply answers a Probe, echoing its sequence number and timestamp.
+// RecvAt is the replier's own clock at the moment the probe arrived; with
+// synchronized clocks it lets the prober split the RTT into one-way
+// latencies, the measurement basis for asymmetric link costs (the paper's
+// footnote 2 extension).
+type ProbeReply struct {
+	Seq    uint32
+	Echo   int64
+	RecvAt int64
+}
+
+// probeReplyBodyLen is the encoded body size of ProbeReply.
+const probeReplyBodyLen = 20
+
+// AppendProbeReply encodes r with its header.
+func AppendProbeReply(b []byte, src NodeID, r ProbeReply) []byte {
+	b = AppendHeader(b, TProbeReply, src)
+	b = binary.BigEndian.AppendUint32(b, r.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Echo))
+	return binary.BigEndian.AppendUint64(b, uint64(r.RecvAt))
+}
+
+// ParseProbe decodes a Probe body (after the common header).
+func ParseProbe(body []byte) (Probe, error) {
+	if len(body) != probeBodyLen {
+		return Probe{}, ErrBadLen
+	}
+	return Probe{
+		Seq:  binary.BigEndian.Uint32(body),
+		Echo: int64(binary.BigEndian.Uint64(body[4:])),
+	}, nil
+}
+
+// ParseProbeReply decodes a ProbeReply body.
+func ParseProbeReply(body []byte) (ProbeReply, error) {
+	if len(body) != probeReplyBodyLen {
+		return ProbeReply{}, ErrBadLen
+	}
+	return ProbeReply{
+		Seq:    binary.BigEndian.Uint32(body),
+		Echo:   int64(binary.BigEndian.Uint64(body[4:])),
+		RecvAt: int64(binary.BigEndian.Uint64(body[12:])),
+	}, nil
+}
+
+// LinkState is a round-1 link-state row: the sender's measurements to every
+// node in the current membership view, indexed by grid slot. It is also the
+// message broadcast by the full-mesh (RON) baseline. ViewVersion lets
+// receivers discard rows built against a different membership view.
+type LinkState struct {
+	ViewVersion uint32
+	Seq         uint32
+	Entries     []LinkEntry
+}
+
+// AppendLinkState encodes ls with its header. The payload beyond the fixed
+// fields is exactly 3 bytes per entry.
+func AppendLinkState(b []byte, src NodeID, ls LinkState) []byte {
+	b = AppendHeader(b, TLinkState, src)
+	b = binary.BigEndian.AppendUint32(b, ls.ViewVersion)
+	b = binary.BigEndian.AppendUint32(b, ls.Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(ls.Entries)))
+	for _, e := range ls.Entries {
+		b = binary.BigEndian.AppendUint16(b, e.Latency)
+		b = append(b, e.Status)
+	}
+	return b
+}
+
+// ParseLinkState decodes a LinkState body.
+func ParseLinkState(body []byte) (LinkState, error) {
+	const fixed = 4 + 4 + 2
+	if len(body) < fixed {
+		return LinkState{}, ErrShort
+	}
+	ls := LinkState{
+		ViewVersion: binary.BigEndian.Uint32(body),
+		Seq:         binary.BigEndian.Uint32(body[4:]),
+	}
+	n := int(binary.BigEndian.Uint16(body[8:]))
+	body = body[fixed:]
+	if len(body) != n*linkEntryLen {
+		return LinkState{}, fmt.Errorf("%w: want %d entry bytes, have %d", ErrBadLen, n*linkEntryLen, len(body))
+	}
+	ls.Entries = make([]LinkEntry, n)
+	for i := 0; i < n; i++ {
+		ls.Entries[i] = LinkEntry{
+			Latency: binary.BigEndian.Uint16(body[i*linkEntryLen:]),
+			Status:  body[i*linkEntryLen+2],
+		}
+	}
+	return ls, nil
+}
+
+// LinkStateSize returns the encoded datagram payload size of a link-state
+// row over n nodes, excluding per-packet overhead. Used by the bandwidth
+// model and tested against the codec.
+func LinkStateSize(n int) int { return HeaderLen + 10 + linkEntryLen*n }
+
+// RecEntry is one best-hop recommendation: for destination Dst, forward via
+// Hop at total path cost Cost. Hop == Dst means the direct path is best;
+// Hop == NilNode means the rendezvous found no usable path.
+type RecEntry struct {
+	Dst  NodeID
+	Hop  NodeID
+	Cost Cost
+}
+
+// recEntryLen is the encoded size of a RecEntry. The paper's accounting uses
+// 4 bytes (destination + hop); we also carry the 2-byte cost, which clients
+// need to arbitrate between redundant rendezvous and to report path gains.
+const recEntryLen = 6
+
+// Recommendation is a round-2 message from a rendezvous server to one of its
+// clients: the best one-hop routes from that client to each of the server's
+// other rendezvous clients.
+type Recommendation struct {
+	ViewVersion uint32
+	Entries     []RecEntry
+}
+
+// AppendRecommendation encodes r with its header.
+func AppendRecommendation(b []byte, src NodeID, r Recommendation) []byte {
+	b = AppendHeader(b, TRecommendation, src)
+	b = binary.BigEndian.AppendUint32(b, r.ViewVersion)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(r.Entries)))
+	for _, e := range r.Entries {
+		b = binary.BigEndian.AppendUint16(b, uint16(e.Dst))
+		b = binary.BigEndian.AppendUint16(b, uint16(e.Hop))
+		b = binary.BigEndian.AppendUint16(b, uint16(e.Cost))
+	}
+	return b
+}
+
+// ParseRecommendation decodes a Recommendation body.
+func ParseRecommendation(body []byte) (Recommendation, error) {
+	const fixed = 4 + 2
+	if len(body) < fixed {
+		return Recommendation{}, ErrShort
+	}
+	r := Recommendation{ViewVersion: binary.BigEndian.Uint32(body)}
+	n := int(binary.BigEndian.Uint16(body[4:]))
+	body = body[fixed:]
+	if len(body) != n*recEntryLen {
+		return Recommendation{}, fmt.Errorf("%w: want %d entry bytes, have %d", ErrBadLen, n*recEntryLen, len(body))
+	}
+	r.Entries = make([]RecEntry, n)
+	for i := 0; i < n; i++ {
+		off := i * recEntryLen
+		r.Entries[i] = RecEntry{
+			Dst:  NodeID(binary.BigEndian.Uint16(body[off:])),
+			Hop:  NodeID(binary.BigEndian.Uint16(body[off+2:])),
+			Cost: Cost(binary.BigEndian.Uint16(body[off+4:])),
+		}
+	}
+	return r, nil
+}
+
+// RecommendationSize returns the encoded payload size of a recommendation
+// message with k entries, excluding per-packet overhead.
+func RecommendationSize(k int) int { return HeaderLen + 6 + recEntryLen*k }
+
+// MHEntry is one destination's entry in a multi-hop modified link state
+// (§3, "Multi-hop routes"): the cost of the best path of length ≤ 2^(t-1)
+// found so far, plus the identity of the second node along it (the Sec
+// pointer used to recover forwarding state).
+type MHEntry struct {
+	Cost Cost
+	Sec  NodeID
+}
+
+// mhEntryLen is the encoded size of an MHEntry.
+const mhEntryLen = 4
+
+// LinkStateMH is the modified link state exchanged in iteration Iter of the
+// multi-hop algorithm.
+type LinkStateMH struct {
+	ViewVersion uint32
+	Iter        uint8
+	Entries     []MHEntry
+}
+
+// AppendLinkStateMH encodes ls with its header.
+func AppendLinkStateMH(b []byte, src NodeID, ls LinkStateMH) []byte {
+	b = AppendHeader(b, TLinkStateMH, src)
+	b = binary.BigEndian.AppendUint32(b, ls.ViewVersion)
+	b = append(b, ls.Iter)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(ls.Entries)))
+	for _, e := range ls.Entries {
+		b = binary.BigEndian.AppendUint16(b, uint16(e.Cost))
+		b = binary.BigEndian.AppendUint16(b, uint16(e.Sec))
+	}
+	return b
+}
+
+// ParseLinkStateMH decodes a LinkStateMH body.
+func ParseLinkStateMH(body []byte) (LinkStateMH, error) {
+	const fixed = 4 + 1 + 2
+	if len(body) < fixed {
+		return LinkStateMH{}, ErrShort
+	}
+	ls := LinkStateMH{
+		ViewVersion: binary.BigEndian.Uint32(body),
+		Iter:        body[4],
+	}
+	n := int(binary.BigEndian.Uint16(body[5:]))
+	body = body[fixed:]
+	if len(body) != n*mhEntryLen {
+		return LinkStateMH{}, fmt.Errorf("%w: want %d entry bytes, have %d", ErrBadLen, n*mhEntryLen, len(body))
+	}
+	ls.Entries = make([]MHEntry, n)
+	for i := 0; i < n; i++ {
+		off := i * mhEntryLen
+		ls.Entries[i] = MHEntry{
+			Cost: Cost(binary.BigEndian.Uint16(body[off:])),
+			Sec:  NodeID(binary.BigEndian.Uint16(body[off+2:])),
+		}
+	}
+	return ls, nil
+}
+
+// MHLinkStateSize returns the encoded payload size of a multi-hop link-state
+// row over n nodes, excluding per-packet overhead.
+func MHLinkStateSize(n int) int { return HeaderLen + 7 + mhEntryLen*n }
+
+// AsymEntry is one destination's entry in an asymmetric link-state row
+// (footnote 2: "the link state transmitted in round one would include both
+// costs"): the one-way cost toward the destination (Out), the one-way cost
+// back (In), and the shared liveness/loss byte.
+type AsymEntry struct {
+	Out    uint16
+	In     uint16
+	Status byte
+}
+
+// asymEntryLen is the encoded size of an AsymEntry.
+const asymEntryLen = 5
+
+// OutCost returns the directed cost origin→destination.
+func (e AsymEntry) OutCost() Cost {
+	if !StatusAlive(e.Status) {
+		return InfCost
+	}
+	return Cost(e.Out)
+}
+
+// InCost returns the directed cost destination→origin.
+func (e AsymEntry) InCost() Cost {
+	if !StatusAlive(e.Status) {
+		return InfCost
+	}
+	return Cost(e.In)
+}
+
+// LinkStateAsym is the round-1 row in asymmetric mode.
+type LinkStateAsym struct {
+	ViewVersion uint32
+	Seq         uint32
+	Entries     []AsymEntry
+}
+
+// AppendLinkStateAsym encodes ls with its header.
+func AppendLinkStateAsym(b []byte, src NodeID, ls LinkStateAsym) []byte {
+	b = AppendHeader(b, TLinkStateAsym, src)
+	b = binary.BigEndian.AppendUint32(b, ls.ViewVersion)
+	b = binary.BigEndian.AppendUint32(b, ls.Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(ls.Entries)))
+	for _, e := range ls.Entries {
+		b = binary.BigEndian.AppendUint16(b, e.Out)
+		b = binary.BigEndian.AppendUint16(b, e.In)
+		b = append(b, e.Status)
+	}
+	return b
+}
+
+// ParseLinkStateAsym decodes a LinkStateAsym body.
+func ParseLinkStateAsym(body []byte) (LinkStateAsym, error) {
+	const fixed = 4 + 4 + 2
+	if len(body) < fixed {
+		return LinkStateAsym{}, ErrShort
+	}
+	ls := LinkStateAsym{
+		ViewVersion: binary.BigEndian.Uint32(body),
+		Seq:         binary.BigEndian.Uint32(body[4:]),
+	}
+	n := int(binary.BigEndian.Uint16(body[8:]))
+	body = body[fixed:]
+	if len(body) != n*asymEntryLen {
+		return LinkStateAsym{}, fmt.Errorf("%w: want %d entry bytes, have %d", ErrBadLen, n*asymEntryLen, len(body))
+	}
+	ls.Entries = make([]AsymEntry, n)
+	for i := 0; i < n; i++ {
+		off := i * asymEntryLen
+		ls.Entries[i] = AsymEntry{
+			Out:    binary.BigEndian.Uint16(body[off:]),
+			In:     binary.BigEndian.Uint16(body[off+2:]),
+			Status: body[off+4],
+		}
+	}
+	return ls, nil
+}
+
+// AsymLinkStateSize returns the encoded payload size of an asymmetric row
+// over n nodes, excluding per-packet overhead.
+func AsymLinkStateSize(n int) int { return HeaderLen + 10 + asymEntryLen*n }
+
+// AppendLinkStateAck encodes an acknowledgment of the link-state row with
+// the given sequence number (the §6.2.2 reliability option: "making
+// link-state announcements reliable, at the cost of additional complexity
+// and some bandwidth").
+func AppendLinkStateAck(b []byte, src NodeID, seq uint32) []byte {
+	b = AppendHeader(b, TLinkStateAck, src)
+	return binary.BigEndian.AppendUint32(b, seq)
+}
+
+// ParseLinkStateAck decodes a link-state ack body, returning the
+// acknowledged sequence number.
+func ParseLinkStateAck(body []byte) (uint32, error) {
+	if len(body) != 4 {
+		return 0, ErrBadLen
+	}
+	return binary.BigEndian.Uint32(body), nil
+}

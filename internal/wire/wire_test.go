@@ -1,0 +1,469 @@
+package wire
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostAddSaturates(t *testing.T) {
+	cases := []struct {
+		a, b, want Cost
+	}{
+		{0, 0, 0},
+		{10, 20, 30},
+		{InfCost, 5, InfCost},
+		{5, InfCost, InfCost},
+		{InfCost, InfCost, InfCost},
+		{0xFFFE, 1, InfCost},
+		{0xFFFE, 0, 0xFFFE},
+		{0x8000, 0x8000, InfCost},
+	}
+	for _, c := range cases {
+		if got := c.a.Add(c.b); got != c.want {
+			t.Errorf("Cost(%d).Add(%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCostAddProperties(t *testing.T) {
+	commutes := func(a, b Cost) bool { return a.Add(b) == b.Add(a) }
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Errorf("Add not commutative: %v", err)
+	}
+	neverExceedsInf := func(a, b Cost) bool { return a.Add(b) <= InfCost }
+	if err := quick.Check(neverExceedsInf, nil); err != nil {
+		t.Errorf("Add overflowed: %v", err)
+	}
+	monotone := func(a, b Cost) bool { return a.Add(b) >= a || a.Add(b) == InfCost }
+	if err := quick.Check(monotone, nil); err != nil {
+		t.Errorf("Add not monotone: %v", err)
+	}
+}
+
+func TestMsgTypeNames(t *testing.T) {
+	for mt := TProbe; mt < maxMsgType; mt++ {
+		if !mt.Valid() {
+			t.Errorf("type %d should be valid", mt)
+		}
+		if mt.String() == "" {
+			t.Errorf("type %d has empty name", mt)
+		}
+	}
+	if MsgType(0).Valid() || MsgType(200).Valid() {
+		t.Error("invalid types reported valid")
+	}
+}
+
+func TestCategoryOf(t *testing.T) {
+	want := map[MsgType]Category{
+		TProbe:          CatProbing,
+		TProbeReply:     CatProbing,
+		TLinkState:      CatRouting,
+		TRecommendation: CatRouting,
+		TLinkStateMH:    CatRouting,
+		TJoin:           CatMembership,
+		TJoinReply:      CatMembership,
+		TLeave:          CatMembership,
+		THeartbeat:      CatMembership,
+		TView:           CatMembership,
+	}
+	for mt, cat := range want {
+		if got := CategoryOf(mt); got != cat {
+			t.Errorf("CategoryOf(%v) = %v, want %v", mt, got, cat)
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	b := AppendHeader(nil, TProbe, 42)
+	h, rest, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TProbe || h.Src != 42 {
+		t.Errorf("got %+v", h)
+	}
+	if len(rest) != 0 {
+		t.Errorf("unexpected trailing bytes: %d", len(rest))
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, _, err := ParseHeader(nil); err == nil {
+		t.Error("want error for nil")
+	}
+	if _, _, err := ParseHeader([]byte{1, 2}); err == nil {
+		t.Error("want error for short header")
+	}
+	if _, _, err := ParseHeader([]byte{0, 0, 0}); err == nil {
+		t.Error("want error for type 0")
+	}
+	if _, _, err := ParseHeader([]byte{99, 0, 0}); err == nil {
+		t.Error("want error for unknown type")
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	if PeekType(nil) != 0 {
+		t.Error("PeekType(nil) != 0")
+	}
+	b := AppendProbe(nil, 1, Probe{Seq: 7})
+	if PeekType(b) != TProbe {
+		t.Errorf("PeekType = %v", PeekType(b))
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	p := Probe{Seq: 0xDEADBEEF, Echo: -12345678901234}
+	b := AppendProbe(nil, 9, p)
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != TProbe || h.Src != 9 {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	got, err := ParseProbe(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("got %+v want %+v", got, p)
+	}
+}
+
+func TestProbeReplyRoundTrip(t *testing.T) {
+	r := ProbeReply{Seq: 1, Echo: 99}
+	b := AppendProbeReply(nil, 3, r)
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != TProbeReply {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	got, err := ParseProbeReply(body)
+	if err != nil || got != r {
+		t.Errorf("got %+v err %v", got, err)
+	}
+}
+
+func TestProbeParseErrors(t *testing.T) {
+	if _, err := ParseProbe([]byte{1, 2, 3}); err == nil {
+		t.Error("want error for short probe")
+	}
+	if _, err := ParseProbe(make([]byte, probeBodyLen+1)); err == nil {
+		t.Error("want error for long probe")
+	}
+}
+
+func TestLinkStateRoundTrip(t *testing.T) {
+	ls := LinkState{
+		ViewVersion: 7,
+		Seq:         100,
+		Entries: []LinkEntry{
+			{Latency: 0, Status: 0},
+			{Latency: 450, Status: 12},
+			{Latency: 65535, Status: StatusDead},
+		},
+	}
+	b := AppendLinkState(nil, 5, ls)
+	if len(b) != LinkStateSize(len(ls.Entries)) {
+		t.Errorf("encoded size %d, LinkStateSize says %d", len(b), LinkStateSize(len(ls.Entries)))
+	}
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != TLinkState || h.Src != 5 {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	got, err := ParseLinkState(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ls) {
+		t.Errorf("got %+v want %+v", got, ls)
+	}
+}
+
+func TestLinkStateEmptyRow(t *testing.T) {
+	b := AppendLinkState(nil, 1, LinkState{ViewVersion: 1, Seq: 2})
+	_, body, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLinkState(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 0 {
+		t.Errorf("want empty entries, got %d", len(got.Entries))
+	}
+}
+
+func TestLinkStateParseErrors(t *testing.T) {
+	if _, err := ParseLinkState([]byte{1}); err == nil {
+		t.Error("want error for short body")
+	}
+	// Claim 2 entries but supply bytes for 1.
+	ls := LinkState{Entries: []LinkEntry{{Latency: 1}}}
+	b := AppendLinkState(nil, 1, ls)
+	_, body, _ := ParseHeader(b)
+	body[8] = 0
+	body[9] = 2 // count=2
+	if _, err := ParseLinkState(body); err == nil {
+		t.Error("want error for inconsistent count")
+	}
+}
+
+func TestLinkEntryCost(t *testing.T) {
+	if c := (LinkEntry{Latency: 80, Status: 3}).Cost(); c != 80 {
+		t.Errorf("alive cost = %d", c)
+	}
+	if c := (LinkEntry{Latency: 80, Status: StatusDead}).Cost(); c != InfCost {
+		t.Errorf("dead cost = %d", c)
+	}
+}
+
+func TestMakeStatus(t *testing.T) {
+	if MakeStatus(false, 0) != StatusDead {
+		t.Error("dead status wrong")
+	}
+	if MakeStatus(true, -5) != 0 {
+		t.Error("negative loss not clamped")
+	}
+	if MakeStatus(true, 250) != 100 {
+		t.Error("loss not clamped to 100")
+	}
+	if MakeStatus(true, 33) != 33 {
+		t.Error("loss not preserved")
+	}
+	if StatusAlive(StatusDead) {
+		t.Error("StatusDead reported alive")
+	}
+	if !StatusAlive(100) {
+		t.Error("loss=100 should still be alive")
+	}
+}
+
+func TestRecommendationRoundTrip(t *testing.T) {
+	r := Recommendation{
+		ViewVersion: 3,
+		Entries: []RecEntry{
+			{Dst: 1, Hop: 1, Cost: 40},            // direct
+			{Dst: 2, Hop: 17, Cost: 90},           // detour
+			{Dst: 3, Hop: NilNode, Cost: InfCost}, // unreachable
+		},
+	}
+	b := AppendRecommendation(nil, 8, r)
+	if len(b) != RecommendationSize(len(r.Entries)) {
+		t.Errorf("encoded size %d, RecommendationSize says %d", len(b), RecommendationSize(len(r.Entries)))
+	}
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != TRecommendation {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	got, err := ParseRecommendation(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("got %+v want %+v", got, r)
+	}
+}
+
+func TestRecommendationParseErrors(t *testing.T) {
+	if _, err := ParseRecommendation([]byte{1, 2}); err == nil {
+		t.Error("want error for short body")
+	}
+	b := AppendRecommendation(nil, 1, Recommendation{Entries: []RecEntry{{Dst: 1}}})
+	_, body, _ := ParseHeader(b)
+	if _, err := ParseRecommendation(body[:len(body)-1]); err == nil {
+		t.Error("want error for truncated entries")
+	}
+}
+
+func TestLinkStateMHRoundTrip(t *testing.T) {
+	ls := LinkStateMH{
+		ViewVersion: 2,
+		Iter:        3,
+		Entries: []MHEntry{
+			{Cost: 10, Sec: 4},
+			{Cost: InfCost, Sec: NilNode},
+		},
+	}
+	b := AppendLinkStateMH(nil, 6, ls)
+	if len(b) != MHLinkStateSize(len(ls.Entries)) {
+		t.Errorf("encoded size %d, MHLinkStateSize says %d", len(b), MHLinkStateSize(len(ls.Entries)))
+	}
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != TLinkStateMH {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	got, err := ParseLinkStateMH(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ls) {
+		t.Errorf("got %+v want %+v", got, ls)
+	}
+	if _, err := ParseLinkStateMH(body[:3]); err == nil {
+		t.Error("want error for short body")
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	j := Join{Addr: netip.MustParseAddrPort("10.1.2.3:9000")}
+	b := AppendJoin(nil, j)
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != TJoin || h.Src != NilNode {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	got, err := ParseJoin(body)
+	if err != nil || got.Addr != j.Addr {
+		t.Errorf("got %+v err %v", got, err)
+	}
+	if _, err := ParseJoin(body[:4]); err == nil {
+		t.Error("want error for short join")
+	}
+}
+
+func TestJoinReplyRoundTrip(t *testing.T) {
+	b := AppendJoinReply(nil, 0, JoinReply{Assigned: 77})
+	_, body, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJoinReply(body)
+	if err != nil || got.Assigned != 77 {
+		t.Errorf("got %+v err %v", got, err)
+	}
+	if _, err := ParseJoinReply(body[:1]); err == nil {
+		t.Error("want error for short reply")
+	}
+}
+
+func TestViewRoundTrip(t *testing.T) {
+	v := View{
+		Version: 12,
+		Members: []Member{
+			{ID: 0, Addr: netip.MustParseAddrPort("192.168.0.1:4000")},
+			{ID: 3, Addr: netip.MustParseAddrPort("10.0.0.2:4001")},
+			{ID: 9, Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{}), 0)},
+		},
+	}
+	b := AppendView(nil, 2, v)
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != TView {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	got, err := ParseView(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Errorf("got %+v want %+v", got, v)
+	}
+	if _, err := ParseView(body[:len(body)-1]); err == nil {
+		t.Error("want error for truncated view")
+	}
+	if _, err := ParseView(body[:2]); err == nil {
+		t.Error("want error for short view")
+	}
+}
+
+func TestLeaveHeartbeatRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		b    []byte
+		want MsgType
+	}{
+		{AppendLeave(nil, 4), TLeave},
+		{AppendHeartbeat(nil, 4), THeartbeat},
+	} {
+		h, body, err := ParseHeader(tc.b)
+		if err != nil || h.Type != tc.want || h.Src != 4 {
+			t.Errorf("header %+v err %v", h, err)
+		}
+		if len(body) != 0 {
+			t.Errorf("%v: unexpected body", tc.want)
+		}
+	}
+}
+
+// Property: link-state rows of arbitrary content round-trip exactly.
+func TestLinkStateQuick(t *testing.T) {
+	f := func(view, seq uint32, lat []uint16, status []byte) bool {
+		n := len(lat)
+		if len(status) < n {
+			n = len(status)
+		}
+		if n > 300 {
+			n = 300
+		}
+		ls := LinkState{ViewVersion: view, Seq: seq, Entries: make([]LinkEntry, n)}
+		for i := 0; i < n; i++ {
+			ls.Entries[i] = LinkEntry{Latency: lat[i], Status: status[i]}
+		}
+		b := AppendLinkState(nil, 1, ls)
+		_, body, err := ParseHeader(b)
+		if err != nil {
+			return false
+		}
+		got, err := ParseLinkState(body)
+		return err == nil && reflect.DeepEqual(got, ls)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: recommendations of arbitrary content round-trip exactly.
+func TestRecommendationQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(view uint32, k uint8) bool {
+		r := Recommendation{ViewVersion: view, Entries: make([]RecEntry, int(k))}
+		for i := range r.Entries {
+			r.Entries[i] = RecEntry{
+				Dst:  NodeID(rng.Intn(1 << 16)),
+				Hop:  NodeID(rng.Intn(1 << 16)),
+				Cost: Cost(rng.Intn(1 << 16)),
+			}
+		}
+		b := AppendRecommendation(nil, 1, r)
+		_, body, err := ParseHeader(b)
+		if err != nil {
+			return false
+		}
+		got, err := ParseRecommendation(body)
+		return err == nil && reflect.DeepEqual(got, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fuzz-ish robustness: random bytes never panic the parsers.
+func TestParsersNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		h, body, err := ParseHeader(b)
+		if err != nil {
+			continue
+		}
+		switch h.Type {
+		case TProbe:
+			ParseProbe(body)
+		case TProbeReply:
+			ParseProbeReply(body)
+		case TLinkState:
+			ParseLinkState(body)
+		case TRecommendation:
+			ParseRecommendation(body)
+		case TLinkStateMH:
+			ParseLinkStateMH(body)
+		case TJoin:
+			ParseJoin(body)
+		case TJoinReply:
+			ParseJoinReply(body)
+		case TView:
+			ParseView(body)
+		}
+	}
+}
