@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all tier1 vet fmt bench
+
+all: tier1 vet
+
+# tier1 is the gate every PR must keep green.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# bench runs tier-1 plus the perf-trajectory benchmarks (the batched one-hop
+# kernels and the Figure 1 sweep) and records the results in BENCH_1.json.
+bench: tier1
+	./scripts/bench.sh BENCH_1.json

@@ -344,6 +344,126 @@ func BenchmarkBestOneHop(b *testing.B) {
 	}
 }
 
+// kernelTable builds a fully-populated link-state table with deterministic
+// pseudo-random latencies and a sprinkling of dead links, the workload of a
+// busy rendezvous server.
+func kernelTable(n int) *lsdb.Table {
+	tb := lsdb.NewTable(n)
+	t0 := time.Unix(0, 0)
+	for s := 0; s < n; s++ {
+		row := make([]wire.LinkEntry, n)
+		for j := range row {
+			st := byte(0)
+			if (s*j+j)%97 == 0 {
+				st = wire.StatusDead
+			}
+			row[j] = wire.LinkEntry{Latency: uint16((s*31 + j*7) % 500), Status: st}
+		}
+		lsdb.SelfRow(s, row)
+		tb.Put(s, lsdb.Row{Seq: 1, When: t0, Entries: row})
+	}
+	return tb
+}
+
+// BenchmarkKernelOneHop benchmarks the rendezvous inner kernel both ways at
+// n ∈ {200, 500, 1000}: the scalar per-pair BestOneHop over packed LinkEntry
+// rows (the pre-matrix code path) against the batched cost-matrix kernel
+// evaluating all destinations of one source in a single pass. Each op
+// evaluates n−1 pairs; ns/pair is the recorded trajectory metric, and the
+// batch variant must stay at 0 allocs/op.
+func BenchmarkKernelOneHop(b *testing.B) {
+	for _, n := range []int{200, 500, 1000} {
+		tb := kernelTable(n)
+		dsts := make([]int, 0, n-1)
+		for d := 1; d < n; d++ {
+			dsts = append(dsts, d)
+		}
+		b.Run(fmt.Sprintf("n=%d/scalar", n), func(b *testing.B) {
+			rowA := tb.Get(0).Entries
+			sink := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, d := range dsts {
+					hop, _ := lsdb.BestOneHop(0, rowA, d, tb.Get(d).Entries)
+					sink += hop
+				}
+			}
+			b.StopTimer()
+			if sink == -1 {
+				b.Fatal("impossible")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(len(dsts))), "ns/pair")
+		})
+		b.Run(fmt.Sprintf("n=%d/batch", n), func(b *testing.B) {
+			out := make([]lsdb.HopCost, len(dsts))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb.Matrix().BestOneHopAll(0, dsts, out)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(len(dsts))), "ns/pair")
+		})
+	}
+}
+
+// BenchmarkKernelViaAll benchmarks a full route-table recompute (the §4.2
+// fallback over every destination): the scalar per-destination BestOneHopVia
+// loop — which re-checks every intermediate's freshness per destination —
+// against the batched BestOneHopViaAll pass.
+func BenchmarkKernelViaAll(b *testing.B) {
+	now := time.Unix(0, 0).Add(time.Second)
+	maxAge := time.Minute
+	for _, n := range []int{500, 1000} {
+		tb := kernelTable(n)
+		liveRow := make([]wire.LinkEntry, n)
+		for j := range liveRow {
+			liveRow[j] = wire.LinkEntry{Latency: uint16((j*13 + 5) % 450), Status: 0}
+		}
+		lsdb.SelfRow(0, liveRow)
+		b.Run(fmt.Sprintf("n=%d/scalar", n), func(b *testing.B) {
+			sink := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for dst := 1; dst < n; dst++ {
+					hop, _ := lsdb.BestOneHopVia(liveRow, tb, dst, now, maxAge)
+					sink += hop
+				}
+			}
+			b.StopTimer()
+			if sink == -1 {
+				b.Fatal("impossible")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(n-1)), "ns/pair")
+		})
+		b.Run(fmt.Sprintf("n=%d/batch", n), func(b *testing.B) {
+			costs := lsdb.UnpackCosts(nil, liveRow)
+			out := make([]lsdb.HopCost, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb.BestOneHopViaAll(costs, now, maxAge, out)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(n-1)), "ns/pair")
+		})
+	}
+}
+
+// BenchmarkFig1Scale times the full Figure 1 pass (parallel, selection-based)
+// at growing host counts, the experiment suite's O(n³)-flavored wall-clock
+// driver.
+func BenchmarkFig1Scale(b *testing.B) {
+	for _, n := range []int{200, 500, 1000} {
+		env := traces.PlanetLab(n, 20051123)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var high int
+			for i := 0; i < b.N; i++ {
+				high = emul.Fig1(env, 400).HighPairs
+			}
+			b.ReportMetric(float64(high), "high_pairs")
+		})
+	}
+}
+
 // BenchmarkLinkStateCodec times encoding+decoding a 1024-node row (the
 // round-1 message).
 func BenchmarkLinkStateCodec(b *testing.B) {

@@ -111,14 +111,19 @@ func fig9(maxN int, seed int64) {
 	fmt.Println("# Figure 9: average per-node routing traffic (in+out, Kbps), 5-minute emulation, no failures")
 	fmt.Println("#   n    RON(meas)  quorum(meas)  RON(theory)  quorum(theory)")
 	warm, meas := time.Minute, 4*time.Minute
+	var ns []int
 	for _, n := range []int{25, 49, 81, 100, 121, 144, 169, 196} {
 		if n > maxN {
 			break
 		}
-		mesh := emul.Fig9Point(n, overlay.AlgFullMesh, seed, warm, meas)
-		quorum := emul.Fig9Point(n, overlay.AlgQuorum, seed, warm, meas)
+		ns = append(ns, n)
+	}
+	// All points of both curves run concurrently on the emul worker pool;
+	// results print in size order regardless of completion order.
+	points := emul.Fig9Sweep(ns, []overlay.Algorithm{overlay.AlgFullMesh, overlay.AlgQuorum}, seed, warm, meas)
+	for i, n := range ns {
 		fmt.Printf("%5d  %9.2f  %11.2f  %10.2f  %13.2f\n",
-			n, mesh, quorum,
+			n, points[i][0], points[i][1],
 			bwmodel.PaperFullMeshRouting(n)/1000, bwmodel.PaperQuorumRouting(n)/1000)
 	}
 	fmt.Println("# paper @140: RON 34.8 Kbps, quorum 15.3 Kbps")

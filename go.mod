@@ -1,0 +1,3 @@
+module allpairs
+
+go 1.24

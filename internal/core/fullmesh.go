@@ -43,6 +43,10 @@ type FullMesh struct {
 	table  *lsdb.Table
 	routes []RouteEntry
 
+	// scratch buffers reused across recomputes.
+	costsBuf []wire.Cost
+	hopBuf   []lsdb.HopCost
+
 	// SelfRow returns the node's current measured link-state row. Required.
 	SelfRow func() []wire.LinkEntry
 	// OnRouteUpdate, if non-nil, observes route table writes.
@@ -97,19 +101,28 @@ func (f *FullMesh) Tick() {
 	f.recompute()
 }
 
-// recompute rebuilds the route table from the link-state database.
+// recompute rebuilds the route table from the link-state database in one
+// batched pass: the self row is unpacked once and every destination is
+// evaluated by the cost-matrix kernel, instead of re-checking every
+// intermediate's freshness per destination.
 func (f *FullMesh) recompute() {
 	now := f.env.Now()
-	row := f.SelfRow()
-	for dst := 0; dst < f.view.N(); dst++ {
+	n := f.view.N()
+	f.costsBuf = lsdb.UnpackCosts(f.costsBuf[:0], f.SelfRow())
+	if cap(f.hopBuf) < n {
+		f.hopBuf = make([]lsdb.HopCost, n)
+	}
+	out := f.hopBuf[:n]
+	f.table.BestOneHopViaAll(f.costsBuf, now, f.cfg.Staleness, out)
+	for dst := 0; dst < n; dst++ {
 		if dst == f.self {
 			continue
 		}
-		hop, cost := lsdb.BestOneHopVia(row, f.table, dst, now, f.cfg.Staleness)
-		if hop < 0 {
+		hc := out[dst]
+		if hc.Hop < 0 {
 			continue // keep the stale entry; BestHop ages it out
 		}
-		e := RouteEntry{Hop: hop, Cost: cost, When: now, From: -1, Source: SourceSelf}
+		e := RouteEntry{Hop: hc.Hop, Cost: hc.Cost, When: now, From: -1, Source: SourceSelf}
 		f.routes[dst] = e
 		if f.OnRouteUpdate != nil {
 			f.OnRouteUpdate(dst, e)

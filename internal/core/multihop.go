@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"allpairs/internal/grid"
+	"allpairs/internal/lsdb"
 	"allpairs/internal/wire"
 )
 
@@ -129,15 +130,10 @@ func (res *MultiHopResult) iterate(g *grid.Grid, rowBytes int64) {
 		for a := 0; a < len(group); a++ {
 			for b := a + 1; b < len(group); b++ {
 				i, j := group[a], group[b]
-				bestCost := wire.InfCost
-				bestMid := -1
-				for m := 0; m < n; m++ {
-					c := res.Dist[i][m].Add(res.Dist[j][m])
-					if c < bestCost {
-						bestCost = c
-						bestMid = m
-					}
-				}
+				// The midpoint search over two modified rows is the same
+				// min-plus scan as the one-hop kernel, with no index skipped
+				// (m == i yields the paths already known to i).
+				bestMid, bestCost := lsdb.BestOneHopRows(-1, res.Dist[i], res.Dist[j])
 				if bestMid < 0 {
 					continue
 				}

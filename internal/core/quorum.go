@@ -134,6 +134,8 @@ type Quorum struct {
 	// scratch buffers reused across ticks.
 	clientsBuf []int
 	recsBuf    [][]wire.RecEntry
+	costsBuf   []wire.Cost
+	hopBuf     []lsdb.HopCost
 }
 
 // NewQuorum creates a quorum router for the node at slot self of view.
@@ -318,36 +320,42 @@ func (q *Quorum) sendRecommendations() {
 		recs[i] = recs[i][:0]
 	}
 
-	selfRow := q.SelfRow()
-	rows := make([][]wire.LinkEntry, len(clients))
-	for i, c := range clients {
-		rows[i] = q.table.Get(c).Entries
+	mat := q.table.Matrix()
+	if cap(q.hopBuf) < len(clients) {
+		q.hopBuf = make([]lsdb.HopCost, len(clients))
 	}
 
 	// Pairs among clients: compute once per unordered pair (links are
-	// bidirectional, so the optimal hop is shared).
+	// bidirectional, so the optimal hop is shared). Each source's unpacked
+	// cost row is scanned against all later clients in one batched pass.
 	for i := 0; i < len(clients); i++ {
-		for j := i + 1; j < len(clients); j++ {
-			hop, cost := lsdb.BestOneHop(clients[i], rows[i], clients[j], rows[j])
+		dsts := clients[i+1:]
+		out := q.hopBuf[:len(dsts)]
+		mat.BestOneHopAll(clients[i], dsts, out)
+		for k, hc := range out {
+			j := i + 1 + k
 			hopID := wire.NilNode
-			if hop >= 0 {
-				hopID = q.view.IDAt(hop)
+			if hc.Hop >= 0 {
+				hopID = q.view.IDAt(hc.Hop)
 			}
-			recs[i] = append(recs[i], wire.RecEntry{Dst: q.view.IDAt(clients[j]), Hop: hopID, Cost: cost})
-			recs[j] = append(recs[j], wire.RecEntry{Dst: q.view.IDAt(clients[i]), Hop: hopID, Cost: cost})
+			recs[i] = append(recs[i], wire.RecEntry{Dst: q.view.IDAt(clients[j]), Hop: hopID, Cost: hc.Cost})
+			recs[j] = append(recs[j], wire.RecEntry{Dst: q.view.IDAt(clients[i]), Hop: hopID, Cost: hc.Cost})
 		}
 	}
 
 	// Pairs (self, client): install locally and tell the client its route to
-	// us.
+	// us. The live self row is unpacked once for the whole batch.
+	q.costsBuf = lsdb.UnpackCosts(q.costsBuf[:0], q.SelfRow())
+	out := q.hopBuf[:len(clients)]
+	mat.BestOneHopAllRow(q.costsBuf, q.self, clients, out)
 	for i, c := range clients {
-		hop, cost := lsdb.BestOneHop(q.self, selfRow, c, rows[i])
-		q.install(c, RouteEntry{Hop: hop, Cost: cost, When: now, From: q.self, Source: SourceSelf})
+		hc := out[i]
+		q.install(c, RouteEntry{Hop: hc.Hop, Cost: hc.Cost, When: now, From: q.self, Source: SourceSelf})
 		hopID := wire.NilNode
-		if hop >= 0 {
-			hopID = q.view.IDAt(hop)
+		if hc.Hop >= 0 {
+			hopID = q.view.IDAt(hc.Hop)
 		}
-		recs[i] = append(recs[i], wire.RecEntry{Dst: q.env.LocalID(), Hop: hopID, Cost: cost})
+		recs[i] = append(recs[i], wire.RecEntry{Dst: q.env.LocalID(), Hop: hopID, Cost: hc.Cost})
 	}
 
 	for i, c := range clients {

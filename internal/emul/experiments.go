@@ -3,7 +3,6 @@ package emul
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"allpairs/internal/core"
@@ -31,35 +30,72 @@ type Fig1Result struct {
 	Excl50    *stats.CDF // "Excluding Top 50% of 1-Hops"
 }
 
+// fig1Slot accumulates one source slot's share of the Figure 1 samples, so
+// worker goroutines never contend and the merge is deterministic in slot
+// order.
+type fig1Slot struct {
+	high                        int
+	direct, best, excl3, excl50 []float64
+}
+
 // Fig1 computes the Figure 1 curves for an environment: for every pair with
 // direct RTT above thresholdMS, the direct latency, the best one-hop
 // latency, and the best remaining one-hop after excluding the top 3% and
 // 50% of one-hop alternatives.
+//
+// The pass is the experiment suite's O(n³)-flavored hot spot, so it is
+// sharded by source slot across a worker pool, and the per-pair full sort of
+// alternatives is replaced by O(n) selection of just the three order
+// statistics the figure needs (minimum, 3% and 50% exclusion indices). The
+// latency matrix is symmetric, so the second leg reads the destination's row
+// rather than a strided column.
 func Fig1(env *traces.Env, thresholdMS float64) *Fig1Result {
-	r := &Fig1Result{
-		Direct: &stats.CDF{}, Best: &stats.CDF{}, Excl3: &stats.CDF{}, Excl50: &stats.CDF{},
-	}
 	n := env.N
-	alts := make([]float64, 0, n)
-	for a := 0; a < n; a++ {
+	slots := make([]fig1Slot, n)
+	parallelFor(n, 0, func(a int) {
+		s := &slots[a]
+		rowA := env.LatencyMS[a]
+		alts := make([]float64, 0, n)
 		for b := a + 1; b < n; b++ {
-			direct := env.LatencyMS[a][b]
+			direct := rowA[b]
 			if direct <= thresholdMS {
 				continue
 			}
-			r.HighPairs++
+			rowB := env.LatencyMS[b]
 			alts = alts[:0]
 			for h := 0; h < n; h++ {
 				if h == a || h == b {
 					continue
 				}
-				alts = append(alts, env.LatencyMS[a][h]+env.LatencyMS[h][b])
+				alts = append(alts, rowA[h]+rowB[h])
 			}
-			sort.Float64s(alts)
-			r.Direct.Add(direct)
-			r.Best.Add(alts[0])
-			r.Excl3.Add(alts[excludeIndex(len(alts), 0.03)])
-			r.Excl50.Add(alts[excludeIndex(len(alts), 0.50)])
+			if len(alts) == 0 {
+				continue // n = 2: no possible one-hop, nothing to compare
+			}
+			s.high++
+			best := alts[0]
+			for _, v := range alts[1:] {
+				if v < best {
+					best = v
+				}
+			}
+			s.direct = append(s.direct, direct)
+			s.best = append(s.best, best)
+			s.excl3 = append(s.excl3, stats.SelectKth(alts, excludeIndex(len(alts), 0.03)))
+			s.excl50 = append(s.excl50, stats.SelectKth(alts, excludeIndex(len(alts), 0.50)))
+		}
+	})
+	r := &Fig1Result{
+		Direct: &stats.CDF{}, Best: &stats.CDF{}, Excl3: &stats.CDF{}, Excl50: &stats.CDF{},
+	}
+	for a := range slots {
+		s := &slots[a]
+		r.HighPairs += s.high
+		for i := range s.direct {
+			r.Direct.Add(s.direct[i])
+			r.Best.Add(s.best[i])
+			r.Excl3.Add(s.excl3[i])
+			r.Excl50.Add(s.excl50[i])
 		}
 	}
 	return r
@@ -102,6 +138,23 @@ func Fig9Point(n int, algo overlay.Algorithm, seed int64, warmup, measure time.D
 		sum += v
 	}
 	return sum / float64(n)
+}
+
+// Fig9Sweep evaluates Fig9Point for every (size, algorithm) combination on a
+// worker pool and returns the Kbps-per-node results indexed [i][j] to match
+// ns[i] and algos[j]. Each point is an independent deterministic emulation
+// (the fleet seeds the same way regardless of which worker runs it), so the
+// sweep parallelizes without changing any number.
+func Fig9Sweep(ns []int, algos []overlay.Algorithm, seed int64, warmup, measure time.Duration) [][]float64 {
+	out := make([][]float64, len(ns))
+	for i := range out {
+		out[i] = make([]float64, len(algos))
+	}
+	parallelFor(len(ns)*len(algos), 0, func(k int) {
+		i, j := k/len(algos), k%len(algos)
+		out[i][j] = Fig9Point(ns[i], algos[j], seed, warmup, measure)
+	})
+	return out
 }
 
 // ---------------------------------------------------------------------------

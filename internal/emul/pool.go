@@ -1,0 +1,46 @@
+package emul
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n), fanning out across up to
+// workers goroutines that pull indices from a shared counter, so shards of
+// uneven cost (e.g. source slots with shrinking pair ranges) stay balanced.
+// workers ≤ 0 means GOMAXPROCS. It returns once every index has completed.
+//
+// Callers keep determinism by writing results into per-index slots and
+// merging in index order after the pool drains; fn itself must not depend on
+// execution order.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package emul
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"allpairs/internal/overlay"
+	"allpairs/internal/traces"
+)
+
+// routeTableHash runs a deterministic fleet and digests every node's full
+// route table (hop, cost, from, source per destination). The golden values
+// below were captured from the scalar BestOneHop implementation; the batched
+// cost-matrix kernels must reproduce them bit for bit.
+func routeTableHash(algo overlay.Algorithm, n int, seed int64, env *traces.Env, d time.Duration) string {
+	f := NewFleet(FleetOptions{N: n, Algorithm: algo, Seed: seed, Env: env})
+	f.Run(d)
+	h := sha256.New()
+	var buf [8]byte
+	for _, node := range f.Nodes {
+		for dst, e := range node.Router().Routes() {
+			binary.BigEndian.PutUint32(buf[:4], uint32(dst))
+			binary.BigEndian.PutUint32(buf[4:], uint32(e.Hop))
+			h.Write(buf[:])
+			binary.BigEndian.PutUint16(buf[:2], uint16(e.Cost))
+			binary.BigEndian.PutUint32(buf[2:6], uint32(e.From))
+			buf[6] = byte(e.Source)
+			buf[7] = 0
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// TestRouteTablesMatchScalarGolden pins the route tables of both routers on
+// the deterministic simnet seeds used throughout the test suite, so kernel
+// rewrites cannot silently change routing decisions.
+func TestRouteTablesMatchScalarGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		algo overlay.Algorithm
+		n    int
+		seed int64
+		env  *traces.Env
+		want string
+	}{
+		{"fullmesh/homogeneous", overlay.AlgFullMesh, 16, 1, nil, "701d961db4d1b605"},
+		{"quorum/homogeneous", overlay.AlgQuorum, 16, 1, nil, "97828e4d43c695ff"},
+		{"fullmesh/planetlab", overlay.AlgFullMesh, 25, 77, traces.PlanetLab(25, 77), "23a7b9dcf6c06547"},
+		{"quorum/planetlab", overlay.AlgQuorum, 25, 77, traces.PlanetLab(25, 77), "c36507c126ea3110"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := routeTableHash(tc.algo, tc.n, tc.seed, tc.env, 4*time.Minute)
+			if got != tc.want {
+				t.Errorf("route table hash = %s, want %s", got, tc.want)
+			}
+		})
+	}
+}

@@ -45,13 +45,19 @@ func NewAsymTable(n int) *AsymTable {
 // N returns the number of slots in the view.
 func (t *AsymTable) N() int { return t.n }
 
-// Put stores a row for slot unless it is older than the stored one.
+// Put stores a row for slot unless it is older than the stored one: lower
+// sequence numbers are rejected, as are equal-sequence rows whose When is
+// older — the same delayed-duplicate rule as Table.Put, so neither row
+// format can roll back a refreshed timestamp.
 func (t *AsymTable) Put(slot int, row AsymRow) bool {
 	if slot < 0 || slot >= t.n || len(row.Entries) != t.n {
 		return false
 	}
-	if t.have[slot] && row.Seq < t.rows[slot].Seq {
-		return false
+	if t.have[slot] {
+		old := &t.rows[slot]
+		if row.Seq < old.Seq || (row.Seq == old.Seq && row.When.Before(old.When)) {
+			return false
+		}
 	}
 	t.rows[slot] = row
 	t.have[slot] = true

@@ -118,3 +118,22 @@ func TestBestOneHopAsymQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAsymPutRejectsEqualSeqOlderWhen(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	tb := NewAsymTable(2)
+	fresh := AsymRow{Seq: 5, When: t0.Add(time.Minute), Entries: SelfAsymRow(0, make([]wire.AsymEntry, 2))}
+	if !tb.Put(0, fresh) {
+		t.Fatal("Put rejected fresh row")
+	}
+	stale := AsymRow{Seq: 5, When: t0, Entries: SelfAsymRow(0, make([]wire.AsymEntry, 2))}
+	if tb.Put(0, stale) {
+		t.Error("Put accepted equal-seq row with older When")
+	}
+	if got := tb.Get(0); got == nil || !got.When.Equal(t0.Add(time.Minute)) {
+		t.Error("stored row was rolled back by delayed duplicate")
+	}
+	if !tb.Put(0, fresh) {
+		t.Error("Put rejected identical duplicate")
+	}
+}

@@ -30,48 +30,58 @@ func (r *Row) Cost(slot int) wire.Cost {
 	return r.Entries[slot].Cost()
 }
 
-// Table stores the most recent link-state row received from each slot.
-// The zero value is unusable; create tables with NewTable.
+// Table stores the most recent link-state row received from each slot,
+// alongside the flat CostMatrix the batch kernels scan — every Put unpacks
+// the row's cost bits into the matrix once, so route evaluation never touches
+// LinkEntry again. The zero value is unusable; create tables with NewTable.
 type Table struct {
 	n    int
 	rows []Row
-	have []bool
+	mat  *CostMatrix
 }
 
 // NewTable returns an empty table for an n-slot view.
 func NewTable(n int) *Table {
-	return &Table{n: n, rows: make([]Row, n), have: make([]bool, n)}
+	return &Table{n: n, rows: make([]Row, n), mat: NewCostMatrix(n)}
 }
 
 // N returns the number of slots in the view.
 func (t *Table) N() int { return t.n }
 
+// Matrix exposes the flat cost matrix maintained by Put (read-only).
+func (t *Table) Matrix() *CostMatrix { return t.mat }
+
 // Put stores a row for slot if it is not older than what the table already
-// holds (sequence numbers break ties in favour of the new row, so refreshed
-// timestamps win). It reports whether the row was stored.
+// holds: lower sequence numbers are rejected, as are equal-sequence rows
+// whose When is older than the stored one, so a delayed duplicate can never
+// roll back a refreshed timestamp. It reports whether the row was stored.
 func (t *Table) Put(slot int, row Row) bool {
 	if slot < 0 || slot >= t.n || len(row.Entries) != t.n {
 		return false
 	}
-	if t.have[slot] && row.Seq < t.rows[slot].Seq {
-		return false
+	if t.mat.have[slot] {
+		// The matrix metadata is the authoritative copy of the stored row's
+		// (seq, when); rows[] only keeps the raw entries.
+		if row.Seq < t.mat.seq[slot] || (row.Seq == t.mat.seq[slot] && row.When.Before(t.mat.when[slot])) {
+			return false
+		}
 	}
 	t.rows[slot] = row
-	t.have[slot] = true
+	t.mat.setRow(slot, row.Entries, row.Seq, row.When)
 	return true
 }
 
 // Drop removes the row for slot, if any.
 func (t *Table) Drop(slot int) {
 	if slot >= 0 && slot < t.n {
-		t.have[slot] = false
 		t.rows[slot] = Row{}
+		t.mat.clearRow(slot)
 	}
 }
 
 // Get returns the stored row for slot, or nil if none.
 func (t *Table) Get(slot int) *Row {
-	if slot < 0 || slot >= t.n || !t.have[slot] {
+	if slot < 0 || slot >= t.n || !t.mat.have[slot] {
 		return nil
 	}
 	return &t.rows[slot]
@@ -92,7 +102,7 @@ func (t *Table) Fresh(slot int, now time.Time, maxAge time.Duration) *Row {
 // returns the result. Pass a reused buffer to avoid allocation.
 func (t *Table) FreshSlots(dst []int, now time.Time, maxAge time.Duration) []int {
 	for s := 0; s < t.n; s++ {
-		if t.have[s] && now.Sub(t.rows[s].When) <= maxAge {
+		if t.mat.FreshAt(s, now, maxAge) {
 			dst = append(dst, s)
 		}
 	}
@@ -138,20 +148,29 @@ func BestOneHopVia(rowA []wire.LinkEntry, table *Table, dst int, now time.Time, 
 	if c := rowA[dst].Cost(); c < cost {
 		hop, cost = dst, c
 	}
+	if dst >= table.n {
+		// The destination is outside the table's view: no stored row has an
+		// entry for it, so every intermediate leg is InfCost and only the
+		// direct path can be usable (the pre-matrix code read these missing
+		// entries as InfCost).
+		return hop, cost
+	}
+	m := table.mat
+	best := uint32(cost)
 	for h := 0; h < table.n && h < len(rowA); h++ {
-		if h == dst {
+		if h == dst || !m.FreshAt(h, now, maxAge) {
 			continue
 		}
-		r := table.Fresh(h, now, maxAge)
-		if r == nil {
-			continue
-		}
-		c := rowA[h].Cost().Add(r.Cost(dst))
-		if c < cost {
-			hop, cost = h, c
+		// Intermediate costs come from the flat matrix (unpacked at ingest);
+		// only the caller's own live row still needs per-entry unpacking.
+		if s := uint32(rowA[h].Cost()) + uint32(m.costs[h*m.n+dst]); s < best {
+			best, hop = s, h
 		}
 	}
-	return hop, cost
+	if hop < 0 {
+		return -1, wire.InfCost
+	}
+	return hop, wire.Cost(best)
 }
 
 // SelfRow builds the canonical self-measurement row for slot self with the

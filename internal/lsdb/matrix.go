@@ -1,0 +1,342 @@
+package lsdb
+
+import (
+	"time"
+
+	"allpairs/internal/wire"
+)
+
+// HopCost is one result of a batched one-hop kernel: the chosen intermediate
+// (with the scalar BestOneHop conventions — hop == dst means direct, -1 means
+// no usable path) and the total path cost.
+type HopCost struct {
+	Hop  int
+	Cost wire.Cost
+}
+
+// CostMatrix is the flat, unpacked view of a link-state table: one contiguous
+// n×n []wire.Cost in row-major order (row s holds the costs announced by
+// slot s) plus per-slot freshness and sequence metadata. Table.Put maintains
+// it incrementally, so LinkEntry cost bits are unpacked exactly once at
+// ingest; the batch kernels below then scan plain uint16 rows with no
+// per-element status branches, which is what lets rendezvous recommendation
+// passes and full-table recomputes run cache-friendly at n ≥ 500.
+//
+// Rows of slots with no stored announcement are all-InfCost, so they can
+// never win a minimization; freshness must still be checked via FreshAt for
+// staleness-sensitive consumers.
+type CostMatrix struct {
+	n     int
+	costs []wire.Cost // n*n, row-major; InfCost where no row is stored
+	have  []bool
+	when  []time.Time
+	seq   []uint32
+
+	// keyBuf holds the packed source-row keys a batch pass shares across all
+	// its destinations (see sourceKeys). Kernels that use it are not safe for
+	// concurrent calls on the same matrix; every consumer (one router per
+	// node, one fleet per sweep worker) is single-threaded per table.
+	keyBuf []uint64
+}
+
+// NewCostMatrix returns an empty matrix for an n-slot view.
+func NewCostMatrix(n int) *CostMatrix {
+	m := &CostMatrix{
+		n:     n,
+		costs: make([]wire.Cost, n*n),
+		have:  make([]bool, n),
+		when:  make([]time.Time, n),
+		seq:   make([]uint32, n),
+	}
+	for i := range m.costs {
+		m.costs[i] = wire.InfCost
+	}
+	return m
+}
+
+// N returns the number of slots in the view.
+func (m *CostMatrix) N() int { return m.n }
+
+// Row returns slot's unpacked cost row (length n, all InfCost if the slot has
+// no stored announcement). The slice aliases the matrix and must not be
+// modified.
+func (m *CostMatrix) Row(slot int) []wire.Cost {
+	return m.costs[slot*m.n : slot*m.n+m.n : slot*m.n+m.n]
+}
+
+// Have reports whether slot has a stored row.
+func (m *CostMatrix) Have(slot int) bool {
+	return slot >= 0 && slot < m.n && m.have[slot]
+}
+
+// Seq returns the sequence number of slot's stored row (0 if none).
+func (m *CostMatrix) Seq(slot int) uint32 { return m.seq[slot] }
+
+// When returns the receive time of slot's stored row (zero if none).
+func (m *CostMatrix) When(slot int) time.Time { return m.when[slot] }
+
+// FreshAt reports whether slot has a row received within maxAge of now.
+func (m *CostMatrix) FreshAt(slot int, now time.Time, maxAge time.Duration) bool {
+	return m.have[slot] && now.Sub(m.when[slot]) <= maxAge
+}
+
+// setRow unpacks entries into slot's row and records its metadata.
+func (m *CostMatrix) setRow(slot int, entries []wire.LinkEntry, seq uint32, when time.Time) {
+	row := m.costs[slot*m.n : slot*m.n+m.n]
+	for i, e := range entries {
+		row[i] = e.Cost()
+	}
+	m.have[slot] = true
+	m.seq[slot] = seq
+	m.when[slot] = when
+}
+
+// clearRow resets slot's row to unreachable and drops its metadata.
+func (m *CostMatrix) clearRow(slot int) {
+	row := m.costs[slot*m.n : slot*m.n+m.n]
+	for i := range row {
+		row[i] = wire.InfCost
+	}
+	m.have[slot] = false
+	m.seq[slot] = 0
+	m.when[slot] = time.Time{}
+}
+
+// UnpackCosts appends the unpacked costs of row to dst and returns the
+// result. Pass a reused buffer (dst[:0]) to avoid allocation; consumers use
+// it to bring a live measured row (which is not stored in any table) into the
+// flat representation the kernels scan.
+func UnpackCosts(dst []wire.Cost, row []wire.LinkEntry) []wire.Cost {
+	for _, e := range row {
+		dst = append(dst, e.Cost())
+	}
+	return dst
+}
+
+// BestOneHopRows is the scalar kernel over unpacked rows: the hop h (with
+// h != skip) minimizing rowA[h] + rowB[h] with saturation at InfCost, ties
+// broken toward the smallest h exactly like BestOneHop. Pass skip = -1 to
+// consider every index (the multi-hop midpoint search). The scan length is
+// min(len(rowA), len(rowB)).
+func BestOneHopRows(skip int, rowA, rowB []wire.Cost) (hop int, cost wire.Cost) {
+	n := len(rowA)
+	if len(rowB) < n {
+		n = len(rowB)
+	}
+	rowA = rowA[:n]
+	rowB = rowB[:n:n]
+	hop = -1
+	best := uint32(wire.InfCost)
+	// Split around skip so the hot loops carry no per-element branch beyond
+	// the running-minimum compare. A sum ≥ InfCost can never beat best
+	// (best ≤ InfCost throughout), which reproduces Cost.Add's saturation.
+	hi := n
+	if skip >= 0 && skip < n {
+		hi = skip
+	}
+	for h := 0; h < hi; h++ {
+		if s := uint32(rowA[h]) + uint32(rowB[h]); s < best {
+			best, hop = s, h
+		}
+	}
+	if hi < n {
+		for h := hi + 1; h < n; h++ {
+			if s := uint32(rowA[h]) + uint32(rowB[h]); s < best {
+				best, hop = s, h
+			}
+		}
+	}
+	if hop < 0 {
+		return -1, wire.InfCost
+	}
+	return hop, wire.Cost(best)
+}
+
+// infKey is the packed-key rendering of "no usable hop": cost InfCost in the
+// high bits, hop bits zero, so any candidate with a finite (< InfCost) total
+// compares below it and no saturated total ever does.
+const infKey = uint64(wire.InfCost) << 16
+
+// sourceKeys packs rowA into the shared per-batch key representation:
+// keyBuf[h] = rowA[h]<<16 | h. A minimization over keys then yields the
+// smallest total cost with ties broken toward the smallest h — exactly the
+// scalar kernel's first-strict-minimum order — without tracking an index in
+// the hot loop. The skip slot is forced to InfCost so it can never win.
+func (m *CostMatrix) sourceKeys(rowA []wire.Cost, skip int) []uint64 {
+	if cap(m.keyBuf) < len(rowA) {
+		m.keyBuf = make([]uint64, len(rowA))
+	}
+	keys := m.keyBuf[:len(rowA)]
+	for h, c := range rowA {
+		keys[h] = uint64(c)<<16 | uint64(h)
+	}
+	if skip >= 0 && skip < len(keys) {
+		keys[skip] = infKey | uint64(skip)
+	}
+	return keys
+}
+
+// bestOneHopKeys scans one destination row against precomputed source keys.
+// Adding rowB[h]<<16 leaves the low 16 index bits intact (and cannot carry
+// out of a uint64), so the running minimum needs no branch-carried index.
+// Four independent lanes break the compare dependency chain; the final lane
+// merge preserves the smallest-index tie-break because the index is part of
+// the key.
+func bestOneHopKeys(keys []uint64, rowB []wire.Cost) (hop int, cost wire.Cost) {
+	n := len(keys)
+	if len(rowB) < n {
+		n = len(rowB)
+	}
+	keys = keys[:n]
+	rowB = rowB[:n:n]
+	b0, b1, b2, b3 := infKey, infKey, infKey, infKey
+	// The candidate index travels inside the key, so the loop can advance
+	// both slices instead of tracking h — which also lets the compiler prove
+	// every access in the unrolled body in-bounds (no checks, only CMOVs).
+	for len(keys) >= 8 && len(rowB) >= 8 {
+		if k := keys[0] + uint64(rowB[0])<<16; k < b0 {
+			b0 = k
+		}
+		if k := keys[1] + uint64(rowB[1])<<16; k < b1 {
+			b1 = k
+		}
+		if k := keys[2] + uint64(rowB[2])<<16; k < b2 {
+			b2 = k
+		}
+		if k := keys[3] + uint64(rowB[3])<<16; k < b3 {
+			b3 = k
+		}
+		if k := keys[4] + uint64(rowB[4])<<16; k < b0 {
+			b0 = k
+		}
+		if k := keys[5] + uint64(rowB[5])<<16; k < b1 {
+			b1 = k
+		}
+		if k := keys[6] + uint64(rowB[6])<<16; k < b2 {
+			b2 = k
+		}
+		if k := keys[7] + uint64(rowB[7])<<16; k < b3 {
+			b3 = k
+		}
+		keys, rowB = keys[8:], rowB[8:]
+	}
+	for len(keys) >= 4 && len(rowB) >= 4 {
+		if k := keys[0] + uint64(rowB[0])<<16; k < b0 {
+			b0 = k
+		}
+		if k := keys[1] + uint64(rowB[1])<<16; k < b1 {
+			b1 = k
+		}
+		if k := keys[2] + uint64(rowB[2])<<16; k < b2 {
+			b2 = k
+		}
+		if k := keys[3] + uint64(rowB[3])<<16; k < b3 {
+			b3 = k
+		}
+		keys, rowB = keys[4:], rowB[4:]
+	}
+	for i, kk := range keys {
+		if k := kk + uint64(rowB[i])<<16; k < b0 {
+			b0 = k
+		}
+	}
+	if b1 < b0 {
+		b0 = b1
+	}
+	if b2 < b0 {
+		b0 = b2
+	}
+	if b3 < b0 {
+		b0 = b3
+	}
+	if b0 >= infKey {
+		return -1, wire.InfCost
+	}
+	return int(b0 & 0xFFFF), wire.Cost(b0 >> 16)
+}
+
+// BestOneHopAll batch-evaluates the best one-hop route from slot a to every
+// slot in dsts, using the matrix rows of a and of each destination. It is
+// equivalent to calling BestOneHop(a, rowA, b, rowB) per destination, but a's
+// row is packed once and stays cache-resident across the whole pass. out
+// must have len(dsts) entries; the kernel performs no steady-state
+// allocation (the shared key buffer is grown once per view size).
+func (m *CostMatrix) BestOneHopAll(a int, dsts []int, out []HopCost) {
+	m.BestOneHopAllRow(m.Row(a), a, dsts, out)
+}
+
+// BestOneHopAllRow is BestOneHopAll with the source row supplied unpacked —
+// used when the source is the node's own live measurement row, which is not
+// stored in its table. skip (the source's slot, excluded as an intermediate)
+// is passed separately because the row does not identify it.
+func (m *CostMatrix) BestOneHopAllRow(rowA []wire.Cost, skip int, dsts []int, out []HopCost) {
+	keys := m.sourceKeys(rowA, skip)
+	for i, b := range dsts {
+		hop, cost := bestOneHopKeys(keys, m.Row(b))
+		out[i] = HopCost{Hop: hop, Cost: cost}
+	}
+}
+
+// BestOneHopPairs batch-evaluates arbitrary (src, dst) slot pairs against the
+// matrix. out must have len(pairs) entries. Consecutive pairs sharing a
+// source reuse its packed keys, so grouping pairs by source gets the same
+// amortization as BestOneHopAll.
+func (m *CostMatrix) BestOneHopPairs(pairs [][2]int, out []HopCost) {
+	lastSrc := -1
+	var keys []uint64
+	for i, p := range pairs {
+		if p[0] != lastSrc {
+			keys = m.sourceKeys(m.Row(p[0]), p[0])
+			lastSrc = p[0]
+		}
+		hop, cost := bestOneHopKeys(keys, m.Row(p[1]))
+		out[i] = HopCost{Hop: hop, Cost: cost}
+	}
+}
+
+// BestOneHopViaAll batch-evaluates the §4.2 fallback for every destination
+// slot at once: out[dst] is what BestOneHopVia would return for dst given the
+// same unpacked source row. The freshness of each intermediate is evaluated
+// once (not once per destination as the scalar loop does), and each fresh
+// intermediate's matrix row is then streamed across all destinations, so the
+// whole table recompute is one cache-friendly O(fresh·n) pass. out must have
+// t.N() entries.
+func (t *Table) BestOneHopViaAll(rowA []wire.Cost, now time.Time, maxAge time.Duration, out []HopCost) {
+	n := t.n
+	m := t.mat
+	// Seed with the direct path, exactly as the scalar fallback does: a
+	// destination outside the row (or with a dead direct link and no fresh
+	// intermediates) reports hop -1.
+	for dst := 0; dst < n; dst++ {
+		if dst < len(rowA) && rowA[dst] != wire.InfCost {
+			out[dst] = HopCost{Hop: dst, Cost: rowA[dst]}
+		} else {
+			out[dst] = HopCost{Hop: -1, Cost: wire.InfCost}
+		}
+	}
+	lim := n
+	if len(rowA) < lim {
+		lim = len(rowA)
+	}
+	// Destinations beyond len(rowA) keep their -1 seed — the scalar fallback
+	// rejects them outright — so intermediates only stream over row[:lim].
+	out = out[:n]
+	for h := 0; h < lim; h++ {
+		if !m.FreshAt(h, now, maxAge) {
+			continue
+		}
+		ca := uint32(rowA[h])
+		if ca >= uint32(wire.InfCost) {
+			continue // dead first leg can never improve any destination
+		}
+		row := m.Row(h)
+		for dst, cb := range row[:lim] {
+			if dst == h {
+				continue
+			}
+			if s := ca + uint32(cb); s < uint32(out[dst].Cost) {
+				out[dst] = HopCost{Hop: h, Cost: wire.Cost(s)}
+			}
+		}
+	}
+}

@@ -112,6 +112,47 @@ func (c *CDF) Values() []float64 {
 	return c.vals
 }
 
+// SelectKth partially reorders vals in place and returns its k-th smallest
+// element (0-based), the value sort.Float64s(vals); vals[k] would produce.
+// It is the O(n) quickselect the experiment harness uses when only a few
+// order statistics of a scratch buffer are needed — the Figure 1 exclusion
+// indices, for example — instead of an O(n log n) full sort per pair.
+func SelectKth(vals []float64, k int) float64 {
+	lo, hi := 0, len(vals)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to hi for a Lomuto partition.
+		mid := lo + (hi-lo)/2
+		if vals[mid] < vals[lo] {
+			vals[mid], vals[lo] = vals[lo], vals[mid]
+		}
+		if vals[hi] < vals[lo] {
+			vals[hi], vals[lo] = vals[lo], vals[hi]
+		}
+		if vals[hi] < vals[mid] {
+			vals[hi], vals[mid] = vals[mid], vals[hi]
+		}
+		vals[mid], vals[hi] = vals[hi], vals[mid]
+		pivot := vals[hi]
+		p := lo
+		for i := lo; i < hi; i++ {
+			if vals[i] < pivot {
+				vals[i], vals[p] = vals[p], vals[i]
+				p++
+			}
+		}
+		vals[p], vals[hi] = vals[hi], vals[p]
+		switch {
+		case p == k:
+			return vals[k]
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return vals[k]
+}
+
 // Point is one (x, y) sample of a rendered curve.
 type Point struct {
 	X, Y float64

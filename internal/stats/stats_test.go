@@ -231,3 +231,21 @@ func TestCurveConsistencyQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSelectKthMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(80)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(r.Intn(25)) // duplicates likely
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		k := r.Intn(n)
+		scratch := append([]float64(nil), vals...)
+		if got := SelectKth(scratch, k); got != sorted[k] {
+			t.Fatalf("trial %d: SelectKth(%v, %d) = %v, want %v", trial, vals, k, got, sorted[k])
+		}
+	}
+}

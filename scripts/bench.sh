@@ -1,0 +1,33 @@
+#!/bin/sh
+# Runs the perf-trajectory benchmarks — the batched one-hop kernels and the
+# Figure 1 sweep, scalar and batch variants side by side — and writes the
+# parsed results as JSON to the file named in $1 (default BENCH_1.json).
+# The raw `go test -bench` output is echoed so a human can eyeball it.
+set -e
+out=${1:-BENCH_1.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'Kernel|Fig1BestOneHop|Fig1Scale' -benchmem -count 3 . | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v gover="$(go version | awk '{print $3}')" \
+    -v cpus="$(nproc 2>/dev/null || echo 1)" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [", date, gover, cpus
+	first = 1
+}
+/^Benchmark/ {
+	if (!first) printf ","
+	first = 0
+	printf "\n    {\"name\": \"%s\", \"iterations\": %s", $1, $2
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/[\/%]/, "_", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END { printf "\n  ]\n}\n" }' "$tmp" > "$out"
+
+echo "wrote $out"
