@@ -536,6 +536,32 @@ func medianFresh(ps []metrics.PairStats) float64 {
 	return median(vals)
 }
 
+// BenchmarkChurnScale runs the Poisson churn scenario (5% per minute, half
+// crashes) at growing overlay sizes through the full dynamic-membership
+// stack — join protocol, delta views, measurement carry-over — reporting
+// route availability among surviving pairs and the coordinator's total
+// membership message count (which must grow like the churn volume, not
+// n × churn).
+func BenchmarkChurnScale(b *testing.B) {
+	for _, n := range []int{200, 500, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var res *emul.ChurnResult
+			for i := 0; i < b.N; i++ {
+				res = emul.RunChurn(emul.ChurnOptions{
+					N:        n,
+					Seed:     42,
+					Warmup:   2 * time.Minute,
+					Duration: 4 * time.Minute,
+				})
+			}
+			b.ReportMetric(res.MinAvailability*100, "min_avail_pct")
+			b.ReportMetric(res.MeanAvailability*100, "mean_avail_pct")
+			b.ReportMetric(res.MeanStretch, "mean_stretch")
+			b.ReportMetric(float64(res.CoordMsgs), "coord_msgs")
+		})
+	}
+}
+
 // BenchmarkAblationReliability compares §6.2.2's reliable link-state option
 // against plain best-effort rows under 25% loss: worst-case route age
 // improves, routing bandwidth pays for the acks and retransmissions.

@@ -8,6 +8,7 @@
 //	experiments fig1 [-n 359] [-seed S]
 //	experiments fig8|fig10|fig11|fig12|fig13|fig14 [-n 140] [-minutes 136] [-seed S]
 //	experiments fig9 [-max 196] [-seed S]
+//	experiments churn [-n 500] [-scenario poisson|flash|mass] [-rate 0.05] [-minutes 10] [-seed S]
 //	experiments failover [-seed S]
 //	experiments multihop [-n 64] [-hops 4]
 //	experiments table-config
@@ -47,7 +48,12 @@ func main() {
 	minutes := fs.Int("minutes", 136, "deployment duration (virtual minutes)")
 	maxN := fs.Int("max", 196, "largest overlay size for fig9")
 	hops := fs.Int("hops", 4, "multi-hop bound")
+	scenario := fs.String("scenario", "poisson", "churn scenario: poisson, flash, or mass")
+	rate := fs.Float64("rate", 0.05, "per-node departure probability per churn interval")
+	burst := fs.Int("burst", 0, "flash-crowd/mass-departure size (default n/5)")
 	_ = fs.Parse(os.Args[2:])
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	switch cmd {
 	case "fig1":
@@ -66,6 +72,16 @@ func main() {
 		}
 	case "fig9":
 		fig9(*maxN, *seed)
+	case "churn":
+		// The -n/-minutes defaults are deployment-shaped; churn has its own
+		// unless the user set them explicitly.
+		if !explicit["n"] {
+			*n = 500 // the acceptance scenario's size
+		}
+		if !explicit["minutes"] {
+			*minutes = 10
+		}
+		churn(*n, *seed, *scenario, *rate, *burst, time.Duration(*minutes)*time.Minute)
 	case "failover":
 		failover(*seed)
 	case "multihop":
@@ -90,7 +106,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|deployment|failover|multihop|table-config|table-theory|table-capacity|lowerbound|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|deployment|churn|failover|multihop|table-config|table-theory|table-capacity|lowerbound|all> [flags]`)
 }
 
 // ---------------------------------------------------------------------------
@@ -127,6 +143,26 @@ func fig9(maxN int, seed int64) {
 			bwmodel.PaperFullMeshRouting(n)/1000, bwmodel.PaperQuorumRouting(n)/1000)
 	}
 	fmt.Println("# paper @140: RON 34.8 Kbps, quorum 15.3 Kbps")
+}
+
+func churn(n int, seed int64, scenario string, rate float64, burst int, dur time.Duration) {
+	var sc emul.ChurnScenario
+	switch scenario {
+	case "poisson":
+		sc = emul.ChurnPoisson
+	case "flash":
+		sc = emul.ChurnFlashCrowd
+	case "mass":
+		sc = emul.ChurnMassDeparture
+	default:
+		fmt.Fprintf(os.Stderr, "unknown churn scenario %q\n", scenario)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "running %d-node %s churn for %v (virtual)...\n", n, sc, dur)
+	res := emul.RunChurn(emul.ChurnOptions{
+		N: n, Seed: seed, Scenario: sc, Duration: dur, Rate: rate, Burst: burst,
+	})
+	fmt.Print(res.Format())
 }
 
 func deployment(n int, seed int64, dur time.Duration) *emul.DeploymentResult {
@@ -336,6 +372,8 @@ func runAll(seed int64) {
 		printDeploymentFigure(f, dep)
 		fmt.Println()
 	}
+	churn(64, seed, "poisson", 0.05, 0, 6*time.Minute)
+	fmt.Println()
 	failover(seed)
 	fmt.Println()
 	multihop(49, 4, seed)

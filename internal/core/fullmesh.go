@@ -65,12 +65,23 @@ func NewFullMesh(env transport.Env, cfg FullMeshConfig, view *membership.ViewInf
 	return f
 }
 
-// SetView installs a new membership view, resetting routing state.
+// SetView installs a new membership view. As in the quorum router, state
+// keyed by surviving node IDs carries over: stored link-state rows are
+// remapped to the new slot order and route entries survive when both their
+// destination and hop did, so a membership change does not blank the route
+// table for a full routing interval.
 func (f *FullMesh) SetView(view *membership.ViewInfo, self int) {
+	oldView := f.view
 	f.view = view
 	f.self = self
-	f.table = lsdb.NewTable(view.N())
-	f.routes = make([]RouteEntry, view.N())
+	if oldView != nil {
+		m := membership.SlotMap(oldView, view)
+		f.table = f.table.Remap(m, view.N())
+		f.routes = remapRoutes(f.routes, m, view.N(), self)
+	} else {
+		f.table = lsdb.NewTable(view.N())
+		f.routes = make([]RouteEntry, view.N())
+	}
 }
 
 // Interval implements Router.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"allpairs/internal/grid"
@@ -136,6 +137,7 @@ type Quorum struct {
 	recsBuf    [][]wire.RecEntry
 	costsBuf   []wire.Cost
 	hopBuf     []lsdb.HopCost
+	sortBuf    []int // sorted-map-iteration scratch (activeServers, retransmit)
 }
 
 // NewQuorum creates a quorum router for the node at slot self of view.
@@ -148,35 +150,95 @@ func NewQuorum(env transport.Env, cfg QuorumConfig, view *membership.ViewInfo, s
 	return q, nil
 }
 
-// SetView installs a new membership view, resetting all routing state. The
-// node's own measurements (SelfRow) are view-relative and owned by the
-// prober, which is reset in lockstep by the overlay.
+// SetView installs a new membership view. State keyed by surviving node IDs
+// carries over: received link-state rows are remapped to the new slot order
+// (lsdb.Table.Remap), route entries whose destination and hop both survived
+// are kept, and remote-rendezvous silence tracking follows the rendezvous to
+// its new slot — so a single join or leave no longer erases every route in
+// the overlay. Per-view episode state (failover recruitments, pending
+// reliable-mode acks) resets with the grid; cumulative stats survive.
 func (q *Quorum) SetView(view *membership.ViewInfo, self int) error {
 	g, err := grid.New(view.N())
 	if err != nil {
 		return err
 	}
+	oldView := q.view
+	n := view.N()
 	q.view = view
 	q.g = g
 	q.self = self
-	q.table = lsdb.NewTable(view.N())
-	if q.cfg.Asymmetric {
-		q.atable = lsdb.NewAsymTable(view.N())
+	if oldView != nil {
+		m := membership.SlotMap(oldView, view)
+		q.table = q.table.Remap(m, n)
+		if q.cfg.Asymmetric {
+			q.atable = q.atable.Remap(m, n)
+		}
+		q.routes = remapRoutes(q.routes, m, n, self)
+		lastRec := make(map[int][]time.Time, len(q.lastRecAbout))
+		for k, about := range q.lastRecAbout {
+			if k < 0 || k >= len(m) || m[k] < 0 {
+				continue
+			}
+			na := make([]time.Time, n)
+			for od, t := range about {
+				if nd := m[od]; nd >= 0 {
+					na[nd] = t
+				}
+			}
+			lastRec[m[k]] = na
+		}
+		q.lastRecAbout = lastRec
+	} else {
+		q.table = lsdb.NewTable(n)
+		if q.cfg.Asymmetric {
+			q.atable = lsdb.NewAsymTable(n)
+		}
+		q.routes = make([]RouteEntry, n)
+		q.lastRecAbout = make(map[int][]time.Time)
 	}
-	q.routes = make([]RouteEntry, view.N())
 	q.servers = g.Servers(self)
-	q.defaults = make([][]int, view.N())
-	for dst := 0; dst < view.N(); dst++ {
+	q.defaults = make([][]int, n)
+	for dst := 0; dst < n; dst++ {
 		if dst != self {
 			q.defaults[dst] = g.Common(self, dst)
 		}
 	}
-	q.lastRecAbout = make(map[int][]time.Time)
 	q.failovers = make(map[int]*failoverState)
 	q.pendingAcks = make(map[int]uint32)
 	q.started = q.env.Now()
-	q.stats = QuorumStats{}
 	return nil
+}
+
+// remapRoutes permutes a route table into a new view's slot order via the
+// old→new slot map. Entries whose destination departed are dropped; entries
+// whose intermediate hop departed are dropped too (the path no longer
+// exists); a departed recommending rendezvous only clears the provenance.
+func remapRoutes(old []RouteEntry, oldToNew []int, newN, self int) []RouteEntry {
+	routes := make([]RouteEntry, newN)
+	for od, e := range old {
+		if e.Source == SourceNone {
+			continue
+		}
+		nd := oldToNew[od]
+		if nd < 0 || nd == self {
+			continue
+		}
+		if e.Hop >= 0 {
+			if e.Hop >= len(oldToNew) || oldToNew[e.Hop] < 0 {
+				continue
+			}
+			e.Hop = oldToNew[e.Hop]
+		}
+		if e.From >= 0 {
+			if e.From < len(oldToNew) {
+				e.From = oldToNew[e.From]
+			} else {
+				e.From = -1
+			}
+		}
+		routes[nd] = e
+	}
+	return routes
 }
 
 // Interval implements Router.
@@ -201,15 +263,27 @@ func (q *Quorum) Tick() {
 }
 
 // activeServers appends the default servers with live links plus any
-// recruited failover servers.
+// recruited failover servers. Failover states live in a map, so they are
+// visited in sorted destination order: map iteration here would make the
+// round-1 send order — and with it the whole simulated packet schedule —
+// differ between identically-seeded runs the moment a failover activates.
 func (q *Quorum) activeServers(dst []int) []int {
 	for _, s := range q.servers {
 		if q.LinkAlive(s) {
 			dst = append(dst, s)
 		}
 	}
-	for _, fo := range q.failovers {
-		if fo.server >= 0 && q.LinkAlive(fo.server) {
+	if len(q.failovers) > 0 {
+		q.sortBuf = q.sortBuf[:0]
+		for d := range q.failovers {
+			q.sortBuf = append(q.sortBuf, d)
+		}
+		sort.Ints(q.sortBuf)
+		for _, d := range q.sortBuf {
+			fo := q.failovers[d]
+			if fo.server < 0 || !q.LinkAlive(fo.server) {
+				continue
+			}
 			found := false
 			for _, s := range dst {
 				if s == fo.server {
@@ -246,15 +320,20 @@ func (q *Quorum) sendLinkState() {
 	}
 }
 
-// retransmit resends the round-1 row to servers that never acknowledged it.
+// retransmit resends the round-1 row to servers that never acknowledged it,
+// in sorted slot order for a deterministic packet schedule.
 func (q *Quorum) retransmit(seq uint32, viewVersion uint32, msg []byte) {
 	if q.view.VersionNum() != viewVersion || seq != q.seq {
 		return // view changed or a newer row has superseded this one
 	}
+	q.sortBuf = q.sortBuf[:0]
 	for s, pending := range q.pendingAcks {
-		if pending != seq {
-			continue
+		if pending == seq {
+			q.sortBuf = append(q.sortBuf, s)
 		}
+	}
+	sort.Ints(q.sortBuf)
+	for _, s := range q.sortBuf {
 		delete(q.pendingAcks, s) // single retransmission
 		if q.LinkAlive(s) {
 			q.env.Send(q.view.IDAt(s), msg)
@@ -616,8 +695,12 @@ func (q *Quorum) recruitFailover(dst int, fo *failoverState) {
 	q.stats.FailoverAttempts++
 
 	// Push our row to the new rendezvous right away; it will answer with
-	// recommendations covering dst at its next tick.
-	q.seq++
+	// recommendations covering dst at its next tick. The push reuses the
+	// current sequence number rather than bumping it: advancing q.seq here
+	// would trip the pending retransmit closure's seq != q.seq guard and
+	// silently cancel every outstanding round-1 retransmission in reliable
+	// mode. Receivers accept an equal-sequence row with a newer timestamp,
+	// so the fresher measurements still land.
 	q.env.Send(q.view.IDAt(f), q.buildLinkState())
 	q.stats.LinkStatesSent++
 }

@@ -1,0 +1,685 @@
+package emul
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"time"
+
+	"allpairs/internal/core"
+	"allpairs/internal/membership"
+	"allpairs/internal/metrics"
+	"allpairs/internal/overlay"
+	"allpairs/internal/probe"
+	"allpairs/internal/simnet"
+	"allpairs/internal/traces"
+	"allpairs/internal/transport"
+	"allpairs/internal/wire"
+)
+
+// DynamicFleetOptions configures a churn-capable fleet: overlay nodes that
+// join through a live membership coordinator instead of a static view.
+type DynamicFleetOptions struct {
+	// MaxN is the endpoint capacity: every node that will ever exist needs
+	// its own simulator endpoint (departed endpoints are not reused — a
+	// rejoining "user" is a new endpoint, as on the real Internet). The
+	// coordinator occupies endpoint MaxN.
+	MaxN int
+	// Seed drives all randomness.
+	Seed int64
+	// Algorithm selects quorum or full-mesh routing.
+	Algorithm overlay.Algorithm
+	// Env supplies pairwise latencies, sized ≥ MaxN. Nil means a homogeneous
+	// 40 ms RTT lossless network.
+	Env *traces.Env
+	// Component configurations (zero values take the defaults).
+	Probe       probe.Config
+	Quorum      core.QuorumConfig
+	FullMesh    core.FullMeshConfig
+	Membership  membership.ClientConfig
+	Coordinator membership.CoordinatorConfig
+}
+
+// DynamicFleet is a running dynamic-membership emulation: a coordinator, the
+// overlay nodes spawned so far, and the measurement instruments. Unlike
+// Fleet, nodes are admitted through the real join protocol and can leave or
+// crash at any time, which is what exercises the delta-view and
+// carry-over machinery end to end.
+type DynamicFleet struct {
+	Opt   DynamicFleetOptions
+	Net   *simnet.Network
+	Reg   *transport.Registry
+	Col   *metrics.Collector
+	Coord *membership.Coordinator
+
+	coordAddr netip.AddrPort
+	nodes     []*overlay.Node
+	envs      []*transport.SimEnv
+	spawnedAt []time.Time
+	active    []bool
+	next      int
+	start     time.Time
+
+	// Joins, Leaves, and Crashes count lifecycle events injected so far.
+	// SpawnsDropped counts joins that could not happen because the endpoint
+	// capacity (MaxN) was exhausted — nonzero means the run measured a
+	// smaller overlay than configured.
+	Joins, Leaves, Crashes, SpawnsDropped int
+}
+
+// NewDynamicFleet builds the network and coordinator and spawns the first
+// n nodes. Call Run to let them join and settle.
+func NewDynamicFleet(n int, opt DynamicFleetOptions) *DynamicFleet {
+	if opt.MaxN < n {
+		opt.MaxN = n
+	}
+	nw := simnet.New(opt.MaxN+1, opt.Seed)
+	coordEP := opt.MaxN
+	for a := 0; a < opt.MaxN; a++ {
+		nw.SetLatency(a, coordEP, 10*time.Millisecond)
+		for b := a + 1; b < opt.MaxN; b++ {
+			if opt.Env != nil {
+				nw.SetLatency(a, b, time.Duration(opt.Env.LatencyMS[a][b]/2*float64(time.Millisecond)))
+			} else {
+				nw.SetLatency(a, b, 20*time.Millisecond)
+			}
+		}
+	}
+	f := &DynamicFleet{
+		Opt:       opt,
+		Net:       nw,
+		Reg:       transport.NewRegistry(),
+		Col:       metrics.New(opt.MaxN+1, nw.Now(), time.Minute),
+		nodes:     make([]*overlay.Node, opt.MaxN),
+		envs:      make([]*transport.SimEnv, opt.MaxN),
+		spawnedAt: make([]time.Time, opt.MaxN),
+		active:    make([]bool, opt.MaxN),
+		start:     nw.Now(),
+	}
+	nw.OnSend = func(from, to int, payload []byte) {
+		f.Col.Record(from, metrics.Out, wire.CategoryOf(wire.PeekType(payload)), len(payload), nw.Now())
+	}
+	nw.OnDeliver = func(from, to int, payload []byte) {
+		f.Col.Record(to, metrics.In, wire.CategoryOf(wire.PeekType(payload)), len(payload), nw.Now())
+	}
+	cenv := transport.NewSimEnv(nw, f.Reg, coordEP, opt.Seed*7919+int64(coordEP))
+	f.Coord = membership.NewCoordinator(cenv, opt.Coordinator)
+	f.Coord.Start()
+	f.coordAddr = cenv.LocalAddr()
+	for i := 0; i < n; i++ {
+		f.Spawn()
+	}
+	return f
+}
+
+// CoordEndpoint returns the coordinator's simulator endpoint.
+func (f *DynamicFleet) CoordEndpoint() int { return f.Opt.MaxN }
+
+// Spawn starts a fresh node on the next free endpoint and begins its join.
+// It returns the endpoint, or -1 when capacity is exhausted.
+func (f *DynamicFleet) Spawn() int {
+	if f.next >= f.Opt.MaxN {
+		f.SpawnsDropped++
+		return -1
+	}
+	ep := f.next
+	f.next++
+	env := transport.NewSimEnv(f.Net, f.Reg, ep, f.Opt.Seed*7919+int64(ep))
+	env.SetPeer(membership.CoordinatorID, f.coordAddr)
+	node := overlay.New(env, overlay.Config{
+		Algorithm:  f.Opt.Algorithm,
+		Probe:      f.Opt.Probe,
+		Quorum:     f.Opt.Quorum,
+		FullMesh:   f.Opt.FullMesh,
+		Membership: f.Opt.Membership,
+	})
+	if err := node.Start(); err != nil {
+		panic(err) // dynamic start cannot fail before the first view
+	}
+	f.nodes[ep] = node
+	f.envs[ep] = env
+	f.spawnedAt[ep] = f.Net.Now()
+	f.active[ep] = true
+	f.Joins++
+	return ep
+}
+
+// Depart removes a node: gracefully (Leave announced, counted in Leaves) or
+// as a crash (silent, counted in Crashes; the coordinator finds out through
+// lease expiry). Either way the endpoint goes dark.
+func (f *DynamicFleet) Depart(ep int, graceful bool) {
+	if ep < 0 || ep >= len(f.active) || !f.active[ep] {
+		return
+	}
+	if graceful {
+		f.nodes[ep].Stop() // queues the Leave before the endpoint dies
+		f.Leaves++
+	} else {
+		f.nodes[ep].Halt()
+		f.Crashes++
+	}
+	f.Net.SetNodeDown(ep, true)
+	f.active[ep] = false
+}
+
+// Node returns the overlay node at an endpoint (nil if never spawned).
+func (f *DynamicFleet) Node(ep int) *overlay.Node { return f.nodes[ep] }
+
+// Active reports whether the endpoint hosts a live (not departed) node.
+func (f *DynamicFleet) Active(ep int) bool {
+	return ep >= 0 && ep < len(f.active) && f.active[ep]
+}
+
+// ActiveEndpoints returns the live endpoints in ascending order.
+func (f *DynamicFleet) ActiveEndpoints() []int {
+	var out []int
+	for ep := 0; ep < f.next; ep++ {
+		if f.active[ep] {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// SettledEndpoints returns the live endpoints whose nodes were spawned at or
+// before cutoff and have joined the overlay (hold a view including
+// themselves) — the "surviving pairs" population of the churn metrics.
+func (f *DynamicFleet) SettledEndpoints(cutoff time.Time) []int {
+	var out []int
+	for ep := 0; ep < f.next; ep++ {
+		if f.active[ep] && f.nodes[ep].Ready() && !f.spawnedAt[ep].After(cutoff) {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// Run advances the emulation by d of virtual time.
+func (f *DynamicFleet) Run(d time.Duration) { f.Net.RunFor(d) }
+
+// Elapsed returns virtual time since the fleet started.
+func (f *DynamicFleet) Elapsed() time.Duration { return f.Net.Elapsed() }
+
+// CoordMembershipPackets returns the membership-plane packets the
+// coordinator has sent so far — the quantity the O(n + k) join-storm bound
+// is asserted on.
+func (f *DynamicFleet) CoordMembershipPackets() uint64 {
+	return f.Col.Packets(f.CoordEndpoint(), wire.CatMembership, metrics.Out)
+}
+
+// ---------------------------------------------------------------------------
+// Churn scenario driver.
+// ---------------------------------------------------------------------------
+
+// ChurnScenario selects the churn workload.
+type ChurnScenario int
+
+// Churn scenarios.
+const (
+	// ChurnPoisson replaces a Bernoulli(Rate) fraction of the overlay every
+	// Interval: half the departures crash, half leave gracefully, and each
+	// departure is matched by a fresh joiner, holding the population steady.
+	ChurnPoisson ChurnScenario = iota
+	// ChurnFlashCrowd injects Burst simultaneous joiners once, one Interval
+	// into the churn phase — the join-storm case the delta views collapse.
+	ChurnFlashCrowd
+	// ChurnMassDeparture removes Burst nodes simultaneously (half crashes).
+	ChurnMassDeparture
+)
+
+// String names the scenario.
+func (s ChurnScenario) String() string {
+	switch s {
+	case ChurnFlashCrowd:
+		return "flash-crowd"
+	case ChurnMassDeparture:
+		return "mass-departure"
+	default:
+		return "poisson"
+	}
+}
+
+// ChurnOptions configures a churn experiment run.
+type ChurnOptions struct {
+	// N is the initial overlay size.
+	N int
+	// Seed drives everything; identical seeds give byte-identical output.
+	Seed int64
+	// Scenario selects the workload (default ChurnPoisson).
+	Scenario ChurnScenario
+	// Warmup lets the initial fleet join and converge (default 3 min).
+	Warmup time.Duration
+	// Duration is the churned, sampled phase (default 10 min).
+	Duration time.Duration
+	// Interval is the churn batching step (default 1 min).
+	Interval time.Duration
+	// Rate is the per-node departure probability per Interval for
+	// ChurnPoisson (default 0.05 — the acceptance scenario's 5%).
+	Rate float64
+	// Burst is the flash-crowd/mass-departure size (default N/5).
+	Burst int
+	// CrashFrac is the fraction of departures that crash instead of leaving
+	// gracefully. The zero value takes the default 0.5; pass a negative
+	// value for all-graceful departures (0 cannot double as both "unset"
+	// and "never crash").
+	CrashFrac float64
+	// SampleEvery is the metric sampling period (default 30 s).
+	SampleEvery time.Duration
+	// SettleAge is how long a node must have been a member before its pairs
+	// count toward availability (default probe interval + 2 routing
+	// intervals: the convergence bound for a fresh joiner).
+	SettleAge time.Duration
+	// MaxPairs caps the ordered pairs checked per availability sample
+	// (default 4000); pairs are chosen by a deterministic stride.
+	MaxPairs int
+	// StretchPairs caps the pairs evaluated against the one-hop oracle for
+	// the stretch metric (default 200; the oracle costs O(n) per pair).
+	StretchPairs int
+	// Algorithm selects the router (default quorum).
+	Algorithm overlay.Algorithm
+	// Env supplies latencies sized ≥ the computed endpoint capacity; nil
+	// generates a lossless PlanetLab-like environment from Seed.
+	Env *traces.Env
+	// Component overrides. Zero values take churn-appropriate defaults
+	// (30 s heartbeats, 2 min membership timeout, 15 s sweeps, 1 s
+	// coalescing) rather than the paper's 30-minute lease.
+	Probe       probe.Config
+	Quorum      core.QuorumConfig
+	FullMesh    core.FullMeshConfig
+	Membership  membership.ClientConfig
+	Coordinator membership.CoordinatorConfig
+}
+
+func (o *ChurnOptions) fill() {
+	if o.Warmup <= 0 {
+		o.Warmup = 3 * time.Minute
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Minute
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Minute
+	}
+	if o.Rate <= 0 {
+		o.Rate = 0.05
+	}
+	if o.Burst <= 0 {
+		o.Burst = o.N / 5
+		if o.Burst < 1 {
+			o.Burst = 1
+		}
+	}
+	switch {
+	case o.CrashFrac == 0:
+		o.CrashFrac = 0.5
+	case o.CrashFrac < 0:
+		o.CrashFrac = 0
+	case o.CrashFrac > 1:
+		o.CrashFrac = 1
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 30 * time.Second
+	}
+	if o.SettleAge <= 0 {
+		probeInterval := o.Probe.Interval
+		if probeInterval <= 0 {
+			probeInterval = 30 * time.Second
+		}
+		routing := o.Quorum.Interval
+		if o.Algorithm == overlay.AlgFullMesh {
+			routing = o.FullMesh.Interval
+		}
+		if routing <= 0 {
+			routing = 15 * time.Second
+		}
+		o.SettleAge = probeInterval + 2*routing
+	}
+	if o.MaxPairs <= 0 {
+		o.MaxPairs = 4000
+	}
+	if o.StretchPairs <= 0 {
+		o.StretchPairs = 200
+	}
+	if o.Membership.Heartbeat <= 0 {
+		o.Membership.Heartbeat = 30 * time.Second
+	}
+	if o.Membership.JoinRetry <= 0 {
+		o.Membership.JoinRetry = 2 * time.Second
+	}
+	if o.Coordinator.Timeout <= 0 {
+		o.Coordinator.Timeout = 2 * time.Minute
+	}
+	if o.Coordinator.Sweep <= 0 {
+		o.Coordinator.Sweep = 15 * time.Second
+	}
+	if o.Coordinator.Coalesce <= 0 {
+		o.Coordinator.Coalesce = time.Second
+	}
+}
+
+// capacity computes the endpoint head-room a scenario needs: every joiner
+// ever spawned occupies its own endpoint.
+func (o *ChurnOptions) capacity() int {
+	switch o.Scenario {
+	case ChurnFlashCrowd:
+		return o.N + o.Burst
+	case ChurnMassDeparture:
+		return o.N
+	default:
+		intervals := int(o.Duration/o.Interval) + 1
+		expected := int(o.Rate * float64(o.N) * float64(intervals))
+		return o.N + 2*expected + 16
+	}
+}
+
+// ChurnSample is one sampling instant of a churn run.
+type ChurnSample struct {
+	// T is virtual time since the run started.
+	T time.Duration
+	// Members is the coordinator's member count; Settled the nodes old
+	// enough to count toward availability.
+	Members, Settled int
+	// Pairs is the ordered settled pairs checked; Routed how many had a
+	// route verified usable against simulator ground truth.
+	Pairs, Routed int
+	// Availability is Routed/Pairs (1 when no pairs).
+	Availability float64
+	// StretchPairs is the pairs evaluated against the one-hop oracle and
+	// MeanStretch the mean ratio of routed cost to the oracle's optimum.
+	StretchPairs int
+	MeanStretch  float64
+	// CoordMsgs is the cumulative membership-plane packet count the
+	// coordinator has sent.
+	CoordMsgs uint64
+}
+
+// ChurnResult aggregates a churn run.
+type ChurnResult struct {
+	Opt     ChurnOptions
+	Samples []ChurnSample
+
+	// Lifecycle totals. A nonzero SpawnsDropped means endpoint capacity ran
+	// out and the run measured fewer joins than the scenario demanded.
+	Joins, Leaves, Crashes, SpawnsDropped int
+	FinalMembers                          int
+
+	// Availability summary over the churn-phase samples.
+	MinAvailability, MeanAvailability float64
+	// MeanStretch over the churn-phase samples that measured any.
+	MeanStretch float64
+	// CoordMsgs is the coordinator's total membership-plane packets;
+	// Broadcasts/Deltas/FullViews break down its view dissemination.
+	CoordMsgs                     uint64
+	Broadcasts, Deltas, FullViews uint64
+}
+
+// RunChurn executes a churn scenario and returns its metrics. The run is a
+// pure function of ChurnOptions: identical options give byte-identical
+// Format output, which the determinism regression test asserts.
+func RunChurn(opt ChurnOptions) *ChurnResult {
+	opt.fill()
+	maxN := opt.capacity()
+	env := opt.Env
+	if env == nil {
+		env = traces.Generate(maxN, opt.Seed, traces.Config{BadNodeFrac: 0.0001})
+		for a := 0; a < maxN; a++ {
+			for b := 0; b < maxN; b++ {
+				env.Loss[a][b] = 0
+				env.DownFrac[a][b] = 0
+			}
+		}
+	}
+	f := NewDynamicFleet(opt.N, DynamicFleetOptions{
+		MaxN:        maxN,
+		Seed:        opt.Seed,
+		Algorithm:   opt.Algorithm,
+		Env:         env,
+		Probe:       opt.Probe,
+		Quorum:      opt.Quorum,
+		FullMesh:    opt.FullMesh,
+		Membership:  opt.Membership,
+		Coordinator: opt.Coordinator,
+	})
+	res := &ChurnResult{Opt: opt}
+	churnRng := rand.New(rand.NewSource(opt.Seed*31 + 7))
+
+	f.Run(opt.Warmup)
+
+	end := f.Elapsed() + opt.Duration
+	nextChurn := f.Elapsed() + opt.Interval
+	nextSample := f.Elapsed() + opt.SampleEvery
+	burstDone := false
+	for f.Elapsed() < end {
+		next := end
+		if nextChurn < next {
+			next = nextChurn
+		}
+		if nextSample < next {
+			next = nextSample
+		}
+		f.Net.RunUntil(next)
+		// When a sample and a churn step land on the same instant, sample
+		// first: the measurement observes the state the overlay converged
+		// to, and the injected event is what the *next* sample sees.
+		if f.Elapsed() >= nextSample {
+			res.Samples = append(res.Samples, sampleChurn(f, env, opt))
+			nextSample += opt.SampleEvery
+		}
+		if f.Elapsed() >= nextChurn {
+			switch opt.Scenario {
+			case ChurnPoisson:
+				churnStepPoisson(f, churnRng, opt.Rate, opt.CrashFrac)
+			case ChurnFlashCrowd:
+				if !burstDone {
+					for i := 0; i < opt.Burst; i++ {
+						f.Spawn()
+					}
+					burstDone = true
+				}
+			case ChurnMassDeparture:
+				if !burstDone {
+					churnMassDeparture(f, churnRng, opt.Burst, opt.CrashFrac)
+					burstDone = true
+				}
+			}
+			nextChurn += opt.Interval
+		}
+	}
+
+	res.Joins, res.Leaves, res.Crashes, res.SpawnsDropped = f.Joins, f.Leaves, f.Crashes, f.SpawnsDropped
+	res.FinalMembers = f.Coord.MemberCount()
+	res.CoordMsgs = f.CoordMembershipPackets()
+	cs := f.Coord.Stats()
+	res.Broadcasts, res.Deltas, res.FullViews = cs.Broadcasts, cs.DeltasSent, cs.FullViewsSent
+	res.MinAvailability = 1
+	var availSum, stretchSum float64
+	var availN, stretchN int
+	for _, s := range res.Samples {
+		if s.Pairs == 0 {
+			continue
+		}
+		availSum += s.Availability
+		availN++
+		if s.Availability < res.MinAvailability {
+			res.MinAvailability = s.Availability
+		}
+		if s.StretchPairs > 0 {
+			stretchSum += s.MeanStretch
+			stretchN++
+		}
+	}
+	if availN > 0 {
+		res.MeanAvailability = availSum / float64(availN)
+	}
+	if stretchN > 0 {
+		res.MeanStretch = stretchSum / float64(stretchN)
+	}
+	return res
+}
+
+// churnStepPoisson departs each live node with probability rate and spawns
+// one replacement per departure. Endpoints are visited in ascending order
+// and all randomness comes from rng, so the schedule is deterministic.
+func churnStepPoisson(f *DynamicFleet, rng *rand.Rand, rate, crashFrac float64) {
+	var leavers []int
+	for _, ep := range f.ActiveEndpoints() {
+		if rng.Float64() < rate {
+			leavers = append(leavers, ep)
+		}
+	}
+	for _, ep := range leavers {
+		f.Depart(ep, rng.Float64() >= crashFrac)
+	}
+	for range leavers {
+		f.Spawn()
+	}
+}
+
+// churnMassDeparture removes k random live nodes at once.
+func churnMassDeparture(f *DynamicFleet, rng *rand.Rand, k int, crashFrac float64) {
+	eps := f.ActiveEndpoints()
+	if k > len(eps) {
+		k = len(eps)
+	}
+	perm := rng.Perm(len(eps))
+	for i := 0; i < k; i++ {
+		f.Depart(eps[perm[i]], rng.Float64() >= crashFrac)
+	}
+}
+
+// sampleChurn measures route availability and stretch over the settled
+// population against simulator ground truth.
+func sampleChurn(f *DynamicFleet, env *traces.Env, opt ChurnOptions) ChurnSample {
+	now := f.Net.Now()
+	s := ChurnSample{
+		T:         f.Elapsed(),
+		Members:   f.Coord.MemberCount(),
+		CoordMsgs: f.CoordMembershipPackets(),
+	}
+	eps := f.SettledEndpoints(now.Add(-opt.SettleAge))
+	s.Settled = len(eps)
+	if len(eps) < 2 {
+		s.Availability = 1
+		return s
+	}
+	// Hops may be nodes too young to count as "settled"; resolve them over
+	// the full active population.
+	actives := f.ActiveEndpoints()
+	idToEp := make(map[wire.NodeID]int)
+	for _, ep := range actives {
+		if id := f.envs[ep].LocalID(); id != wire.NilNode {
+			idToEp[id] = ep
+		}
+	}
+	total := len(eps) * (len(eps) - 1)
+	check := total
+	if check > opt.MaxPairs {
+		check = opt.MaxPairs
+	}
+	var stretchSum float64
+	for k := 0; k < check; k++ {
+		idx := k
+		if total > check {
+			idx = k * total / check // deterministic stride over all pairs
+		}
+		i, j := idx/(len(eps)-1), idx%(len(eps)-1)
+		if j >= i {
+			j++
+		}
+		a, b := eps[i], eps[j]
+		s.Pairs++
+		r, ok := f.nodes[a].BestHop(f.envs[b].LocalID())
+		if !ok || !churnRouteUsable(f, idToEp, a, b, r) {
+			continue
+		}
+		s.Routed++
+		if s.StretchPairs < opt.StretchPairs {
+			if oracle := churnOracleOneHop(f, env, actives, a, b); oracle > 0 {
+				s.StretchPairs++
+				stretchSum += float64(r.Cost) / float64(oracle)
+			}
+		}
+	}
+	if s.Pairs > 0 {
+		s.Availability = float64(s.Routed) / float64(s.Pairs)
+	} else {
+		s.Availability = 1
+	}
+	if s.StretchPairs > 0 {
+		s.MeanStretch = stretchSum / float64(s.StretchPairs)
+	}
+	return s
+}
+
+// churnRouteUsable verifies a route against ground truth: every link on it
+// is up and the intermediate (if any) is a live node.
+func churnRouteUsable(f *DynamicFleet, idToEp map[wire.NodeID]int, a, b int, r overlay.Route) bool {
+	if r.Hop == r.Dst {
+		return f.Net.Reachable(a, b)
+	}
+	hopEp, ok := idToEp[r.Hop]
+	if !ok || !f.active[hopEp] {
+		return false
+	}
+	return f.Net.Reachable(a, hopEp) && f.Net.Reachable(hopEp, b)
+}
+
+// churnOracleOneHop computes the true optimal one-hop RTT between endpoints
+// a and b, allowing any live endpoint as the intermediate (exactly the hops
+// the overlay could recommend). Legs truncate to whole milliseconds the way
+// the prober's clampMS quantizes its measurements, so a converged optimal
+// route scores a stretch of exactly 1.0 instead of drifting below it on
+// rounding mismatches.
+func churnOracleOneHop(f *DynamicFleet, env *traces.Env, eps []int, a, b int) wire.Cost {
+	rtt := func(x, y int) wire.Cost {
+		if x == y {
+			return 0
+		}
+		if !f.Net.Reachable(x, y) {
+			return wire.InfCost
+		}
+		if env != nil {
+			return wire.Cost(env.LatencyMS[x][y])
+		}
+		return 40
+	}
+	best := rtt(a, b)
+	for _, h := range eps {
+		if h == a || h == b {
+			continue
+		}
+		if v := rtt(a, h).Add(rtt(h, b)); v < best {
+			best = v
+		}
+	}
+	if best == wire.InfCost {
+		return 0
+	}
+	return best
+}
+
+// Format renders the run as the churn experiment's canonical text output:
+// a commented header, one row per sample, and a summary block. Identical
+// seeds produce byte-identical output — the acceptance criterion the
+// determinism test pins.
+func (r *ChurnResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# churn scenario=%s n=%d seed=%d rate=%.3f interval=%s duration=%s\n",
+		r.Opt.Scenario, r.Opt.N, r.Opt.Seed, r.Opt.Rate, r.Opt.Interval, r.Opt.Duration)
+	fmt.Fprintf(&b, "# t_s  members  settled  pairs  routed  avail  stretch  coord_msgs\n")
+	for _, s := range r.Samples {
+		fmt.Fprintf(&b, "%6.0f  %7d  %7d  %5d  %6d  %6.4f  %7.4f  %10d\n",
+			s.T.Seconds(), s.Members, s.Settled, s.Pairs, s.Routed, s.Availability, s.MeanStretch, s.CoordMsgs)
+	}
+	fmt.Fprintf(&b, "# joins=%d leaves=%d crashes=%d final_members=%d\n",
+		r.Joins, r.Leaves, r.Crashes, r.FinalMembers)
+	if r.SpawnsDropped > 0 {
+		fmt.Fprintf(&b, "# WARNING: %d joins dropped (endpoint capacity exhausted); results cover a smaller overlay than configured\n", r.SpawnsDropped)
+	}
+	fmt.Fprintf(&b, "# availability min=%.4f mean=%.4f  stretch mean=%.4f\n",
+		r.MinAvailability, r.MeanAvailability, r.MeanStretch)
+	fmt.Fprintf(&b, "# coordinator msgs=%d broadcasts=%d deltas=%d full_views=%d\n",
+		r.CoordMsgs, r.Broadcasts, r.Deltas, r.FullViews)
+	return b.String()
+}

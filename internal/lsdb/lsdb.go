@@ -109,6 +109,37 @@ func (t *Table) FreshSlots(dst []int, now time.Time, maxAge time.Duration) []int
 	return dst
 }
 
+// Remap returns a table for a view of newN slots, carrying over the rows of
+// members that survived a membership change. oldToNew maps each old slot to
+// its new slot (-1 for departed members, see membership.SlotMap). Carried
+// rows keep their Seq and When — staleness keeps aging them normally — with
+// entries permuted to the new slot order; entries about departed members are
+// dropped and entries about new members read as dead until the origin's next
+// announcement refreshes the whole row. This is what keeps a rendezvous
+// serving routes across a view change instead of going blank.
+func (t *Table) Remap(oldToNew []int, newN int) *Table {
+	nt := NewTable(newN)
+	for os := 0; os < t.n && os < len(oldToNew); os++ {
+		ns := oldToNew[os]
+		if ns < 0 || !t.mat.have[os] {
+			continue
+		}
+		old := &t.rows[os]
+		entries := make([]wire.LinkEntry, newN)
+		for i := range entries {
+			entries[i] = wire.LinkEntry{Status: wire.StatusDead}
+		}
+		for oj, nj := range oldToNew {
+			if nj >= 0 && oj < len(old.Entries) {
+				entries[nj] = old.Entries[oj]
+			}
+		}
+		nt.rows[ns] = Row{Seq: old.Seq, When: old.When, Entries: entries}
+		nt.mat.setRow(ns, entries, old.Seq, old.When)
+	}
+	return nt
+}
+
 // BestOneHop returns the optimal one-hop path from slot a (with link-state
 // rowA) to slot b (with rowB): the hop h minimizing cost(a→h) + cost(h→b),
 // where cost(h→b) is read from b's row under the paper's bidirectional-link
@@ -161,9 +192,9 @@ func BestOneHopVia(rowA []wire.LinkEntry, table *Table, dst int, now time.Time, 
 		if h == dst || !m.FreshAt(h, now, maxAge) {
 			continue
 		}
-		// Intermediate costs come from the flat matrix (unpacked at ingest);
-		// only the caller's own live row still needs per-entry unpacking.
-		if s := uint32(rowA[h].Cost()) + uint32(m.costs[h*m.n+dst]); s < best {
+		// Intermediate costs come from the matrix (unpacked at ingest); only
+		// the caller's own live row still needs per-entry unpacking.
+		if s := uint32(rowA[h].Cost()) + uint32(m.rows[h][dst]); s < best {
 			best, hop = s, h
 		}
 	}

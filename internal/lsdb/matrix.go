@@ -14,23 +14,27 @@ type HopCost struct {
 	Cost wire.Cost
 }
 
-// CostMatrix is the flat, unpacked view of a link-state table: one contiguous
-// n×n []wire.Cost in row-major order (row s holds the costs announced by
+// CostMatrix is the unpacked view of a link-state table: one contiguous
+// n-entry []wire.Cost per stored row (row s holds the costs announced by
 // slot s) plus per-slot freshness and sequence metadata. Table.Put maintains
 // it incrementally, so LinkEntry cost bits are unpacked exactly once at
 // ingest; the batch kernels below then scan plain uint16 rows with no
 // per-element status branches, which is what lets rendezvous recommendation
 // passes and full-table recomputes run cache-friendly at n ≥ 500.
 //
-// Rows of slots with no stored announcement are all-InfCost, so they can
-// never win a minimization; freshness must still be checked via FreshAt for
-// staleness-sensitive consumers.
+// Row storage is allocated lazily on first store: a quorum node's table only
+// ever holds ~2√n of the n possible rows, so lazy rows cut per-node table
+// memory from O(n²) to O(n√n) — the difference between a 1000-node churn
+// fleet fitting in memory or not. Slots with no stored announcement read as
+// a shared all-InfCost row, so they can never win a minimization; freshness
+// must still be checked via FreshAt for staleness-sensitive consumers.
 type CostMatrix struct {
-	n     int
-	costs []wire.Cost // n*n, row-major; InfCost where no row is stored
-	have  []bool
-	when  []time.Time
-	seq   []uint32
+	n    int
+	rows [][]wire.Cost // per-slot unpacked rows; nil until first stored
+	inf  []wire.Cost   // shared all-InfCost row for absent slots (never written)
+	have []bool
+	when []time.Time
+	seq  []uint32
 
 	// keyBuf holds the packed source-row keys a batch pass shares across all
 	// its destinations (see sourceKeys). Kernels that use it are not safe for
@@ -42,14 +46,15 @@ type CostMatrix struct {
 // NewCostMatrix returns an empty matrix for an n-slot view.
 func NewCostMatrix(n int) *CostMatrix {
 	m := &CostMatrix{
-		n:     n,
-		costs: make([]wire.Cost, n*n),
-		have:  make([]bool, n),
-		when:  make([]time.Time, n),
-		seq:   make([]uint32, n),
+		n:    n,
+		rows: make([][]wire.Cost, n),
+		inf:  make([]wire.Cost, n),
+		have: make([]bool, n),
+		when: make([]time.Time, n),
+		seq:  make([]uint32, n),
 	}
-	for i := range m.costs {
-		m.costs[i] = wire.InfCost
+	for i := range m.inf {
+		m.inf[i] = wire.InfCost
 	}
 	return m
 }
@@ -61,7 +66,10 @@ func (m *CostMatrix) N() int { return m.n }
 // no stored announcement). The slice aliases the matrix and must not be
 // modified.
 func (m *CostMatrix) Row(slot int) []wire.Cost {
-	return m.costs[slot*m.n : slot*m.n+m.n : slot*m.n+m.n]
+	if r := m.rows[slot]; r != nil {
+		return r
+	}
+	return m.inf
 }
 
 // Have reports whether slot has a stored row.
@@ -82,7 +90,11 @@ func (m *CostMatrix) FreshAt(slot int, now time.Time, maxAge time.Duration) bool
 
 // setRow unpacks entries into slot's row and records its metadata.
 func (m *CostMatrix) setRow(slot int, entries []wire.LinkEntry, seq uint32, when time.Time) {
-	row := m.costs[slot*m.n : slot*m.n+m.n]
+	row := m.rows[slot]
+	if row == nil {
+		row = make([]wire.Cost, m.n)
+		m.rows[slot] = row
+	}
 	for i, e := range entries {
 		row[i] = e.Cost()
 	}
@@ -91,12 +103,10 @@ func (m *CostMatrix) setRow(slot int, entries []wire.LinkEntry, seq uint32, when
 	m.when[slot] = when
 }
 
-// clearRow resets slot's row to unreachable and drops its metadata.
+// clearRow drops slot's row storage and metadata; the slot reads as
+// all-InfCost again.
 func (m *CostMatrix) clearRow(slot int) {
-	row := m.costs[slot*m.n : slot*m.n+m.n]
-	for i := range row {
-		row[i] = wire.InfCost
-	}
+	m.rows[slot] = nil
 	m.have[slot] = false
 	m.seq[slot] = 0
 	m.when[slot] = time.Time{}

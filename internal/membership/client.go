@@ -24,16 +24,25 @@ func (c *ClientConfig) fill() {
 	}
 }
 
-// Client joins the overlay through the coordinator and tracks view updates.
-// It does not own the Env's packet handler — the overlay node dispatches
-// membership messages to HandlePacket — so it composes with the routing and
-// probing components on one socket.
+// Client joins the overlay through the coordinator and tracks view updates,
+// applying incremental deltas and falling back to a full-view request when a
+// version gap shows it missed one. It does not own the Env's packet handler
+// — the overlay node dispatches membership messages to HandlePacket — so it
+// composes with the routing and probing components on one socket.
 type Client struct {
 	env    transport.Env
 	cfg    ClientConfig
 	onView func(*ViewInfo)
 	view   *ViewInfo
 	joined bool
+
+	hbTimer   transport.Timer
+	joinTimer transport.Timer
+	stopped   bool
+
+	// OnEvicted, if non-nil, fires when the client discovers the coordinator
+	// expired it (a newer view omits its ID) and begins rejoining.
+	OnEvicted func()
 }
 
 // NewClient creates a membership client. onView is invoked (inside the Env's
@@ -48,7 +57,19 @@ func NewClient(env transport.Env, cfg ClientConfig, onView func(*ViewInfo)) *Cli
 // Start begins the join loop.
 func (c *Client) Start() {
 	c.sendJoin()
-	c.env.After(c.cfg.JoinRetry, c.joinRetry)
+	c.joinTimer = c.env.After(c.cfg.JoinRetry, c.joinRetry)
+}
+
+// Stop cancels the client's timers. It does not announce departure; use
+// Leave for a graceful exit.
+func (c *Client) Stop() {
+	c.stopped = true
+	if c.hbTimer != nil {
+		c.hbTimer.Stop()
+	}
+	if c.joinTimer != nil {
+		c.joinTimer.Stop()
+	}
 }
 
 // Joined reports whether the node has been admitted and holds a view.
@@ -69,21 +90,34 @@ func (c *Client) sendJoin() {
 }
 
 func (c *Client) joinRetry() {
-	if !c.joined {
+	if !c.joined && !c.stopped {
 		c.sendJoin()
-		c.env.After(c.cfg.JoinRetry, c.joinRetry)
+		c.joinTimer = c.env.After(c.cfg.JoinRetry, c.joinRetry)
 	}
 }
 
 func (c *Client) heartbeat() {
+	if c.stopped {
+		return
+	}
 	if id := c.env.LocalID(); id != wire.NilNode {
 		c.env.Send(CoordinatorID, wire.AppendHeartbeat(nil, id))
 	}
-	c.env.After(c.cfg.Heartbeat, c.heartbeat)
+	c.hbTimer = c.env.After(c.cfg.Heartbeat, c.heartbeat)
+}
+
+// requestFullView asks the coordinator for the authoritative view after a
+// version gap (a missed delta, or a delta against a base we never held).
+func (c *Client) requestFullView() {
+	have := uint32(0)
+	if c.view != nil {
+		have = c.view.version
+	}
+	c.env.Send(CoordinatorID, wire.AppendViewRequest(nil, c.env.LocalID(), have))
 }
 
 // HandlePacket processes one membership-plane message. The overlay node
-// routes TJoinReply and TView here; other types are ignored.
+// routes TJoinReply, TView, and TViewDelta here; other types are ignored.
 func (c *Client) HandlePacket(h wire.Header, body []byte) {
 	switch h.Type {
 	case wire.TJoinReply:
@@ -94,7 +128,12 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 		if !c.joined {
 			c.joined = true
 			c.env.SetLocalID(r.Assigned)
-			c.env.After(c.cfg.Heartbeat, c.heartbeat)
+			// The heartbeat loop perpetuates itself; arm it only on the
+			// first admission so an eviction/rejoin cycle cannot stack a
+			// second loop.
+			if c.hbTimer == nil {
+				c.hbTimer = c.env.After(c.cfg.Heartbeat, c.heartbeat)
+			}
 		}
 	case wire.TView:
 		v, err := wire.ParseView(body)
@@ -108,14 +147,54 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 		if err != nil {
 			return
 		}
-		c.view = vi
-		for _, m := range vi.members {
-			if m.ID != c.env.LocalID() {
-				c.env.SetPeer(m.ID, m.Addr)
+		c.install(vi)
+	case wire.TViewDelta:
+		d, err := wire.ParseViewDelta(body)
+		if err != nil {
+			return
+		}
+		if c.view != nil && d.Version <= c.view.version {
+			return // stale or duplicate delta
+		}
+		if c.view == nil || c.view.version != d.BaseVersion {
+			c.requestFullView() // version gap: missed an update
+			return
+		}
+		vi, err := c.view.ApplyDelta(d)
+		if err != nil {
+			c.requestFullView()
+			return
+		}
+		c.install(vi)
+	}
+}
+
+// install makes vi the current view. A newer view that omits our own ID
+// means the coordinator silently expired us (heartbeats from an unknown ID
+// are ignored as membership, but answered with the current view): reset the
+// join state and re-enter the join loop instead of orbiting the overlay
+// forever with an ID nobody routes to.
+func (c *Client) install(vi *ViewInfo) {
+	c.view = vi
+	if id := c.env.LocalID(); c.joined && id != wire.NilNode {
+		if _, ok := vi.SlotOf(id); !ok {
+			c.joined = false
+			if c.OnEvicted != nil {
+				c.OnEvicted()
 			}
+			if !c.stopped {
+				c.sendJoin()
+				c.joinTimer = c.env.After(c.cfg.JoinRetry, c.joinRetry)
+			}
+			return
 		}
-		if c.onView != nil {
-			c.onView(vi)
+	}
+	for _, m := range vi.members {
+		if m.ID != c.env.LocalID() {
+			c.env.SetPeer(m.ID, m.Addr)
 		}
+	}
+	if c.onView != nil {
+		c.onView(vi)
 	}
 }

@@ -2,6 +2,7 @@ package membership
 
 import (
 	"net/netip"
+	"sort"
 	"time"
 
 	"allpairs/internal/transport"
@@ -15,6 +16,12 @@ type CoordinatorConfig struct {
 	Timeout time.Duration
 	// Sweep is the expiry scan interval (default 1 min).
 	Sweep time.Duration
+	// Coalesce is how long membership changes are batched before one
+	// versioned broadcast (default 1 s). Every flush costs one delta per
+	// surviving member plus one full view per member added in the window, so
+	// a k-node join storm is O(n + k) messages rather than the O(n·k) a
+	// per-change full-view broadcast would cost.
+	Coalesce time.Duration
 	// Logf, if non-nil, receives membership events.
 	Logf func(format string, args ...any)
 }
@@ -25,6 +32,9 @@ func (c *CoordinatorConfig) fill() {
 	}
 	if c.Sweep <= 0 {
 		c.Sweep = DefaultSweep
+	}
+	if c.Coalesce <= 0 {
+		c.Coalesce = DefaultCoalesce
 	}
 }
 
@@ -43,6 +53,26 @@ type Coordinator struct {
 	nextID  wire.NodeID
 	members map[wire.NodeID]*memberState
 	byAddr  map[netip.AddrPort]wire.NodeID
+
+	// lastView is the membership as of the last broadcast (sorted by ID) at
+	// version `version`; deltas are computed against it. flushPending marks a
+	// scheduled coalesce flush.
+	lastView     []wire.Member
+	flushPending bool
+
+	stats CoordinatorStats
+}
+
+// CoordinatorStats counts the coordinator's broadcast work, the quantities
+// the churn experiments assert on.
+type CoordinatorStats struct {
+	// Broadcasts counts coalesced view flushes (version bumps).
+	Broadcasts uint64
+	// DeltasSent and FullViewsSent count the per-member messages of those
+	// flushes plus full views served on demand (gap recovery, evicted-node
+	// heartbeats).
+	DeltasSent    uint64
+	FullViewsSent uint64
 }
 
 // NewCoordinator creates a coordinator on env. Call Start to begin serving.
@@ -70,6 +100,9 @@ func (c *Coordinator) MemberCount() int { return len(c.members) }
 // Version returns the current view version. Call from within env.Do.
 func (c *Coordinator) Version() uint32 { return c.version }
 
+// Stats returns a copy of the broadcast counters. Call from within env.Do.
+func (c *Coordinator) Stats() CoordinatorStats { return c.stats }
+
 func (c *Coordinator) logf(format string, args ...any) {
 	if c.cfg.Logf != nil {
 		c.cfg.Logf(format, args...)
@@ -91,11 +124,27 @@ func (c *Coordinator) handle(from wire.NodeID, payload []byte) {
 	case wire.THeartbeat:
 		if m, ok := c.members[h.Src]; ok {
 			m.lastSeen = c.env.Now()
+		} else {
+			// An expired member still heartbeating does not know it was
+			// evicted: answer with the current view, whose absence of its ID
+			// tells the client to rejoin.
+			c.sendFullView(h.Src)
+		}
+	case wire.TViewRequest:
+		have, err := wire.ParseViewRequest(body)
+		if err != nil {
+			return
+		}
+		// A requester already holding the current version needs nothing — a
+		// delta built on a version it never saw (e.g. forged or reordered)
+		// does not invalidate its up-to-date view.
+		if have != c.version {
+			c.sendFullView(h.Src)
 		}
 	case wire.TLeave:
 		if _, ok := c.members[h.Src]; ok {
 			c.remove(h.Src, "leave")
-			c.broadcast()
+			c.scheduleFlush()
 		}
 	}
 }
@@ -114,9 +163,9 @@ func (c *Coordinator) handleJoin(j wire.Join) {
 	c.members[id] = &memberState{addr: j.Addr, lastSeen: now}
 	c.byAddr[j.Addr] = id
 	c.env.SetPeer(id, j.Addr)
-	c.logf("membership: admitted %v as node %d (view %d)", j.Addr, id, c.version+1)
+	c.logf("membership: admitted %v as node %d", j.Addr, id)
 	c.reply(id)
-	c.broadcast()
+	c.scheduleFlush()
 }
 
 func (c *Coordinator) reply(id wire.NodeID) {
@@ -130,41 +179,119 @@ func (c *Coordinator) remove(id wire.NodeID, why string) {
 	c.logf("membership: removed node %d (%s)", id, why)
 }
 
-func (c *Coordinator) view() wire.View {
+// view returns the current membership sorted by ID.
+func (c *Coordinator) view() []wire.Member {
 	ms := make([]wire.Member, 0, len(c.members))
 	for id, m := range c.members {
 		ms = append(ms, wire.Member{ID: id, Addr: m.addr})
 	}
-	// Deterministic order on the wire; clients re-sort anyway.
-	for i := 1; i < len(ms); i++ {
-		for j := i; j > 0 && ms[j].ID < ms[j-1].ID; j-- {
-			ms[j], ms[j-1] = ms[j-1], ms[j]
-		}
-	}
-	return wire.View{Version: c.version, Members: ms}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	return ms
 }
 
-// broadcast bumps the version and sends the new view to every member.
-func (c *Coordinator) broadcast() {
-	c.version++
-	v := c.view()
-	payload := wire.AppendView(nil, CoordinatorID, v)
-	for id := range c.members {
-		c.env.Send(id, payload)
+// sendFullView serves the last broadcast view to one node (gap recovery and
+// evicted-node heartbeats). Pending coalesced changes are not leaked early:
+// the receiver sees exactly the version everyone else holds.
+func (c *Coordinator) sendFullView(id wire.NodeID) {
+	c.env.Send(id, wire.AppendView(nil, CoordinatorID, wire.View{Version: c.version, Members: c.lastView}))
+	c.stats.FullViewsSent++
+}
+
+// scheduleFlush arms the coalesce timer unless one is already pending.
+func (c *Coordinator) scheduleFlush() {
+	if c.flushPending {
+		return
 	}
+	c.flushPending = true
+	c.env.After(c.cfg.Coalesce, c.flush)
+}
+
+// flush broadcasts the changes accumulated during the coalesce window: one
+// version bump, a delta to every surviving member, and a full view to every
+// member added in the window (they hold no base to apply a delta to). If the
+// delta would not be smaller than the full view, everyone gets the full
+// view. Sends walk the sorted member list, so the broadcast order is
+// deterministic under the simulator.
+func (c *Coordinator) flush() {
+	c.flushPending = false
+	cur := c.view()
+	adds, removes := diffMembers(c.lastView, cur)
+	if len(adds) == 0 && len(removes) == 0 {
+		return // churn cancelled out within the window; no new version
+	}
+	base := c.version
+	c.version++
+	c.stats.Broadcasts++
+	full := wire.AppendView(nil, CoordinatorID, wire.View{Version: c.version, Members: cur})
+	useDelta := wire.ViewDeltaSize(len(adds), len(removes)) < wire.ViewSize(len(cur))
+	var delta []byte
+	if useDelta {
+		delta = wire.AppendViewDelta(nil, CoordinatorID, wire.ViewDelta{
+			BaseVersion: base,
+			Version:     c.version,
+			Adds:        adds,
+			Removes:     removes,
+		})
+	}
+	added := make(map[wire.NodeID]bool, len(adds))
+	for _, m := range adds {
+		added[m.ID] = true
+	}
+	for _, m := range cur {
+		if useDelta && !added[m.ID] {
+			c.env.Send(m.ID, delta)
+			c.stats.DeltasSent++
+		} else {
+			c.env.Send(m.ID, full)
+			c.stats.FullViewsSent++
+		}
+	}
+	c.lastView = cur
+	c.logf("membership: view %d (%d members, +%d −%d)", c.version, len(cur), len(adds), len(removes))
+}
+
+// diffMembers returns the members present in cur but not in prev, and the
+// IDs present in prev but not in cur. Both inputs are sorted by ID.
+func diffMembers(prev, cur []wire.Member) (adds []wire.Member, removes []wire.NodeID) {
+	i, j := 0, 0
+	for i < len(prev) && j < len(cur) {
+		switch {
+		case prev[i].ID == cur[j].ID:
+			i++
+			j++
+		case prev[i].ID < cur[j].ID:
+			removes = append(removes, prev[i].ID)
+			i++
+		default:
+			adds = append(adds, cur[j])
+			j++
+		}
+	}
+	for ; i < len(prev); i++ {
+		removes = append(removes, prev[i].ID)
+	}
+	for ; j < len(cur); j++ {
+		adds = append(adds, cur[j])
+	}
+	return adds, removes
 }
 
 func (c *Coordinator) sweep() {
 	now := c.env.Now()
-	expired := false
+	// Collect expiries in sorted ID order so removal (and the resulting
+	// delta) is deterministic run to run.
+	var expired []wire.NodeID
 	for id, m := range c.members {
 		if now.Sub(m.lastSeen) > c.cfg.Timeout {
-			c.remove(id, "timeout")
-			expired = true
+			expired = append(expired, id)
 		}
 	}
-	if expired {
-		c.broadcast()
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		c.remove(id, "timeout")
+	}
+	if len(expired) > 0 {
+		c.scheduleFlush()
 	}
 	c.env.After(c.cfg.Sweep, c.sweep)
 }

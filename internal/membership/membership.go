@@ -32,6 +32,10 @@ const (
 	DefaultSweep = time.Minute
 	// DefaultJoinRetry is the client's re-join interval until admitted.
 	DefaultJoinRetry = 5 * time.Second
+	// DefaultCoalesce is how long the coordinator batches membership changes
+	// before broadcasting one delta. Join storms landing inside a window cost
+	// O(n + k) messages instead of O(n·k).
+	DefaultCoalesce = time.Second
 )
 
 // ViewInfo is the client-side digest of a membership view: the sorted member
@@ -89,4 +93,45 @@ func (v *ViewInfo) IDAt(slot int) wire.NodeID { return v.members[slot].ID }
 func (v *ViewInfo) SlotOf(id wire.NodeID) (int, bool) {
 	s, ok := v.slotOf[id]
 	return s, ok
+}
+
+// SlotMap returns, for each slot of old, the slot the same member ID
+// occupies in next, or -1 if the member has departed. Probing and routing
+// state is keyed by slot but owned by node IDs, so this is the mapping every
+// component uses to carry measurements across a view change.
+func SlotMap(old, next *ViewInfo) []int {
+	m := make([]int, old.N())
+	for s := range m {
+		if ns, ok := next.SlotOf(old.members[s].ID); ok {
+			m[s] = ns
+		} else {
+			m[s] = -1
+		}
+	}
+	return m
+}
+
+// ApplyDelta builds the ViewInfo that results from applying a wire delta to
+// v. It fails if the delta's base version does not match v's version (the
+// caller must then request a full view), if a removed ID is unknown, or if
+// an added ID already exists.
+func (v *ViewInfo) ApplyDelta(d wire.ViewDelta) (*ViewInfo, error) {
+	if v.version != d.BaseVersion {
+		return nil, fmt.Errorf("membership: delta base %d does not match view %d", d.BaseVersion, v.version)
+	}
+	removed := make(map[wire.NodeID]bool, len(d.Removes))
+	for _, id := range d.Removes {
+		if _, ok := v.slotOf[id]; !ok {
+			return nil, fmt.Errorf("membership: delta removes unknown ID %d", id)
+		}
+		removed[id] = true
+	}
+	ms := make([]wire.Member, 0, len(v.members)+len(d.Adds)-len(d.Removes))
+	for _, m := range v.members {
+		if !removed[m.ID] {
+			ms = append(ms, m)
+		}
+	}
+	ms = append(ms, d.Adds...)
+	return NewViewInfo(wire.View{Version: d.Version, Members: ms})
 }

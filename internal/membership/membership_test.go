@@ -257,3 +257,218 @@ func TestJoinAddrConvention(t *testing.T) {
 		t.Errorf("join addr = %v err=%v", j.Addr, err)
 	}
 }
+
+func TestApplyDelta(t *testing.T) {
+	base := NewStaticView([]wire.NodeID{1, 2, 3})
+	vi, err := base.ApplyDelta(wire.ViewDelta{
+		BaseVersion: 1, Version: 2,
+		Adds:    []wire.Member{{ID: 9}},
+		Removes: []wire.NodeID{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.VersionNum() != 2 || vi.N() != 3 {
+		t.Fatalf("version=%d n=%d", vi.VersionNum(), vi.N())
+	}
+	for i, want := range []wire.NodeID{1, 3, 9} {
+		if vi.IDAt(i) != want {
+			t.Errorf("IDAt(%d) = %d, want %d", i, vi.IDAt(i), want)
+		}
+	}
+	// Base mismatch, unknown remove, duplicate add all fail.
+	if _, err := base.ApplyDelta(wire.ViewDelta{BaseVersion: 7, Version: 8}); err == nil {
+		t.Error("base mismatch accepted")
+	}
+	if _, err := base.ApplyDelta(wire.ViewDelta{BaseVersion: 1, Version: 2, Removes: []wire.NodeID{55}}); err == nil {
+		t.Error("unknown removal accepted")
+	}
+	if _, err := base.ApplyDelta(wire.ViewDelta{BaseVersion: 1, Version: 2, Adds: []wire.Member{{ID: 1}}}); err == nil {
+		t.Error("duplicate add accepted")
+	}
+}
+
+func TestSlotMap(t *testing.T) {
+	old := NewStaticView([]wire.NodeID{1, 2, 3})
+	next := NewStaticView([]wire.NodeID{0, 1, 3, 4})
+	m := SlotMap(old, next)
+	want := []int{1, -1, 2} // 1→slot1, 2 departed, 3→slot2
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("SlotMap[%d] = %d, want %d", i, m[i], want[i])
+		}
+	}
+}
+
+func TestDeltaApplicationOverWire(t *testing.T) {
+	// Two clients join, then a third: the first two must receive a delta
+	// (not a full view) and still converge on the same view.
+	sc := newSimCluster(t, 3, ClientConfig{}, CoordinatorConfig{Coalesce: 500 * time.Millisecond})
+	sc.clients[0].Start()
+	sc.clients[1].Start()
+	sc.nw.RunFor(5 * time.Second)
+	v0 := sc.views[0]
+	if v0 == nil || v0.N() != 2 {
+		t.Fatalf("initial view = %+v", v0)
+	}
+	deltasBefore := sc.coord.Stats().DeltasSent
+	sc.clients[2].Start()
+	sc.nw.RunFor(5 * time.Second)
+	if got := sc.coord.Stats().DeltasSent - deltasBefore; got != 2 {
+		t.Errorf("deltas sent for the third join = %d, want 2", got)
+	}
+	for i := 0; i < 3; i++ {
+		v := sc.views[i]
+		if v == nil || v.N() != 3 || v.VersionNum() != sc.views[0].VersionNum() {
+			t.Errorf("client %d view = %+v", i, v)
+		}
+	}
+}
+
+func TestVersionGapTriggersFullView(t *testing.T) {
+	sc := newSimCluster(t, 2, ClientConfig{}, CoordinatorConfig{Coalesce: 100 * time.Millisecond})
+	sc.clients[0].Start()
+	sc.nw.RunFor(3 * time.Second)
+	v := sc.views[0]
+	if v == nil {
+		t.Fatal("no initial view")
+	}
+
+	// A bogus future-base delta makes the client ask for a full view, but
+	// it already holds the current version, so the coordinator suppresses
+	// the redundant send and the client's view stays intact.
+	full := sc.coord.Stats().FullViewsSent
+	deliverDelta := func(d wire.ViewDelta) {
+		b := wire.AppendViewDelta(nil, CoordinatorID, d)
+		h, body, _ := wire.ParseHeader(b)
+		sc.clients[0].HandlePacket(h, body)
+	}
+	deliverDelta(wire.ViewDelta{
+		BaseVersion: v.VersionNum() + 5,
+		Version:     v.VersionNum() + 6,
+		Adds:        []wire.Member{{ID: 77}},
+	})
+	sc.nw.RunFor(2 * time.Second)
+	if got := sc.coord.Stats().FullViewsSent; got != full {
+		t.Errorf("full views served = %d, want %d (up-to-date requester suppressed)", got, full)
+	}
+	if sc.views[0].N() != 1 {
+		t.Errorf("view has %d members after bogus delta", sc.views[0].N())
+	}
+
+	// A genuine gap: client 0 misses the broadcast for client 1's join
+	// (partitioned), then receives a delta built on the version it never
+	// saw. The resulting full-view request must be served and converge it.
+	sc.nw.SetNodeDown(0, true)
+	sc.clients[1].Start()
+	sc.nw.RunFor(3 * time.Second)
+	sc.nw.SetNodeDown(0, false)
+	if sc.coord.Version() == v.VersionNum() {
+		t.Fatal("coordinator version did not advance")
+	}
+	deliverDelta(wire.ViewDelta{
+		BaseVersion: sc.coord.Version(),
+		Version:     sc.coord.Version() + 1,
+		Adds:        []wire.Member{{ID: 88}},
+	})
+	sc.nw.RunFor(2 * time.Second)
+	if sc.views[0] == nil || sc.views[0].N() != 2 {
+		t.Errorf("gap recovery failed: view = %+v", sc.views[0])
+	}
+	if sc.views[0].VersionNum() != sc.coord.Version() {
+		t.Errorf("recovered version = %d, want %d", sc.views[0].VersionNum(), sc.coord.Version())
+	}
+}
+
+func TestJoinStormMessageComplexity(t *testing.T) {
+	// n members settled, then k join inside one coalesce window: the
+	// coordinator must send O(n + k) membership messages (k replies, k full
+	// views, n deltas), not O(n·k).
+	const n, k = 30, 10
+	sc := newSimCluster(t, n+k, ClientConfig{}, CoordinatorConfig{Coalesce: time.Second})
+	for i := 0; i < n; i++ {
+		sc.clients[i].Start()
+	}
+	sc.nw.RunFor(10 * time.Second)
+	if sc.coord.MemberCount() != n {
+		t.Fatalf("settled member count = %d", sc.coord.MemberCount())
+	}
+	sent := countCoordSends(sc)
+	*sent = 0
+	for i := n; i < n+k; i++ {
+		sc.clients[i].Start()
+	}
+	sc.nw.RunFor(10 * time.Second)
+	if sc.coord.MemberCount() != n+k {
+		t.Fatalf("member count = %d after storm", sc.coord.MemberCount())
+	}
+	// Linear bound with slack for stray heartbeat replies; the quadratic
+	// alternative would be ≥ n·k = 300.
+	if *sent > 2*(n+2*k) {
+		t.Errorf("coordinator sent %d membership messages for a %d-node storm on %d members (want O(n+k))", *sent, k, n)
+	}
+	if got := sc.coord.Stats().Broadcasts; got > 3 {
+		t.Errorf("storm produced %d broadcasts, want coalesced ≤ 3", got)
+	}
+}
+
+// countCoordSends installs an OnSend hook counting membership-plane packets
+// leaving the coordinator's endpoint and returns a pointer to the counter.
+func countCoordSends(sc *simCluster) *int {
+	count := new(int)
+	coordEP := len(sc.clients) // coordinator is the last endpoint
+	sc.nw.OnSend = func(from, to int, payload []byte) {
+		if from == coordEP && wire.CategoryOf(wire.PeekType(payload)) == wire.CatMembership {
+			*count++
+		}
+	}
+	return count
+}
+
+func TestEvictedClientRejoins(t *testing.T) {
+	ccfg := CoordinatorConfig{Timeout: 30 * time.Second, Sweep: 5 * time.Second, Coalesce: 500 * time.Millisecond}
+	sc := newSimCluster(t, 2, ClientConfig{Heartbeat: 10 * time.Second, JoinRetry: 2 * time.Second}, ccfg)
+	for _, cl := range sc.clients {
+		cl.Start()
+	}
+	sc.nw.RunFor(5 * time.Second)
+	if sc.coord.MemberCount() != 2 {
+		t.Fatalf("member count = %d", sc.coord.MemberCount())
+	}
+	evicted := 0
+	sc.clients[0].OnEvicted = func() { evicted++ }
+
+	// Partition node 0 long enough to be expired, then heal.
+	sc.nw.SetNodeDown(0, true)
+	sc.nw.RunFor(time.Minute)
+	if sc.coord.MemberCount() != 1 {
+		t.Fatalf("member count = %d during partition", sc.coord.MemberCount())
+	}
+	sc.nw.SetNodeDown(0, false)
+	// The next heartbeat from the evicted ID draws a view without it; the
+	// client detects self-absence and rejoins with a fresh ID.
+	sc.nw.RunFor(30 * time.Second)
+	if evicted != 1 {
+		t.Errorf("OnEvicted fired %d times, want 1", evicted)
+	}
+	if sc.coord.MemberCount() != 2 {
+		t.Fatalf("member count = %d after heal, want 2 (rejoined)", sc.coord.MemberCount())
+	}
+	if !sc.clients[0].Joined() {
+		t.Fatal("client 0 not rejoined")
+	}
+	if id := sc.envs[0].LocalID(); id == 0 || id == wire.NilNode {
+		t.Errorf("rejoined with ID %d, want a fresh assignment", id)
+	}
+	// Both clients converge on a 2-member view containing the new ID.
+	for i := 0; i < 2; i++ {
+		v := sc.views[i]
+		if v == nil || v.N() != 2 {
+			t.Errorf("client %d view = %+v", i, v)
+			continue
+		}
+		if _, ok := v.SlotOf(sc.envs[0].LocalID()); !ok {
+			t.Errorf("client %d view lacks the rejoined ID", i)
+		}
+	}
+}

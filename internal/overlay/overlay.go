@@ -208,8 +208,19 @@ func (n *Node) scheduleTicks() {
 	n.ticker = n.env.After(first, tick)
 }
 
-// Stop halts the node's timers. In-flight state is retained.
+// Stop halts the node's timers and announces departure to the coordinator.
+// In-flight state is retained.
 func (n *Node) Stop() {
+	n.Halt()
+	if n.mc != nil {
+		n.mc.Leave()
+	}
+}
+
+// Halt stops all timers without announcing departure — a crash, as the churn
+// harness injects it. The coordinator only learns of the node's death when
+// its membership lease expires.
+func (n *Node) Halt() {
 	if n.ticker != nil {
 		n.ticker.Stop()
 	}
@@ -217,7 +228,7 @@ func (n *Node) Stop() {
 		n.prober.Stop()
 	}
 	if n.mc != nil {
-		n.mc.Leave()
+		n.mc.Stop()
 	}
 }
 
@@ -248,7 +259,7 @@ func (n *Node) handlePacket(from wire.NodeID, payload []byte) {
 		if q, ok := n.router.(*core.Quorum); ok {
 			q.HandleLinkStateAck(h, body)
 		}
-	case wire.TJoinReply, wire.TView:
+	case wire.TJoinReply, wire.TView, wire.TViewDelta:
 		if n.mc != nil {
 			n.mc.HandlePacket(h, body)
 		}

@@ -146,10 +146,28 @@ func (p *Prober) reset(view *membership.ViewInfo, self int) {
 	}
 }
 
-// SetView installs a new membership view, restarting probing. Measurements
-// do not carry over: slots are view-relative.
+// SetView installs a new membership view and restarts probing. Link state is
+// keyed by the destination's node ID: members present in both views keep
+// their EWMA latency/loss estimates and liveness, so a single join or leave
+// no longer blinds the node for a full probing interval. Departed members
+// are dropped; new members start cold (dead until first reply). In-flight
+// probes are abandoned — their reply timers were view-relative.
 func (p *Prober) SetView(view *membership.ViewInfo, self int) {
+	old := p.view
+	oldLinks := p.links
 	p.reset(view, self)
+	if old != nil {
+		for os, ns := range membership.SlotMap(old, view) {
+			if ns < 0 || ns == self || os >= len(oldLinks) {
+				continue
+			}
+			carried := oldLinks[os]
+			carried.probeTimer, carried.checkTimer = nil, nil
+			carried.awaiting = false
+			p.links[ns] = carried
+			p.updateStatus(ns)
+		}
+	}
 	p.Start()
 }
 

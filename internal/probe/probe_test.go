@@ -323,3 +323,69 @@ func TestDataWireRoundTrip(t *testing.T) {
 		t.Error("short data accepted")
 	}
 }
+
+func TestSetViewCarriesMeasurements(t *testing.T) {
+	// Three nodes measure each other, then a fourth joins: surviving links
+	// must keep their EWMA latency and liveness across the view change
+	// instead of going dark for a probing interval.
+	cfg := Config{Interval: 10 * time.Second, ReplyTimeout: time.Second}
+	f := newFixture(t, 4, cfg, 25*time.Millisecond)
+	old := membership.NewStaticView([]wire.NodeID{0, 1, 2})
+	for i := 0; i < 3; i++ {
+		f.probers[i].SetView(old, i)
+	}
+	f.nw.RunFor(time.Minute)
+	p := f.probers[0]
+	wantLat, ok := p.Latency(1)
+	if !ok || !p.Alive(1) {
+		t.Fatal("link 0->1 not measured before the view change")
+	}
+
+	// Node 3 joins: IDs 1 and 2 shift slots (0,1,2,3 sorted), 0 stays.
+	next := membership.NewStaticView([]wire.NodeID{0, 1, 2, 3})
+	p.SetView(next, 0)
+	if !p.Alive(1) || !p.Alive(2) {
+		t.Error("surviving links lost liveness across SetView")
+	}
+	got, ok := p.Latency(1)
+	if !ok || got != wantLat {
+		t.Errorf("carried latency = %.2f (ok=%v), want %.2f", got, ok, wantLat)
+	}
+	row := p.Row()
+	if !wire.StatusAlive(row[1].Status) || row[1].Latency == 0 {
+		t.Errorf("carried row entry = %+v", row[1])
+	}
+	// The newcomer starts cold.
+	if p.Alive(3) {
+		t.Error("new member alive before any probe")
+	}
+	if !wire.StatusAlive(row[0].Status) || row[0].Latency != 0 {
+		t.Errorf("self entry = %+v", row[0])
+	}
+}
+
+func TestSetViewDropsDepartedAndRemapsSlots(t *testing.T) {
+	cfg := Config{Interval: 10 * time.Second, ReplyTimeout: time.Second}
+	f := newFixture(t, 3, cfg, 25*time.Millisecond)
+	f.startAll()
+	f.nw.RunFor(time.Minute)
+	p := f.probers[0]
+	lat2, ok := p.Latency(2)
+	if !ok {
+		t.Fatal("link 0->2 not measured")
+	}
+
+	// Node 1 departs: ID 2 moves from slot 2 to slot 1.
+	next := membership.NewStaticView([]wire.NodeID{0, 2})
+	p.SetView(next, 0)
+	got, ok := p.Latency(1)
+	if !ok || got != lat2 {
+		t.Errorf("remapped latency = %.2f (ok=%v), want %.2f", got, ok, lat2)
+	}
+	if !p.Alive(1) {
+		t.Error("remapped link not alive")
+	}
+	if p.view.N() != 2 {
+		t.Errorf("view size = %d", p.view.N())
+	}
+}

@@ -124,6 +124,90 @@ func ParseView(body []byte) (View, error) {
 	return v, nil
 }
 
+// ViewDelta is an incremental membership update: the members added and the
+// IDs removed between BaseVersion and Version. A client holding exactly
+// BaseVersion applies the delta locally; any other client has missed an
+// update and must fall back to requesting a full view (ViewRequest). Deltas
+// keep per-change broadcast cost proportional to the churn, not to the
+// overlay size, which is what collapses a k-node join storm from O(n·k) to
+// O(n + k) coordinator messages.
+type ViewDelta struct {
+	BaseVersion uint32
+	Version     uint32
+	Adds        []Member
+	Removes     []NodeID
+}
+
+// AppendViewDelta encodes d with its header.
+func AppendViewDelta(b []byte, src NodeID, d ViewDelta) []byte {
+	b = AppendHeader(b, TViewDelta, src)
+	b = binary.BigEndian.AppendUint32(b, d.BaseVersion)
+	b = binary.BigEndian.AppendUint32(b, d.Version)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(d.Adds)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(d.Removes)))
+	for _, m := range d.Adds {
+		b = appendMember(b, m)
+	}
+	for _, id := range d.Removes {
+		b = binary.BigEndian.AppendUint16(b, uint16(id))
+	}
+	return b
+}
+
+// ParseViewDelta decodes a ViewDelta body.
+func ParseViewDelta(body []byte) (ViewDelta, error) {
+	const fixed = 4 + 4 + 2 + 2
+	if len(body) < fixed {
+		return ViewDelta{}, ErrShort
+	}
+	d := ViewDelta{
+		BaseVersion: binary.BigEndian.Uint32(body),
+		Version:     binary.BigEndian.Uint32(body[4:]),
+	}
+	nAdd := int(binary.BigEndian.Uint16(body[8:]))
+	nRem := int(binary.BigEndian.Uint16(body[10:]))
+	body = body[fixed:]
+	if len(body) != nAdd*memberLen+nRem*2 {
+		return ViewDelta{}, fmt.Errorf("%w: want %d delta bytes, have %d", ErrBadLen, nAdd*memberLen+nRem*2, len(body))
+	}
+	d.Adds = make([]Member, nAdd)
+	for i := 0; i < nAdd; i++ {
+		d.Adds[i] = parseMember(body[i*memberLen:])
+	}
+	body = body[nAdd*memberLen:]
+	d.Removes = make([]NodeID, nRem)
+	for i := 0; i < nRem; i++ {
+		d.Removes[i] = NodeID(binary.BigEndian.Uint16(body[i*2:]))
+	}
+	return d, nil
+}
+
+// ViewDeltaSize returns the encoded payload size of a delta with the given
+// change counts, excluding per-packet overhead. The coordinator compares it
+// against ViewSize to fall back to a full view when the delta would be
+// larger.
+func ViewDeltaSize(adds, removes int) int { return HeaderLen + 12 + adds*memberLen + removes*2 }
+
+// ViewSize returns the encoded payload size of a full n-member view,
+// excluding per-packet overhead.
+func ViewSize(n int) int { return HeaderLen + 6 + n*memberLen }
+
+// AppendViewRequest encodes a full-view request carrying the requester's
+// current view version (0 if it holds none).
+func AppendViewRequest(b []byte, src NodeID, have uint32) []byte {
+	b = AppendHeader(b, TViewRequest, src)
+	return binary.BigEndian.AppendUint32(b, have)
+}
+
+// ParseViewRequest decodes a ViewRequest body, returning the requester's
+// current view version.
+func ParseViewRequest(body []byte) (uint32, error) {
+	if len(body) != 4 {
+		return 0, ErrBadLen
+	}
+	return binary.BigEndian.Uint32(body), nil
+}
+
 // AppendLeave encodes a Leave notification (no body).
 func AppendLeave(b []byte, src NodeID) []byte {
 	return AppendHeader(b, TLeave, src)

@@ -71,6 +71,8 @@ const (
 	TLeave
 	THeartbeat
 	TView
+	TViewDelta   // incremental view update against a base version
+	TViewRequest // client asks for a full view after a version gap
 
 	// Data plane.
 	TData
@@ -105,6 +107,10 @@ func (t MsgType) String() string {
 		return "heartbeat"
 	case TView:
 		return "view"
+	case TViewDelta:
+		return "view-delta"
+	case TViewRequest:
+		return "view-request"
 	case TData:
 		return "data"
 	default:

@@ -467,3 +467,75 @@ func TestParsersNeverPanic(t *testing.T) {
 		}
 	}
 }
+
+func TestViewDeltaRoundTrip(t *testing.T) {
+	d := ViewDelta{
+		BaseVersion: 41,
+		Version:     42,
+		Adds: []Member{
+			{ID: 7, Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 7}), 7007)},
+			{ID: 9, Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 9}), 7009)},
+		},
+		Removes: []NodeID{3, 5},
+	}
+	b := AppendViewDelta(nil, 0xFFFE, d)
+	if len(b) != ViewDeltaSize(2, 2) {
+		t.Errorf("encoded %d bytes, ViewDeltaSize says %d", len(b), ViewDeltaSize(2, 2))
+	}
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != TViewDelta || h.Src != 0xFFFE {
+		t.Fatalf("header = %+v err=%v", h, err)
+	}
+	got, err := ParseViewDelta(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BaseVersion != 41 || got.Version != 42 {
+		t.Errorf("versions = %d->%d", got.BaseVersion, got.Version)
+	}
+	if len(got.Adds) != 2 || got.Adds[0] != d.Adds[0] || got.Adds[1] != d.Adds[1] {
+		t.Errorf("adds = %+v", got.Adds)
+	}
+	if len(got.Removes) != 2 || got.Removes[0] != 3 || got.Removes[1] != 5 {
+		t.Errorf("removes = %+v", got.Removes)
+	}
+}
+
+func TestViewDeltaEmpty(t *testing.T) {
+	b := AppendViewDelta(nil, 1, ViewDelta{BaseVersion: 1, Version: 2})
+	_, body, _ := ParseHeader(b)
+	got, err := ParseViewDelta(body)
+	if err != nil || len(got.Adds) != 0 || len(got.Removes) != 0 {
+		t.Errorf("got %+v err=%v", got, err)
+	}
+}
+
+func TestViewDeltaParseErrors(t *testing.T) {
+	if _, err := ParseViewDelta([]byte{1, 2, 3}); err == nil {
+		t.Error("short body accepted")
+	}
+	// Claims one add but carries no member bytes.
+	b := AppendViewDelta(nil, 1, ViewDelta{BaseVersion: 1, Version: 2})
+	_, body, _ := ParseHeader(b)
+	bad := append([]byte(nil), body...)
+	bad[8] = 0
+	bad[9] = 1
+	if _, err := ParseViewDelta(bad); err == nil {
+		t.Error("inconsistent length accepted")
+	}
+}
+
+func TestViewRequestRoundTrip(t *testing.T) {
+	b := AppendViewRequest(nil, 12, 77)
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != TViewRequest || h.Src != 12 {
+		t.Fatalf("header = %+v err=%v", h, err)
+	}
+	have, err := ParseViewRequest(body)
+	if err != nil || have != 77 {
+		t.Errorf("have = %d err=%v", have, err)
+	}
+	if _, err := ParseViewRequest(body[:2]); err == nil {
+		t.Error("short body accepted")
+	}
+}
