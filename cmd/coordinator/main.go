@@ -3,9 +3,16 @@
 // versioned membership views, and expires nodes that miss heartbeats for the
 // membership timeout (30 minutes by default, as in the paper).
 //
+// The service can run replicated: start one process per replica with the
+// same -peers list (every replica's address in rank order) and a distinct
+// -rank. Rank 0 boots as primary and beacons the others; a standby promotes
+// in rank order when the primary's beacons go silent, and overlay nodes fail
+// over to it on their next heartbeat.
+//
 // Usage:
 //
 //	coordinator -listen :4400
+//	coordinator -listen :4400 -rank 1 -peers host0:4400,host1:4400,host2:4400
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"allpairs"
@@ -20,15 +28,34 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":4400", "UDP listen address")
+	rank := flag.Int("rank", 0, "replica rank in the coordinator set (0 = boot primary)")
+	peers := flag.String("peers", "", "comma-separated replica addresses in rank order (empty = solo)")
 	flag.Parse()
 
 	log.SetPrefix("coordinator: ")
-	c, err := allpairs.StartCoordinator(*listen, log.Printf)
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	c, err := allpairs.StartCoordinatorReplica(allpairs.CoordinatorOptions{
+		Listen: *listen,
+		Rank:   *rank,
+		Peers:  peerList,
+		Logf:   log.Printf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	log.Printf("serving membership on %s", c.Addr())
+	if len(peerList) > 1 {
+		role := "standby"
+		if c.IsPrimary() {
+			role = "primary"
+		}
+		log.Printf("serving membership on %s (rank %d of %d, %s)", c.Addr(), *rank, len(peerList), role)
+	} else {
+		log.Printf("serving membership on %s", c.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -8,7 +8,9 @@
 //	experiments fig1 [-n 359] [-seed S]
 //	experiments fig8|fig10|fig11|fig12|fig13|fig14 [-n 140] [-minutes 136] [-seed S]
 //	experiments fig9 [-max 196] [-seed S]
-//	experiments churn [-n 500] [-scenario poisson|flash|mass] [-rate 0.05] [-minutes 10] [-seed S]
+//	experiments churn [-n 500] [-scenario poisson|flash|mass|coord-crash|partition|regional]
+//	                  [-rate 0.05] [-minutes 10] [-coords C] [-partition-secs 60]
+//	                  [-restart-secs 120] [-seed S]
 //	experiments failover [-seed S]
 //	experiments multihop [-n 64] [-hops 4]
 //	experiments table-config
@@ -48,9 +50,12 @@ func main() {
 	minutes := fs.Int("minutes", 136, "deployment duration (virtual minutes)")
 	maxN := fs.Int("max", 196, "largest overlay size for fig9")
 	hops := fs.Int("hops", 4, "multi-hop bound")
-	scenario := fs.String("scenario", "poisson", "churn scenario: poisson, flash, or mass")
+	scenario := fs.String("scenario", "poisson", "churn scenario: poisson, flash, mass, coord-crash, partition, or regional")
 	rate := fs.Float64("rate", 0.05, "per-node departure probability per churn interval")
 	burst := fs.Int("burst", 0, "flash-crowd/mass-departure size (default n/5)")
+	coords := fs.Int("coords", 0, "membership coordinator replicas (default 1; 3 for the coordinator fault scenarios)")
+	partitionSecs := fs.Int("partition-secs", 60, "partition duration for -scenario partition")
+	restartSecs := fs.Int("restart-secs", 120, "primary restart delay for -scenario coord-crash")
 	_ = fs.Parse(os.Args[2:])
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -81,7 +86,9 @@ func main() {
 		if !explicit["minutes"] {
 			*minutes = 10
 		}
-		churn(*n, *seed, *scenario, *rate, *burst, time.Duration(*minutes)*time.Minute)
+		churn(*n, *seed, *scenario, *rate, *burst, *coords,
+			time.Duration(*partitionSecs)*time.Second, time.Duration(*restartSecs)*time.Second,
+			time.Duration(*minutes)*time.Minute)
 	case "failover":
 		failover(*seed)
 	case "multihop":
@@ -145,7 +152,7 @@ func fig9(maxN int, seed int64) {
 	fmt.Println("# paper @140: RON 34.8 Kbps, quorum 15.3 Kbps")
 }
 
-func churn(n int, seed int64, scenario string, rate float64, burst int, dur time.Duration) {
+func churn(n int, seed int64, scenario string, rate float64, burst, coords int, partitionFor, restartAfter, dur time.Duration) {
 	var sc emul.ChurnScenario
 	switch scenario {
 	case "poisson":
@@ -154,6 +161,12 @@ func churn(n int, seed int64, scenario string, rate float64, burst int, dur time
 		sc = emul.ChurnFlashCrowd
 	case "mass":
 		sc = emul.ChurnMassDeparture
+	case "coord-crash":
+		sc = emul.ChurnCoordCrash
+	case "partition":
+		sc = emul.ChurnPartition
+	case "regional":
+		sc = emul.ChurnRegional
 	default:
 		fmt.Fprintf(os.Stderr, "unknown churn scenario %q\n", scenario)
 		os.Exit(2)
@@ -161,6 +174,7 @@ func churn(n int, seed int64, scenario string, rate float64, burst int, dur time
 	fmt.Fprintf(os.Stderr, "running %d-node %s churn for %v (virtual)...\n", n, sc, dur)
 	res := emul.RunChurn(emul.ChurnOptions{
 		N: n, Seed: seed, Scenario: sc, Duration: dur, Rate: rate, Burst: burst,
+		Coordinators: coords, PartitionFor: partitionFor, CoordRestartAfter: restartAfter,
 	})
 	fmt.Print(res.Format())
 }
@@ -372,7 +386,9 @@ func runAll(seed int64) {
 		printDeploymentFigure(f, dep)
 		fmt.Println()
 	}
-	churn(64, seed, "poisson", 0.05, 0, 6*time.Minute)
+	churn(64, seed, "poisson", 0.05, 0, 0, time.Minute, 2*time.Minute, 6*time.Minute)
+	fmt.Println()
+	churn(64, seed, "partition", 0.05, 0, 0, time.Minute, 2*time.Minute, 6*time.Minute)
 	fmt.Println()
 	failover(seed)
 	fmt.Println()

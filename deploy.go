@@ -3,6 +3,7 @@ package allpairs
 import (
 	"fmt"
 	"net/netip"
+	"strings"
 	"time"
 
 	"allpairs/internal/core"
@@ -19,8 +20,11 @@ type NodeOptions struct {
 	// Advertise is the externally reachable address announced to the
 	// membership coordinator; empty means the socket's local address.
 	Advertise string
-	// Coordinator is the membership coordinator's address, e.g.
-	// "198.51.100.7:4400". Required.
+	// Coordinator is the membership coordinator address, e.g.
+	// "198.51.100.7:4400". A replicated coordinator set is given as a
+	// comma-separated list in rank order ("a:4400,b:4400,c:4400"); the node
+	// heartbeats the current primary and fails over down the list when acks
+	// stop. Required.
 	Coordinator string
 	// Algorithm selects Quorum (default) or FullMesh routing.
 	Algorithm Algorithm
@@ -48,11 +52,16 @@ type Node struct {
 // StartNode opens the socket, joins through the coordinator, and begins
 // probing and routing.
 func StartNode(opt NodeOptions) (*Node, error) {
-	coord, err := netip.ParseAddrPort(opt.Coordinator)
-	if err != nil {
-		return nil, fmt.Errorf("allpairs: coordinator address: %w", err)
+	var coords []netip.AddrPort
+	for _, a := range strings.Split(opt.Coordinator, ",") {
+		ap, err := netip.ParseAddrPort(strings.TrimSpace(a))
+		if err != nil {
+			return nil, fmt.Errorf("allpairs: coordinator address %q: %w", a, err)
+		}
+		coords = append(coords, ap)
 	}
 	var adv netip.AddrPort
+	var err error
 	if opt.Advertise != "" {
 		adv, err = netip.ParseAddrPort(opt.Advertise)
 		if err != nil {
@@ -67,7 +76,10 @@ func StartNode(opt NodeOptions) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	env.SetPeer(membership.CoordinatorID, coord)
+	coordIDs := membership.CoordinatorIDs(len(coords))
+	for r, ap := range coords {
+		env.SetPeer(coordIDs[r], ap)
+	}
 
 	pc := probeConfig(opt.ProbeInterval)
 	pc.Asymmetric = opt.Asymmetric
@@ -75,10 +87,11 @@ func StartNode(opt NodeOptions) (*Node, error) {
 	qc.Asymmetric = opt.Asymmetric
 	qc.ReliableLinkState = opt.ReliableLinkState
 	node := overlay.New(env, overlay.Config{
-		Algorithm: opt.Algorithm,
-		Probe:     pc,
-		Quorum:    qc,
-		FullMesh:  fullMeshConfig(opt.RoutingInterval),
+		Algorithm:  opt.Algorithm,
+		Probe:      pc,
+		Quorum:     qc,
+		FullMesh:   fullMeshConfig(opt.RoutingInterval),
+		Membership: membership.ClientConfig{Coordinators: coordIDs},
 	})
 	var startErr error
 	env.Do(func() { startErr = node.Start() })
@@ -140,20 +153,74 @@ type Coordinator struct {
 	coord *membership.Coordinator
 }
 
-// StartCoordinator opens a UDP socket and serves membership. logf, if
-// non-nil, receives admission/expiry events.
+// CoordinatorOptions configures one replica of the membership coordinator
+// set.
+type CoordinatorOptions struct {
+	// Listen is the UDP listen address.
+	Listen string
+	// Rank is this replica's position in the set: rank 0 boots as primary,
+	// higher ranks stand by and promote in rank order when the primary's
+	// beacons go silent.
+	Rank int
+	// Peers lists every replica's externally reachable address in rank
+	// order; the entry at Rank (this process) may be empty. A nil/single
+	// list runs the classic solo coordinator.
+	Peers []string
+	// Logf, if non-nil, receives admission, expiry, and election events.
+	Logf func(string, ...any)
+}
+
+// StartCoordinator opens a UDP socket and serves membership as a solo
+// (unreplicated) coordinator. logf, if non-nil, receives admission/expiry
+// events.
 func StartCoordinator(listen string, logf func(string, ...any)) (*Coordinator, error) {
-	env, err := transport.NewUDPEnv(listen, netip.AddrPort{}, time.Now().UnixNano())
+	return StartCoordinatorReplica(CoordinatorOptions{Listen: listen, Logf: logf})
+}
+
+// StartCoordinatorReplica opens a UDP socket and serves membership as one
+// replica of a coordinator set.
+func StartCoordinatorReplica(opt CoordinatorOptions) (*Coordinator, error) {
+	n := len(opt.Peers)
+	if n < 1 {
+		n = 1
+	}
+	if opt.Rank < 0 || opt.Rank >= n {
+		return nil, fmt.Errorf("allpairs: coordinator rank %d outside replica set of %d", opt.Rank, n)
+	}
+	env, err := transport.NewUDPEnv(opt.Listen, netip.AddrPort{}, time.Now().UnixNano())
 	if err != nil {
 		return nil, err
 	}
-	c := membership.NewCoordinator(env, membership.CoordinatorConfig{Logf: logf})
+	ids := membership.CoordinatorIDs(n)
+	for r, a := range opt.Peers {
+		if r == opt.Rank || strings.TrimSpace(a) == "" {
+			continue
+		}
+		ap, perr := netip.ParseAddrPort(strings.TrimSpace(a))
+		if perr != nil {
+			env.Close()
+			return nil, fmt.Errorf("allpairs: coordinator peer %q: %w", a, perr)
+		}
+		env.SetPeer(ids[r], ap)
+	}
+	c := membership.NewCoordinator(env, membership.CoordinatorConfig{
+		Coordinators: ids,
+		Rank:         opt.Rank,
+		Logf:         opt.Logf,
+	})
 	env.Do(c.Start)
 	return &Coordinator{env: env, coord: c}, nil
 }
 
 // Addr returns the coordinator's socket address.
 func (c *Coordinator) Addr() netip.AddrPort { return c.env.LocalAddr() }
+
+// IsPrimary reports whether this replica currently leads the set.
+func (c *Coordinator) IsPrimary() bool {
+	p := false
+	c.env.Do(func() { p = c.coord.IsPrimary() })
+	return p
+}
 
 // MemberCount returns the number of admitted members.
 func (c *Coordinator) MemberCount() int {

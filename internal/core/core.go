@@ -33,6 +33,12 @@ const (
 	// SourceFallback marks a route computed from neighbors' link-state rows
 	// (§4.2's redundant-information fallback), produced only by BestHop.
 	SourceFallback
+	// SourceStale marks a last-known-good route served past its TTL under
+	// degraded-mode damping: the membership view went stale (coordinator
+	// failover, partition) and routing keeps the old entry with a cost
+	// penalty rather than blanking the route. Produced only by BestHop when
+	// a DegradedHold is configured.
+	SourceStale
 )
 
 // String names the source.
@@ -44,6 +50,8 @@ func (s RouteSource) String() string {
 		return "self"
 	case SourceFallback:
 		return "fallback"
+	case SourceStale:
+		return "stale"
 	default:
 		return "none"
 	}

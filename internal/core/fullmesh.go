@@ -18,6 +18,11 @@ type FullMeshConfig struct {
 	// Staleness is the maximum row age used in route computation
 	// (default 3·Interval, matching the quorum configuration).
 	Staleness time.Duration
+	// DegradedHold mirrors QuorumConfig.DegradedHold: how long past
+	// Staleness a last-known-good entry may still be served with an
+	// age-proportional cost penalty when no fresh route exists. Zero or
+	// negative disables degraded mode (the default).
+	DegradedHold time.Duration
 }
 
 func (c *FullMeshConfig) fill() {
@@ -172,7 +177,35 @@ func (f *FullMesh) BestHop(dst int) (RouteEntry, bool) {
 	if hop >= 0 && cost != wire.InfCost {
 		return RouteEntry{Hop: hop, Cost: cost, When: now, From: -1, Source: SourceFallback}, true
 	}
+	if se, ok := f.staleHop(e, now); ok {
+		return se, true
+	}
 	return RouteEntry{Hop: -1, Cost: wire.InfCost}, false
+}
+
+// staleHop is the baseline's degraded-mode damping, mirroring
+// Quorum.staleHop: serve the expired entry with an age-inflated cost while
+// the self row still reports the first hop alive.
+func (f *FullMesh) staleHop(e RouteEntry, now time.Time) (RouteEntry, bool) {
+	if f.cfg.DegradedHold <= 0 || e.Source == SourceNone || e.Hop < 0 || e.Cost == wire.InfCost {
+		return RouteEntry{}, false
+	}
+	age := now.Sub(e.When)
+	if age > f.cfg.Staleness+f.cfg.DegradedHold {
+		return RouteEntry{}, false
+	}
+	row := f.SelfRow()
+	if e.Hop >= len(row) || !wire.StatusAlive(row[e.Hop].Status) {
+		return RouteEntry{}, false
+	}
+	over := age - f.cfg.Staleness
+	if over < 0 {
+		over = 0
+	}
+	penalty := wire.Cost(uint64(e.Cost) * uint64(over) / uint64(f.cfg.DegradedHold))
+	e.Cost = e.Cost.Add(penalty)
+	e.Source = SourceStale
+	return e, true
 }
 
 // Routes implements Router.

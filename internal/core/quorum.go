@@ -23,6 +23,15 @@ type QuorumConfig struct {
 	// RouteTTL is how long a received recommendation stays authoritative
 	// before BestHop falls back to neighbor link-state (default Staleness).
 	RouteTTL time.Duration
+	// DegradedHold is how long past RouteTTL an expired entry may still be
+	// served as a last resort when no fallback exists, with a cost penalty
+	// growing linearly with age (stale-row damping). This is the graceful
+	// degradation used while the membership view is stale — a coordinator
+	// failover or partition stalls view/recommendation flow, and blanking
+	// routes would turn a control-plane hiccup into a data-plane outage.
+	// Zero (the default) disables degraded mode; negative values also
+	// disable it (the explicit off-switch for callers that fill defaults).
+	DegradedHold time.Duration
 	// RemoteSilence is how long a rendezvous may go without recommending a
 	// route to a destination before the node declares a remote rendezvous
 	// failure for that destination (default 2.5r; the paper bounds detection
@@ -552,7 +561,37 @@ func (q *Quorum) BestHop(dst int) (RouteEntry, bool) {
 	if hop >= 0 && cost != wire.InfCost {
 		return RouteEntry{Hop: hop, Cost: cost, When: now, From: -1, Source: SourceFallback}, true
 	}
+	if se, ok := q.staleHop(e, now); ok {
+		return se, true
+	}
 	return RouteEntry{Hop: -1, Cost: wire.InfCost}, false
+}
+
+// staleHop serves an expired entry under degraded-mode damping: within
+// DegradedHold past the TTL, and only while the prober still believes the
+// first hop alive, the last-known-good route is returned with its cost
+// inflated proportionally to its age. The inflation keeps genuinely fresh
+// information preferred everywhere a choice exists, so degraded entries only
+// ever win when the alternative is no route at all.
+func (q *Quorum) staleHop(e RouteEntry, now time.Time) (RouteEntry, bool) {
+	if q.cfg.DegradedHold <= 0 || e.Source == SourceNone || e.Hop < 0 || e.Cost == wire.InfCost {
+		return RouteEntry{}, false
+	}
+	age := now.Sub(e.When)
+	if age > q.cfg.RouteTTL+q.cfg.DegradedHold {
+		return RouteEntry{}, false
+	}
+	if q.LinkAlive != nil && !q.LinkAlive(e.Hop) {
+		return RouteEntry{}, false
+	}
+	over := age - q.cfg.RouteTTL
+	if over < 0 {
+		over = 0
+	}
+	penalty := wire.Cost(uint64(e.Cost) * uint64(over) / uint64(q.cfg.DegradedHold))
+	e.Cost = e.Cost.Add(penalty)
+	e.Source = SourceStale
+	return e, true
 }
 
 // Routes implements Router.

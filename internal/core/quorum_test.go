@@ -83,7 +83,7 @@ func newCluster(t *testing.T, n int, seed int64, algo string, qcfg QuorumConfig)
 			q.LinkAlive = func(slot int) bool { return slot == i || !c.dead[i][slot] }
 			r = q
 		case "fullmesh":
-			f := NewFullMesh(env, FullMeshConfig{Interval: qcfg.Interval}, c.view, i)
+			f := NewFullMesh(env, FullMeshConfig{Interval: qcfg.Interval, DegradedHold: qcfg.DegradedHold}, c.view, i)
 			f.SelfRow = selfRow
 			r = f
 		default:

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"allpairs/internal/core"
+	"allpairs/internal/grid"
 	"allpairs/internal/membership"
 	"allpairs/internal/metrics"
 	"allpairs/internal/overlay"
@@ -21,13 +22,22 @@ import (
 // DynamicFleetOptions configures a churn-capable fleet: overlay nodes that
 // join through a live membership coordinator instead of a static view.
 type DynamicFleetOptions struct {
-	// MaxN is the endpoint capacity: every node that will ever exist needs
-	// its own simulator endpoint (departed endpoints are not reused — a
-	// rejoining "user" is a new endpoint, as on the real Internet). The
-	// coordinator occupies endpoint MaxN.
+	// MaxN is the endpoint capacity for overlay nodes. The coordinator
+	// replicas occupy endpoints MaxN…MaxN+Coordinators−1.
 	MaxN int
 	// Seed drives all randomness.
 	Seed int64
+	// Coordinators is the membership coordinator replica count (default 1).
+	// Replica rank r listens at endpoint MaxN+r under the well-known ID
+	// membership.CoordinatorIDAt(r); rank 0 boots as primary.
+	Coordinators int
+	// ReuseAfter is the endpoint quarantine: a departed endpoint becomes
+	// eligible for a fresh joiner once it has been dark this long. The
+	// default (membership timeout plus two sweep periods) guarantees the
+	// coordinator expired the old member first, so the recycled address
+	// cannot resurrect a stale ID through the idempotent-join path. A
+	// negative value disables reuse (every joiner burns a fresh endpoint).
+	ReuseAfter time.Duration
 	// Algorithm selects quorum or full-mesh routing.
 	Algorithm overlay.Algorithm
 	// Env supplies pairwise latencies, sized ≥ MaxN. Nil means a homogeneous
@@ -51,9 +61,14 @@ type DynamicFleet struct {
 	Net   *simnet.Network
 	Reg   *transport.Registry
 	Col   *metrics.Collector
-	Coord *membership.Coordinator
+	Coord *membership.Coordinator // rank-0 replica (primary at boot)
 
-	coordAddr netip.AddrPort
+	coords     []*membership.Coordinator
+	cenvs      []*transport.SimEnv
+	coordAddrs []netip.AddrPort
+	coordCfgs  []membership.CoordinatorConfig
+	coordIDs   []wire.NodeID
+
 	nodes     []*overlay.Node
 	envs      []*transport.SimEnv
 	spawnedAt []time.Time
@@ -61,11 +76,24 @@ type DynamicFleet struct {
 	next      int
 	start     time.Time
 
+	// freeEps is a FIFO of departed endpoints awaiting the ReuseAfter
+	// quarantine; spawnSalt makes every spawn's transport RNG distinct even
+	// when an endpoint is recycled.
+	freeEps   []reusableEP
+	spawnSalt int64
+
 	// Joins, Leaves, and Crashes count lifecycle events injected so far.
 	// SpawnsDropped counts joins that could not happen because the endpoint
 	// capacity (MaxN) was exhausted — nonzero means the run measured a
-	// smaller overlay than configured.
+	// smaller overlay than configured. CoordCrashes and CoordRestarts count
+	// coordinator-replica faults.
 	Joins, Leaves, Crashes, SpawnsDropped int
+	CoordCrashes, CoordRestarts           int
+}
+
+type reusableEP struct {
+	ep int
+	at time.Time
 }
 
 // NewDynamicFleet builds the network and coordinator and spawns the first
@@ -74,10 +102,26 @@ func NewDynamicFleet(n int, opt DynamicFleetOptions) *DynamicFleet {
 	if opt.MaxN < n {
 		opt.MaxN = n
 	}
-	nw := simnet.New(opt.MaxN+1, opt.Seed)
-	coordEP := opt.MaxN
+	if opt.Coordinators < 1 {
+		opt.Coordinators = 1
+	}
+	if opt.ReuseAfter == 0 {
+		to := opt.Coordinator.Timeout
+		if to <= 0 {
+			to = membership.DefaultTimeout
+		}
+		sw := opt.Coordinator.Sweep
+		if sw <= 0 {
+			sw = membership.DefaultSweep
+		}
+		opt.ReuseAfter = to + 2*sw
+	}
+	nc := opt.Coordinators
+	nw := simnet.New(opt.MaxN+nc, opt.Seed)
 	for a := 0; a < opt.MaxN; a++ {
-		nw.SetLatency(a, coordEP, 10*time.Millisecond)
+		for r := 0; r < nc; r++ {
+			nw.SetLatency(a, opt.MaxN+r, 10*time.Millisecond)
+		}
 		for b := a + 1; b < opt.MaxN; b++ {
 			if opt.Env != nil {
 				nw.SetLatency(a, b, time.Duration(opt.Env.LatencyMS[a][b]/2*float64(time.Millisecond)))
@@ -86,16 +130,26 @@ func NewDynamicFleet(n int, opt DynamicFleetOptions) *DynamicFleet {
 			}
 		}
 	}
+	for r1 := 0; r1 < nc; r1++ {
+		for r2 := r1 + 1; r2 < nc; r2++ {
+			nw.SetLatency(opt.MaxN+r1, opt.MaxN+r2, 10*time.Millisecond)
+		}
+	}
 	f := &DynamicFleet{
-		Opt:       opt,
-		Net:       nw,
-		Reg:       transport.NewRegistry(),
-		Col:       metrics.New(opt.MaxN+1, nw.Now(), time.Minute),
-		nodes:     make([]*overlay.Node, opt.MaxN),
-		envs:      make([]*transport.SimEnv, opt.MaxN),
-		spawnedAt: make([]time.Time, opt.MaxN),
-		active:    make([]bool, opt.MaxN),
-		start:     nw.Now(),
+		Opt:        opt,
+		Net:        nw,
+		Reg:        transport.NewRegistry(),
+		Col:        metrics.New(opt.MaxN+nc, nw.Now(), time.Minute),
+		coords:     make([]*membership.Coordinator, nc),
+		cenvs:      make([]*transport.SimEnv, nc),
+		coordAddrs: make([]netip.AddrPort, nc),
+		coordCfgs:  make([]membership.CoordinatorConfig, nc),
+		coordIDs:   membership.CoordinatorIDs(nc),
+		nodes:      make([]*overlay.Node, opt.MaxN),
+		envs:       make([]*transport.SimEnv, opt.MaxN),
+		spawnedAt:  make([]time.Time, opt.MaxN),
+		active:     make([]bool, opt.MaxN),
+		start:      nw.Now(),
 	}
 	nw.OnSend = func(from, to int, payload []byte) {
 		f.Col.Record(from, metrics.Out, wire.CategoryOf(wire.PeekType(payload)), len(payload), nw.Now())
@@ -103,30 +157,145 @@ func NewDynamicFleet(n int, opt DynamicFleetOptions) *DynamicFleet {
 	nw.OnDeliver = func(from, to int, payload []byte) {
 		f.Col.Record(to, metrics.In, wire.CategoryOf(wire.PeekType(payload)), len(payload), nw.Now())
 	}
-	cenv := transport.NewSimEnv(nw, f.Reg, coordEP, opt.Seed*7919+int64(coordEP))
-	f.Coord = membership.NewCoordinator(cenv, opt.Coordinator)
-	f.Coord.Start()
-	f.coordAddr = cenv.LocalAddr()
+	if f.Opt.Membership.Coordinators == nil {
+		f.Opt.Membership.Coordinators = f.coordIDs
+	}
+	for r := 0; r < nc; r++ {
+		ep := opt.MaxN + r
+		f.cenvs[r] = transport.NewSimEnv(nw, f.Reg, ep, opt.Seed*7919+int64(ep))
+		f.coordAddrs[r] = f.cenvs[r].LocalAddr()
+	}
+	for r := 0; r < nc; r++ {
+		for r2, id := range f.coordIDs {
+			if r2 != r {
+				f.cenvs[r].SetPeer(id, f.coordAddrs[r2])
+			}
+		}
+		cfg := opt.Coordinator
+		cfg.Coordinators = f.coordIDs
+		cfg.Rank = r
+		f.coordCfgs[r] = cfg
+		f.coords[r] = membership.NewCoordinator(f.cenvs[r], cfg)
+	}
+	for _, c := range f.coords {
+		c.Start()
+	}
+	f.Coord = f.coords[0]
 	for i := 0; i < n; i++ {
 		f.Spawn()
 	}
 	return f
 }
 
-// CoordEndpoint returns the coordinator's simulator endpoint.
+// CoordEndpoint returns the rank-0 coordinator's simulator endpoint.
 func (f *DynamicFleet) CoordEndpoint() int { return f.Opt.MaxN }
 
-// Spawn starts a fresh node on the next free endpoint and begins its join.
-// It returns the endpoint, or -1 when capacity is exhausted.
-func (f *DynamicFleet) Spawn() int {
-	if f.next >= f.Opt.MaxN {
-		f.SpawnsDropped++
-		return -1
+// CoordEndpointAt returns the simulator endpoint of the rank-r replica.
+func (f *DynamicFleet) CoordEndpointAt(rank int) int { return f.Opt.MaxN + rank }
+
+// Coordinator returns the rank-r replica.
+func (f *DynamicFleet) Coordinator(rank int) *membership.Coordinator { return f.coords[rank] }
+
+// Primary returns the lowest-rank replica that currently considers itself
+// primary, or nil when none does (mid-election).
+func (f *DynamicFleet) Primary() *membership.Coordinator {
+	for _, c := range f.coords {
+		if c.IsPrimary() {
+			return c
+		}
 	}
-	ep := f.next
-	f.next++
-	env := transport.NewSimEnv(f.Net, f.Reg, ep, f.Opt.Seed*7919+int64(ep))
-	env.SetPeer(membership.CoordinatorID, f.coordAddr)
+	return nil
+}
+
+// CrashCoordinator fail-stops the rank-r replica: its timers die and its
+// endpoint stops responding, exactly like a crashed process behind a live
+// network interface.
+func (f *DynamicFleet) CrashCoordinator(rank int) {
+	f.coords[rank].Stop()
+	f.CoordCrashes++
+}
+
+// RestartCoordinator boots a fresh replica process at rank r's endpoint. It
+// comes back with empty state and must re-learn the view from its peers.
+func (f *DynamicFleet) RestartCoordinator(rank int) {
+	c := membership.NewCoordinator(f.cenvs[rank], f.coordCfgs[rank])
+	f.coords[rank] = c
+	if rank == 0 {
+		f.Coord = c
+	}
+	c.Start()
+	f.CoordRestarts++
+}
+
+// ViewsConverged reports whether exactly one replica considers itself
+// primary and every live, joined node holds that primary's view stamp — the
+// post-heal acceptance condition.
+func (f *DynamicFleet) ViewsConverged() bool {
+	var prim *membership.Coordinator
+	for _, c := range f.coords {
+		if c.IsPrimary() {
+			if prim != nil {
+				return false
+			}
+			prim = c
+		}
+	}
+	if prim == nil {
+		return false
+	}
+	want := prim.Stamp()
+	for ep := 0; ep < f.next; ep++ {
+		if !f.active[ep] || !f.nodes[ep].Ready() {
+			continue
+		}
+		if f.nodes[ep].View().Stamp() != want {
+			return false
+		}
+	}
+	return true
+}
+
+// CrashRegion crashes a set of nodes simultaneously and takes their
+// endpoints down as one group — a correlated regional failure.
+func (f *DynamicFleet) CrashRegion(eps []int) {
+	var hit []int
+	for _, ep := range eps {
+		if ep < 0 || ep >= len(f.active) || !f.active[ep] {
+			continue
+		}
+		f.nodes[ep].Halt()
+		f.active[ep] = false
+		f.Crashes++
+		f.freeEps = append(f.freeEps, reusableEP{ep: ep, at: f.Net.Now()})
+		hit = append(hit, ep)
+	}
+	f.Net.SetGroupDown(hit, true)
+}
+
+// Spawn starts a fresh node and begins its join. The endpoint is recycled
+// from the quarantined free list when possible, otherwise taken from the
+// untouched tail; -1 is returned when capacity is exhausted.
+func (f *DynamicFleet) Spawn() int {
+	ep := -1
+	if f.Opt.ReuseAfter >= 0 && len(f.freeEps) > 0 &&
+		f.Net.Now().Sub(f.freeEps[0].at) >= f.Opt.ReuseAfter {
+		ep = f.freeEps[0].ep
+		f.freeEps = f.freeEps[1:]
+		f.Net.SetNodeDown(ep, false)
+	}
+	if ep < 0 {
+		if f.next >= f.Opt.MaxN {
+			f.SpawnsDropped++
+			return -1
+		}
+		ep = f.next
+		f.next++
+	}
+	f.spawnSalt++
+	env := transport.NewSimEnv(f.Net, f.Reg, ep, f.Opt.Seed*7919+int64(ep)+f.spawnSalt*104729)
+	for r, id := range f.coordIDs {
+		env.SetPeer(id, f.coordAddrs[r])
+	}
 	node := overlay.New(env, overlay.Config{
 		Algorithm:  f.Opt.Algorithm,
 		Probe:      f.Opt.Probe,
@@ -161,6 +330,7 @@ func (f *DynamicFleet) Depart(ep int, graceful bool) {
 	}
 	f.Net.SetNodeDown(ep, true)
 	f.active[ep] = false
+	f.freeEps = append(f.freeEps, reusableEP{ep: ep, at: f.Net.Now()})
 }
 
 // Node returns the overlay node at an endpoint (nil if never spawned).
@@ -202,10 +372,14 @@ func (f *DynamicFleet) Run(d time.Duration) { f.Net.RunFor(d) }
 func (f *DynamicFleet) Elapsed() time.Duration { return f.Net.Elapsed() }
 
 // CoordMembershipPackets returns the membership-plane packets the
-// coordinator has sent so far — the quantity the O(n + k) join-storm bound
-// is asserted on.
+// coordinator replicas have sent so far — the quantity the O(n + k)
+// join-storm bound is asserted on.
 func (f *DynamicFleet) CoordMembershipPackets() uint64 {
-	return f.Col.Packets(f.CoordEndpoint(), wire.CatMembership, metrics.Out)
+	var sum uint64
+	for r := 0; r < f.Opt.Coordinators; r++ {
+		sum += f.Col.Packets(f.CoordEndpointAt(r), wire.CatMembership, metrics.Out)
+	}
+	return sum
 }
 
 // ---------------------------------------------------------------------------
@@ -226,6 +400,22 @@ const (
 	ChurnFlashCrowd
 	// ChurnMassDeparture removes Burst nodes simultaneously (half crashes).
 	ChurnMassDeparture
+	// ChurnCoordCrash fail-stops the primary coordinator one Interval into
+	// the churn phase and restarts it CoordRestartAfter later: the rank-1
+	// standby must take over within one election timeout, the restarted
+	// ex-primary must step back down, and every client must converge onto a
+	// single view stamp (measured from the crash).
+	ChurnCoordCrash
+	// ChurnPartition is the acceptance fault: the primary crashes and one
+	// grid row of the overlay (plus the rank-1 standby) is partitioned from
+	// the rest for PartitionFor. Both sides elect a primary (split-brain by
+	// design); after the heal the replicas must merge back to one reign and
+	// every surviving client must converge onto its view stamp within
+	// 3 heartbeat intervals.
+	ChurnPartition
+	// ChurnRegional crashes a contiguous block of N/5 endpoints at once — a
+	// correlated regional failure with no replacements.
+	ChurnRegional
 )
 
 // String names the scenario.
@@ -235,6 +425,12 @@ func (s ChurnScenario) String() string {
 		return "flash-crowd"
 	case ChurnMassDeparture:
 		return "mass-departure"
+	case ChurnCoordCrash:
+		return "coord-crash"
+	case ChurnPartition:
+		return "partition"
+	case ChurnRegional:
+		return "regional"
 	default:
 		return "poisson"
 	}
@@ -276,6 +472,15 @@ type ChurnOptions struct {
 	// StretchPairs caps the pairs evaluated against the one-hop oracle for
 	// the stretch metric (default 200; the oracle costs O(n) per pair).
 	StretchPairs int
+	// Coordinators is the coordinator replica count (default 1; the
+	// coordinator fault scenarios default to 3).
+	Coordinators int
+	// CoordRestartAfter is how long after the crash the ex-primary restarts
+	// in ChurnCoordCrash (default 2 min).
+	CoordRestartAfter time.Duration
+	// PartitionFor is the partition duration in ChurnPartition (default
+	// 60 s, the acceptance scenario).
+	PartitionFor time.Duration
 	// Algorithm selects the router (default quorum).
 	Algorithm overlay.Algorithm
 	// Env supplies latencies sized ≥ the computed endpoint capacity; nil
@@ -321,25 +526,58 @@ func (o *ChurnOptions) fill() {
 	if o.SampleEvery <= 0 {
 		o.SampleEvery = 30 * time.Second
 	}
-	if o.SettleAge <= 0 {
-		probeInterval := o.Probe.Interval
-		if probeInterval <= 0 {
-			probeInterval = 30 * time.Second
-		}
-		routing := o.Quorum.Interval
+	probeInterval := o.Probe.Interval
+	if probeInterval <= 0 {
+		probeInterval = 30 * time.Second
+	}
+	routing := o.Quorum.Interval
+	if o.Algorithm == overlay.AlgFullMesh {
+		routing = o.FullMesh.Interval
+	}
+	if routing <= 0 {
+		routing = 15 * time.Second
 		if o.Algorithm == overlay.AlgFullMesh {
-			routing = o.FullMesh.Interval
+			routing = 30 * time.Second
 		}
-		if routing <= 0 {
-			routing = 15 * time.Second
+	}
+	// Churn-appropriate robustness defaults: fresh joiners ramp their cold
+	// probes over 3 intervals, and expired routes are served damped for
+	// 10 routing intervals instead of blanking during control-plane
+	// outages. Pass a negative value to switch either off.
+	if o.Probe.RampIntervals == 0 {
+		o.Probe.RampIntervals = 3
+	}
+	if o.Quorum.DegradedHold == 0 {
+		o.Quorum.DegradedHold = 10 * routing
+	}
+	if o.FullMesh.DegradedHold == 0 {
+		o.FullMesh.DegradedHold = 10 * routing
+	}
+	if o.SettleAge <= 0 {
+		ramp := o.Probe.RampIntervals
+		if ramp < 1 {
+			ramp = 1
 		}
-		o.SettleAge = probeInterval + 2*routing
+		o.SettleAge = time.Duration(ramp)*probeInterval + 2*routing
 	}
 	if o.MaxPairs <= 0 {
 		o.MaxPairs = 4000
 	}
 	if o.StretchPairs <= 0 {
 		o.StretchPairs = 200
+	}
+	if o.Coordinators <= 0 {
+		if o.Scenario == ChurnCoordCrash || o.Scenario == ChurnPartition {
+			o.Coordinators = 3
+		} else {
+			o.Coordinators = 1
+		}
+	}
+	if o.CoordRestartAfter <= 0 {
+		o.CoordRestartAfter = 2 * time.Minute
+	}
+	if o.PartitionFor <= 0 {
+		o.PartitionFor = time.Minute
 	}
 	if o.Membership.Heartbeat <= 0 {
 		o.Membership.Heartbeat = 30 * time.Second
@@ -364,7 +602,7 @@ func (o *ChurnOptions) capacity() int {
 	switch o.Scenario {
 	case ChurnFlashCrowd:
 		return o.N + o.Burst
-	case ChurnMassDeparture:
+	case ChurnMassDeparture, ChurnCoordCrash, ChurnPartition, ChurnRegional:
 		return o.N
 	default:
 		intervals := int(o.Duration/o.Interval) + 1
@@ -377,12 +615,19 @@ func (o *ChurnOptions) capacity() int {
 type ChurnSample struct {
 	// T is virtual time since the run started.
 	T time.Duration
-	// Members is the coordinator's member count; Settled the nodes old
-	// enough to count toward availability.
+	// Members is the primary coordinator's member count; Settled the nodes
+	// old enough to count toward availability.
 	Members, Settled int
+	// Views is the number of distinct view stamps held across the settled
+	// population (1 when converged, 2 during a split-brain partition).
+	// Primary is the rank of the current primary replica, −1 mid-election.
+	Views, Primary int
 	// Pairs is the ordered settled pairs checked; Routed how many had a
-	// route verified usable against simulator ground truth.
-	Pairs, Routed int
+	// route verified usable against simulator ground truth. Excluded counts
+	// sampled pairs with no physical path at all (e.g. across a partition):
+	// no routing system could serve them, so they are measured separately
+	// rather than scored as routing failures.
+	Pairs, Routed, Excluded int
 	// Availability is Routed/Pairs (1 when no pairs).
 	Availability float64
 	// StretchPairs is the pairs evaluated against the one-hop oracle and
@@ -403,6 +648,17 @@ type ChurnResult struct {
 	// out and the run measured fewer joins than the scenario demanded.
 	Joins, Leaves, Crashes, SpawnsDropped int
 	FinalMembers                          int
+
+	// Fault-injection summary (coordinator fault scenarios only).
+	// ConvergedAfter is how long after the fault cleared (crash for
+	// ChurnCoordCrash, heal for ChurnPartition) every surviving client held
+	// one primary's view stamp; ConvergeBound is the acceptance bound
+	// (3 heartbeat intervals).
+	CoordCrashes, CoordRestarts int
+	PartitionSize               int
+	Converged                   bool
+	ConvergedAfter              time.Duration
+	ConvergeBound               time.Duration
 
 	// Availability summary over the churn-phase samples.
 	MinAvailability, MeanAvailability float64
@@ -431,15 +687,16 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 		}
 	}
 	f := NewDynamicFleet(opt.N, DynamicFleetOptions{
-		MaxN:        maxN,
-		Seed:        opt.Seed,
-		Algorithm:   opt.Algorithm,
-		Env:         env,
-		Probe:       opt.Probe,
-		Quorum:      opt.Quorum,
-		FullMesh:    opt.FullMesh,
-		Membership:  opt.Membership,
-		Coordinator: opt.Coordinator,
+		MaxN:         maxN,
+		Seed:         opt.Seed,
+		Coordinators: opt.Coordinators,
+		Algorithm:    opt.Algorithm,
+		Env:          env,
+		Probe:        opt.Probe,
+		Quorum:       opt.Quorum,
+		FullMesh:     opt.FullMesh,
+		Membership:   opt.Membership,
+		Coordinator:  opt.Coordinator,
 	})
 	res := &ChurnResult{Opt: opt}
 	churnRng := rand.New(rand.NewSource(opt.Seed*31 + 7))
@@ -450,21 +707,74 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 	nextChurn := f.Elapsed() + opt.Interval
 	nextSample := f.Elapsed() + opt.SampleEvery
 	burstDone := false
+
+	// Coordinator fault schedule: the fault lands one Interval into the
+	// churn phase; convergence is polled every second from the moment the
+	// fault clears.
+	var faultAt, restartAt, healAt, convPoll time.Duration // 0 = disabled
+	var convFrom time.Duration
+	switch opt.Scenario {
+	case ChurnCoordCrash:
+		faultAt = f.Elapsed() + opt.Interval
+		restartAt = faultAt + opt.CoordRestartAfter
+		res.ConvergeBound = 3 * opt.Membership.Heartbeat
+	case ChurnPartition:
+		faultAt = f.Elapsed() + opt.Interval
+		healAt = faultAt + opt.PartitionFor
+		res.ConvergeBound = 3 * opt.Membership.Heartbeat
+	case ChurnRegional:
+		faultAt = f.Elapsed() + opt.Interval
+	}
+
 	for f.Elapsed() < end {
 		next := end
-		if nextChurn < next {
-			next = nextChurn
-		}
-		if nextSample < next {
-			next = nextSample
+		for _, t := range []time.Duration{nextChurn, nextSample, faultAt, restartAt, healAt, convPoll} {
+			if t > 0 && t < next {
+				next = t
+			}
 		}
 		f.Net.RunUntil(next)
-		// When a sample and a churn step land on the same instant, sample
-		// first: the measurement observes the state the overlay converged
-		// to, and the injected event is what the *next* sample sees.
+		// When a sample and an injected event land on the same instant,
+		// sample first: the measurement observes the state the overlay
+		// converged to, and the event is what the *next* sample sees.
 		if f.Elapsed() >= nextSample {
 			res.Samples = append(res.Samples, sampleChurn(f, env, opt))
 			nextSample += opt.SampleEvery
+		}
+		if faultAt > 0 && f.Elapsed() >= faultAt {
+			faultAt = 0
+			switch opt.Scenario {
+			case ChurnCoordCrash:
+				f.CrashCoordinator(0)
+				convFrom = f.Elapsed()
+				convPoll = f.Elapsed() + time.Second
+			case ChurnPartition:
+				minority := churnPartitionGroup(f)
+				res.PartitionSize = len(minority)
+				f.CrashCoordinator(0)
+				f.Net.SetPartition(minority)
+			case ChurnRegional:
+				f.CrashRegion(churnRegionEndpoints(f, opt.N))
+			}
+		}
+		if restartAt > 0 && f.Elapsed() >= restartAt {
+			restartAt = 0
+			f.RestartCoordinator(0)
+		}
+		if healAt > 0 && f.Elapsed() >= healAt {
+			healAt = 0
+			f.Net.Heal()
+			convFrom = f.Elapsed()
+			convPoll = f.Elapsed() + time.Second
+		}
+		if convPoll > 0 && f.Elapsed() >= convPoll {
+			if f.ViewsConverged() {
+				res.Converged = true
+				res.ConvergedAfter = f.Elapsed() - convFrom
+				convPoll = 0
+			} else {
+				convPoll = f.Elapsed() + time.Second
+			}
 		}
 		if f.Elapsed() >= nextChurn {
 			switch opt.Scenario {
@@ -488,9 +798,20 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 	}
 
 	res.Joins, res.Leaves, res.Crashes, res.SpawnsDropped = f.Joins, f.Leaves, f.Crashes, f.SpawnsDropped
-	res.FinalMembers = f.Coord.MemberCount()
+	res.CoordCrashes, res.CoordRestarts = f.CoordCrashes, f.CoordRestarts
+	final := f.Primary()
+	if final == nil {
+		final = f.Coord
+	}
+	res.FinalMembers = final.MemberCount()
 	res.CoordMsgs = f.CoordMembershipPackets()
-	cs := f.Coord.Stats()
+	var cs membership.CoordinatorStats
+	for r := 0; r < opt.Coordinators; r++ {
+		s := f.Coordinator(r).Stats()
+		cs.Broadcasts += s.Broadcasts
+		cs.DeltasSent += s.DeltasSent
+		cs.FullViewsSent += s.FullViewsSent
+	}
 	res.Broadcasts, res.Deltas, res.FullViews = cs.Broadcasts, cs.DeltasSent, cs.FullViewsSent
 	res.MinAvailability = 1
 	var availSum, stretchSum float64
@@ -536,6 +857,60 @@ func churnStepPoisson(f *DynamicFleet, rng *rand.Rand, rate, crashFrac float64) 
 	}
 }
 
+// churnPartitionGroup computes the minority side of the acceptance
+// partition: the member endpoints of one grid row of the current view, plus
+// the rank-1 standby coordinator — enough for the minority to elect its own
+// primary and split the brain.
+func churnPartitionGroup(f *DynamicFleet) []int {
+	prim := f.Primary()
+	if prim == nil {
+		prim = f.Coord
+	}
+	members := prim.Members()
+	g, err := grid.New(len(members))
+	if err != nil {
+		return nil
+	}
+	idToEp := make(map[wire.NodeID]int)
+	for _, ep := range f.ActiveEndpoints() {
+		if id := f.envs[ep].LocalID(); id != wire.NilNode {
+			idToEp[id] = ep
+		}
+	}
+	row := 1 % g.Rows()
+	var eps []int
+	for col := 0; col < g.Cols(); col++ {
+		slot, ok := g.SlotAt(row, col)
+		if !ok || slot >= len(members) {
+			continue
+		}
+		if ep, found := idToEp[members[slot].ID]; found {
+			eps = append(eps, ep)
+		}
+	}
+	if f.Opt.Coordinators > 1 {
+		eps = append(eps, f.CoordEndpointAt(1))
+	}
+	return eps
+}
+
+// churnRegionEndpoints picks the contiguous n/5 endpoint block starting at
+// n/3 — the "region" the regional-failure scenario takes out.
+func churnRegionEndpoints(f *DynamicFleet, n int) []int {
+	size := n / 5
+	if size < 1 {
+		size = 1
+	}
+	start := n / 3
+	var eps []int
+	for ep := start; ep < start+size && ep < f.Opt.MaxN; ep++ {
+		if f.Active(ep) {
+			eps = append(eps, ep)
+		}
+	}
+	return eps
+}
+
 // churnMassDeparture removes k random live nodes at once.
 func churnMassDeparture(f *DynamicFleet, rng *rand.Rand, k int, crashFrac float64) {
 	eps := f.ActiveEndpoints()
@@ -554,11 +929,20 @@ func sampleChurn(f *DynamicFleet, env *traces.Env, opt ChurnOptions) ChurnSample
 	now := f.Net.Now()
 	s := ChurnSample{
 		T:         f.Elapsed(),
-		Members:   f.Coord.MemberCount(),
+		Primary:   -1,
 		CoordMsgs: f.CoordMembershipPackets(),
+	}
+	if prim := f.Primary(); prim != nil {
+		s.Members = prim.MemberCount()
+		s.Primary = prim.Rank()
 	}
 	eps := f.SettledEndpoints(now.Add(-opt.SettleAge))
 	s.Settled = len(eps)
+	stamps := make(map[wire.ViewStamp]struct{})
+	for _, ep := range eps {
+		stamps[f.nodes[ep].View().Stamp()] = struct{}{}
+	}
+	s.Views = len(stamps)
 	if len(eps) < 2 {
 		s.Availability = 1
 		return s
@@ -588,9 +972,17 @@ func sampleChurn(f *DynamicFleet, env *traces.Env, opt ChurnOptions) ChurnSample
 			j++
 		}
 		a, b := eps[i], eps[j]
-		s.Pairs++
 		r, ok := f.nodes[a].BestHop(f.envs[b].LocalID())
-		if !ok || !churnRouteUsable(f, idToEp, a, b, r) {
+		usable := ok && churnRouteUsable(f, idToEp, a, b, r)
+		if !usable && churnOracleOneHop(f, env, actives, a, b) == 0 {
+			// No physical path exists (the pair straddles a partition):
+			// unroutable by any algorithm, so it is excluded rather than
+			// charged against availability.
+			s.Excluded++
+			continue
+		}
+		s.Pairs++
+		if !usable {
 			continue
 		}
 		s.Routed++
@@ -667,10 +1059,11 @@ func (r *ChurnResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# churn scenario=%s n=%d seed=%d rate=%.3f interval=%s duration=%s\n",
 		r.Opt.Scenario, r.Opt.N, r.Opt.Seed, r.Opt.Rate, r.Opt.Interval, r.Opt.Duration)
-	fmt.Fprintf(&b, "# t_s  members  settled  pairs  routed  avail  stretch  coord_msgs\n")
+	fmt.Fprintf(&b, "# t_s  members  settled  views  prim  pairs  routed  excl  avail  stretch  coord_msgs\n")
 	for _, s := range r.Samples {
-		fmt.Fprintf(&b, "%6.0f  %7d  %7d  %5d  %6d  %6.4f  %7.4f  %10d\n",
-			s.T.Seconds(), s.Members, s.Settled, s.Pairs, s.Routed, s.Availability, s.MeanStretch, s.CoordMsgs)
+		fmt.Fprintf(&b, "%6.0f  %7d  %7d  %5d  %4d  %5d  %6d  %4d  %6.4f  %7.4f  %10d\n",
+			s.T.Seconds(), s.Members, s.Settled, s.Views, s.Primary, s.Pairs, s.Routed, s.Excluded,
+			s.Availability, s.MeanStretch, s.CoordMsgs)
 	}
 	fmt.Fprintf(&b, "# joins=%d leaves=%d crashes=%d final_members=%d\n",
 		r.Joins, r.Leaves, r.Crashes, r.FinalMembers)
@@ -681,5 +1074,14 @@ func (r *ChurnResult) Format() string {
 		r.MinAvailability, r.MeanAvailability, r.MeanStretch)
 	fmt.Fprintf(&b, "# coordinator msgs=%d broadcasts=%d deltas=%d full_views=%d\n",
 		r.CoordMsgs, r.Broadcasts, r.Deltas, r.FullViews)
+	switch r.Opt.Scenario {
+	case ChurnCoordCrash, ChurnPartition, ChurnRegional:
+		fmt.Fprintf(&b, "# faults coord_crashes=%d coord_restarts=%d partition_size=%d partition_for=%s\n",
+			r.CoordCrashes, r.CoordRestarts, r.PartitionSize, r.Opt.PartitionFor)
+		if r.ConvergeBound > 0 {
+			fmt.Fprintf(&b, "# convergence converged=%v after=%s bound=%s\n",
+				r.Converged, r.ConvergedAfter, r.ConvergeBound)
+		}
+	}
 	return b.String()
 }

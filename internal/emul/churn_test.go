@@ -87,6 +87,157 @@ func TestChurnMassDeparture(t *testing.T) {
 	}
 }
 
+func TestChurnCoordCrashFailover(t *testing.T) {
+	// The primary coordinator crashes mid-run and restarts two minutes
+	// later. The rank-1 standby must take over, every client must converge
+	// onto its reign within the 3-heartbeat bound, and the restarted
+	// ex-primary must step back down without disturbing the overlay.
+	opt := shortChurnOpts(ChurnCoordCrash)
+	opt.Duration = 6 * time.Minute
+	res := RunChurn(opt)
+	if res.CoordCrashes != 1 || res.CoordRestarts != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1", res.CoordCrashes, res.CoordRestarts)
+	}
+	if !res.Converged {
+		t.Fatalf("clients never converged after the failover\n%s", res.Format())
+	}
+	if res.ConvergedAfter > res.ConvergeBound {
+		t.Errorf("converged after %s, bound %s\n%s", res.ConvergedAfter, res.ConvergeBound, res.Format())
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if last.Primary != 1 {
+		t.Errorf("final primary rank = %d, want 1 (standby keeps the lead)\n%s", last.Primary, res.Format())
+	}
+	if last.Views != 1 {
+		t.Errorf("final distinct views = %d, want 1\n%s", last.Views, res.Format())
+	}
+	if res.MeanAvailability < 0.95 {
+		t.Errorf("mean availability = %.4f through a coordinator crash, want ≥ 0.95\n%s",
+			res.MeanAvailability, res.Format())
+	}
+}
+
+func TestChurnPartitionSplitBrainHeals(t *testing.T) {
+	// The acceptance fault: primary crash plus a 60 s grid-row partition.
+	// Both sides elect a primary; the heal must merge them back to one
+	// reign within 3 heartbeat intervals, and availability among
+	// physically-connected pairs must hold.
+	opt := shortChurnOpts(ChurnPartition)
+	opt.Duration = 6 * time.Minute
+	res := RunChurn(opt)
+	if res.CoordCrashes != 1 {
+		t.Fatalf("coord crashes = %d, want 1", res.CoordCrashes)
+	}
+	if res.PartitionSize < 2 {
+		t.Fatalf("partition size = %d, want a grid row plus a standby", res.PartitionSize)
+	}
+	split, excluded := false, false
+	for _, s := range res.Samples {
+		if s.Views >= 2 {
+			split = true
+		}
+		if s.Excluded > 0 {
+			excluded = true
+		}
+	}
+	if !split {
+		t.Errorf("no sample observed the split-brain (views ≥ 2)\n%s", res.Format())
+	}
+	if !excluded {
+		t.Errorf("no sample excluded cross-partition pairs\n%s", res.Format())
+	}
+	if !res.Converged {
+		t.Fatalf("views never re-converged after the heal\n%s", res.Format())
+	}
+	if res.ConvergedAfter > res.ConvergeBound {
+		t.Errorf("converged %s after heal, bound %s\n%s", res.ConvergedAfter, res.ConvergeBound, res.Format())
+	}
+	if res.MeanAvailability < 0.95 {
+		t.Errorf("mean availability = %.4f through the partition, want ≥ 0.95\n%s",
+			res.MeanAvailability, res.Format())
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if last.Views != 1 {
+		t.Errorf("final distinct views = %d, want 1\n%s", last.Views, res.Format())
+	}
+}
+
+func TestChurnPartitionDeterminism(t *testing.T) {
+	// The full fault-injection path — election, split-brain, heal,
+	// convergence polling — must stay byte-deterministic.
+	opt := shortChurnOpts(ChurnPartition)
+	opt.Duration = 5 * time.Minute
+	a := RunChurn(opt).Format()
+	b := RunChurn(opt).Format()
+	if a != b {
+		t.Fatalf("identical-seed partition runs diverged:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+func TestChurnRegionalFailure(t *testing.T) {
+	opt := shortChurnOpts(ChurnRegional)
+	opt.Duration = 6 * time.Minute
+	res := RunChurn(opt)
+	if res.Crashes != opt.N/5 {
+		t.Errorf("crashes = %d, want %d (one region)", res.Crashes, opt.N/5)
+	}
+	if res.FinalMembers != opt.N-opt.N/5 {
+		t.Errorf("final members = %d, want %d", res.FinalMembers, opt.N-opt.N/5)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if last.Availability < 0.95 {
+		t.Errorf("post-failure availability among survivors = %.4f\n%s", last.Availability, res.Format())
+	}
+}
+
+func TestEndpointFreeListReusesQuarantined(t *testing.T) {
+	// A departed endpoint is recycled for a fresh joiner once its quarantine
+	// (membership timeout + two sweeps) has elapsed — bounding endpoint
+	// growth under sustained churn — but never before, so the reused address
+	// cannot resurrect the expired member's ID.
+	const n = 6
+	f := NewDynamicFleet(n, DynamicFleetOptions{
+		MaxN: n + 2,
+		Seed: 13,
+		Membership: membership.ClientConfig{
+			Heartbeat: 10 * time.Second,
+			JoinRetry: 2 * time.Second,
+		},
+		Coordinator: membership.CoordinatorConfig{
+			Timeout: 30 * time.Second,
+			Sweep:   5 * time.Second,
+		},
+	})
+	f.Run(time.Minute)
+	if f.Coord.MemberCount() != n {
+		t.Fatalf("members = %d after warmup", f.Coord.MemberCount())
+	}
+	oldID := f.envs[0].LocalID()
+	f.Depart(0, false)
+
+	// Before the 40 s quarantine elapses a spawn must take a fresh endpoint.
+	f.Run(10 * time.Second)
+	if ep := f.Spawn(); ep != n {
+		t.Fatalf("spawn during quarantine took endpoint %d, want fresh endpoint %d", ep, n)
+	}
+
+	// After the quarantine the freed endpoint is recycled.
+	f.Run(40 * time.Second)
+	if ep := f.Spawn(); ep != 0 {
+		t.Fatalf("spawn after quarantine took endpoint %d, want recycled endpoint 0", ep)
+	}
+	f.Run(time.Minute)
+	if got := f.Coord.MemberCount(); got != n+1 {
+		t.Fatalf("members = %d, want %d (crash expired, two joiners added)", got, n+1)
+	}
+	if !f.Node(0).Ready() {
+		t.Fatal("recycled node not ready")
+	}
+	if newID := f.envs[0].LocalID(); newID == oldID || newID == wire.NilNode {
+		t.Errorf("recycled endpoint got ID %d (old %d), want a fresh assignment", newID, oldID)
+	}
+}
+
 // trafficHash runs a static quorum fleet under loss, reliable link-state,
 // and injected rendezvous failures (so the failover and retransmission maps
 // are actually populated), hashing every transmitted packet in order.

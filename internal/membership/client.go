@@ -13,6 +13,23 @@ type ClientConfig struct {
 	Heartbeat time.Duration
 	// JoinRetry is the re-join interval until admitted (default 5 s).
 	JoinRetry time.Duration
+	// Coordinators lists the coordinator replica IDs to fail over across, in
+	// rank order (default: just CoordinatorID). The caller must bind each ID
+	// to its address via env.SetPeer before Start.
+	Coordinators []wire.NodeID
+	// AckTimeout is how long to wait for the primary's heartbeat ack before
+	// declaring it unreachable and rotating to the next coordinator
+	// (default 3 s; must be well under Heartbeat).
+	AckTimeout time.Duration
+	// FailoverBackoff is the base delay before re-heartbeating after an ack
+	// deadline expires; it doubles per consecutive failure (with jitter) up
+	// to Heartbeat (default 1 s).
+	FailoverBackoff time.Duration
+	// FullViewBackoff is the base of the jittered delay before a full-view
+	// request; doubling per consecutive unanswered request keeps a lossy
+	// burst from turning every version gap into a synchronized full-view
+	// thundering herd (default 250 ms).
+	FullViewBackoff time.Duration
 }
 
 func (c *ClientConfig) fill() {
@@ -22,13 +39,32 @@ func (c *ClientConfig) fill() {
 	if c.JoinRetry <= 0 {
 		c.JoinRetry = DefaultJoinRetry
 	}
+	if len(c.Coordinators) == 0 {
+		c.Coordinators = []wire.NodeID{CoordinatorID}
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 3 * time.Second
+	}
+	if c.AckTimeout >= c.Heartbeat {
+		c.AckTimeout = c.Heartbeat / 2
+	}
+	if c.FailoverBackoff <= 0 {
+		c.FailoverBackoff = time.Second
+	}
+	if c.FullViewBackoff <= 0 {
+		c.FullViewBackoff = 250 * time.Millisecond
+	}
 }
 
-// Client joins the overlay through the coordinator and tracks view updates,
-// applying incremental deltas and falling back to a full-view request when a
-// version gap shows it missed one. It does not own the Env's packet handler
-// — the overlay node dispatches membership messages to HandlePacket — so it
-// composes with the routing and probing components on one socket.
+// Client joins the overlay through the coordinator set and tracks view
+// updates, applying incremental deltas and falling back to a full-view
+// request when a version gap shows it missed one. Heartbeats expect an ack
+// from the primary within AckTimeout; silence rotates the client to the next
+// replica with exponential backoff, so a coordinator crash costs about one
+// heartbeat interval rather than stranding the node. It does not own the
+// Env's packet handler — the overlay node dispatches membership messages to
+// HandlePacket — so it composes with the routing and probing components on
+// one socket.
 type Client struct {
 	env    transport.Env
 	cfg    ClientConfig
@@ -36,8 +72,23 @@ type Client struct {
 	view   *ViewInfo
 	joined bool
 
+	// cur indexes cfg.Coordinators: the replica currently believed primary.
+	cur int
+	// hbGen invalidates in-flight ack deadlines: each armed deadline
+	// captures the generation and is a no-op once an ack (or a newer
+	// deadline) has bumped it.
+	hbGen     uint64
+	hbFails   int // consecutive ack deadline expiries, for backoff
+	hbStarted bool
+
+	// fvPending caps full-view requests at one scheduled per client;
+	// fvFails widens the jitter window while requests go unanswered.
+	fvPending bool
+	fvFails   int
+
 	hbTimer   transport.Timer
 	joinTimer transport.Timer
+	fvTimer   transport.Timer
 	stopped   bool
 
 	// OnEvicted, if non-nil, fires when the client discovers the coordinator
@@ -47,8 +98,8 @@ type Client struct {
 
 // NewClient creates a membership client. onView is invoked (inside the Env's
 // serialized context) whenever a new view is installed, including the first.
-// The caller must have bound CoordinatorID to the coordinator's address via
-// env.SetPeer before Start.
+// The caller must have bound every configured coordinator ID to its address
+// via env.SetPeer before Start.
 func NewClient(env transport.Env, cfg ClientConfig, onView func(*ViewInfo)) *Client {
 	cfg.fill()
 	return &Client{env: env, cfg: cfg, onView: onView}
@@ -64,11 +115,10 @@ func (c *Client) Start() {
 // Leave for a graceful exit.
 func (c *Client) Stop() {
 	c.stopped = true
-	if c.hbTimer != nil {
-		c.hbTimer.Stop()
-	}
-	if c.joinTimer != nil {
-		c.joinTimer.Stop()
+	for _, t := range []transport.Timer{c.hbTimer, c.joinTimer, c.fvTimer} {
+		if t != nil {
+			t.Stop()
+		}
 	}
 }
 
@@ -78,46 +128,122 @@ func (c *Client) Joined() bool { return c.joined && c.view != nil }
 // View returns the current view, or nil before the first one arrives.
 func (c *Client) View() *ViewInfo { return c.view }
 
+// coordinator returns the replica currently believed primary.
+func (c *Client) coordinator() wire.NodeID { return c.cfg.Coordinators[c.cur] }
+
+// rotate advances to the next coordinator replica (a no-op on a solo set).
+func (c *Client) rotate() {
+	if len(c.cfg.Coordinators) > 1 {
+		c.cur = (c.cur + 1) % len(c.cfg.Coordinators)
+	}
+}
+
 // Leave announces departure to the coordinator.
 func (c *Client) Leave() {
 	if id := c.env.LocalID(); id != wire.NilNode {
-		c.env.Send(CoordinatorID, wire.AppendLeave(nil, id))
+		c.env.Send(c.coordinator(), wire.AppendLeave(nil, id))
 	}
 }
 
 func (c *Client) sendJoin() {
-	c.env.Send(CoordinatorID, wire.AppendJoin(nil, wire.Join{Addr: c.env.LocalAddr()}))
+	c.env.Send(c.coordinator(), wire.AppendJoin(nil, wire.Join{Addr: c.env.LocalAddr()}))
 }
 
 func (c *Client) joinRetry() {
 	if !c.joined && !c.stopped {
+		// The current pick never answered; a standby silently drops joins,
+		// so try the next replica.
+		c.rotate()
 		c.sendJoin()
 		c.joinTimer = c.env.After(c.cfg.JoinRetry, c.joinRetry)
 	}
 }
 
+// heartbeat sends a keep-alive and arms its ack deadline. Exactly one of
+// three continuations re-arms the cycle: the ack (next beat in Heartbeat),
+// the deadline (failover retry under backoff), or the not-joined idle path.
 func (c *Client) heartbeat() {
 	if c.stopped {
 		return
 	}
-	if id := c.env.LocalID(); id != wire.NilNode {
-		c.env.Send(CoordinatorID, wire.AppendHeartbeat(nil, id))
+	id := c.env.LocalID()
+	if !c.joined || id == wire.NilNode {
+		// The join loop owns the traffic while we are evicted; keep the
+		// heartbeat cycle alive but idle.
+		c.hbTimer = c.env.After(c.cfg.Heartbeat, c.heartbeat)
+		return
 	}
-	c.hbTimer = c.env.After(c.cfg.Heartbeat, c.heartbeat)
+	c.env.Send(c.coordinator(), wire.AppendHeartbeat(nil, id))
+	gen := c.hbGen
+	c.hbTimer = c.env.After(c.cfg.AckTimeout, func() { c.ackDeadline(gen) })
 }
 
-// requestFullView asks the coordinator for the authoritative view after a
-// version gap (a missed delta, or a delta against a base we never held).
-func (c *Client) requestFullView() {
-	have := uint32(0)
-	if c.view != nil {
-		have = c.view.version
+// ackDeadline fires when a heartbeat went unacknowledged: the coordinator we
+// picked is dead, partitioned away, or a standby. Rotate and retry under
+// exponential backoff so a replica set that is entirely unreachable is not
+// hammered at AckTimeout frequency.
+func (c *Client) ackDeadline(gen uint64) {
+	if c.stopped || gen != c.hbGen {
+		return // an ack (or newer cycle) superseded this deadline
 	}
-	c.env.Send(CoordinatorID, wire.AppendViewRequest(nil, c.env.LocalID(), have))
+	c.hbGen++
+	shift := c.hbFails
+	if shift > 6 {
+		shift = 6
+	}
+	c.hbFails++
+	c.rotate()
+	d := c.cfg.FailoverBackoff << shift
+	if d > c.cfg.Heartbeat {
+		d = c.cfg.Heartbeat
+	}
+	d += time.Duration(c.env.Rand().Int63n(int64(d/2 + 1)))
+	c.hbTimer = c.env.After(d, c.heartbeat)
+}
+
+// requestFullView schedules a full-view request after a version gap (a
+// missed delta, or a delta against a base we never held). The request is
+// deferred by a jittered backoff and capped at one outstanding per client:
+// when loss makes a whole fleet miss the same delta, the requests spread
+// over the window instead of arriving as one burst.
+func (c *Client) requestFullView() {
+	if c.fvPending || c.stopped {
+		return
+	}
+	c.fvPending = true
+	shift := c.fvFails
+	if shift > 6 {
+		shift = 6
+	}
+	window := c.cfg.FullViewBackoff << shift
+	delay := time.Duration(c.env.Rand().Int63n(int64(window)))
+	c.fvTimer = c.env.After(delay, c.sendViewRequest)
+}
+
+func (c *Client) sendViewRequest() {
+	if c.stopped {
+		return
+	}
+	c.fvPending = false
+	c.fvFails++ // reset when a view installs; widens the window until then
+	have := wire.ViewStamp{}
+	if c.view != nil {
+		have = c.view.Stamp()
+	}
+	c.env.Send(c.coordinator(), wire.AppendViewRequest(nil, c.env.LocalID(), have))
+}
+
+// stamp returns the current view's stamp, or the zero stamp before any view.
+func (c *Client) stamp() wire.ViewStamp {
+	if c.view == nil {
+		return wire.ViewStamp{}
+	}
+	return c.view.Stamp()
 }
 
 // HandlePacket processes one membership-plane message. The overlay node
-// routes TJoinReply, TView, and TViewDelta here; other types are ignored.
+// routes TJoinReply, TView, TViewDelta, and THeartbeatAck here; other types
+// are ignored.
 func (c *Client) HandlePacket(h wire.Header, body []byte) {
 	switch h.Type {
 	case wire.TJoinReply:
@@ -125,39 +251,62 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 		if err != nil {
 			return
 		}
+		// Record which replica answered: it is the live primary.
+		c.noteCoordinator(h.Src)
 		if !c.joined {
 			c.joined = true
 			c.env.SetLocalID(r.Assigned)
 			// The heartbeat loop perpetuates itself; arm it only on the
 			// first admission so an eviction/rejoin cycle cannot stack a
 			// second loop.
-			if c.hbTimer == nil {
+			if !c.hbStarted {
+				c.hbStarted = true
 				c.hbTimer = c.env.After(c.cfg.Heartbeat, c.heartbeat)
 			}
+		}
+	case wire.THeartbeatAck:
+		a, err := wire.ParseHeartbeatAck(body)
+		if err != nil {
+			return
+		}
+		c.noteCoordinator(h.Src)
+		// The ack both proves the primary live and carries its view stamp: a
+		// stamp ahead of ours (a post-failover reign we missed the broadcast
+		// of) is chased with a full-view request.
+		c.hbGen++
+		c.hbFails = 0
+		if c.hbTimer != nil {
+			c.hbTimer.Stop()
+		}
+		c.hbTimer = c.env.After(c.cfg.Heartbeat, c.heartbeat)
+		if a.Stamp.After(c.stamp()) {
+			c.requestFullView()
 		}
 	case wire.TView:
 		v, err := wire.ParseView(body)
 		if err != nil {
 			return
 		}
-		if c.view != nil && v.Version <= c.view.version {
+		if !v.Stamp().After(c.stamp()) && c.view != nil {
 			return // stale or duplicate view
 		}
 		vi, err := NewViewInfo(v)
 		if err != nil {
 			return
 		}
+		c.noteCoordinator(h.Src)
 		c.install(vi)
 	case wire.TViewDelta:
 		d, err := wire.ParseViewDelta(body)
 		if err != nil {
 			return
 		}
-		if c.view != nil && d.Version <= c.view.version {
+		stamp := wire.ViewStamp{Epoch: d.Epoch, Version: d.Version}
+		if !stamp.After(c.stamp()) && c.view != nil {
 			return // stale or duplicate delta
 		}
-		if c.view == nil || c.view.version != d.BaseVersion {
-			c.requestFullView() // version gap: missed an update
+		if c.view == nil || c.view.epoch != d.Epoch || c.view.version != d.BaseVersion {
+			c.requestFullView() // gap: missed an update or an election
 			return
 		}
 		vi, err := c.view.ApplyDelta(d)
@@ -169,6 +318,17 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 	}
 }
 
+// noteCoordinator points the client at the replica that just proved itself
+// primary (it answered, and standbys never do).
+func (c *Client) noteCoordinator(id wire.NodeID) {
+	for i, cid := range c.cfg.Coordinators {
+		if cid == id {
+			c.cur = i
+			return
+		}
+	}
+}
+
 // install makes vi the current view. A newer view that omits our own ID
 // means the coordinator silently expired us (heartbeats from an unknown ID
 // are ignored as membership, but answered with the current view): reset the
@@ -176,6 +336,14 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 // forever with an ID nobody routes to.
 func (c *Client) install(vi *ViewInfo) {
 	c.view = vi
+	c.fvFails = 0
+	if c.fvPending {
+		// The gap this request chased is closed; release the slot.
+		c.fvPending = false
+		if c.fvTimer != nil {
+			c.fvTimer.Stop()
+		}
+	}
 	if id := c.env.LocalID(); c.joined && id != wire.NilNode {
 		if _, ok := vi.SlotOf(id); !ok {
 			c.joined = false

@@ -9,6 +9,28 @@ import (
 	"allpairs/internal/wire"
 )
 
+// Replication constants.
+const (
+	// versionSkip is added to the view version (scaled by rank+1) when a
+	// standby promotes, so versions stay globally unique across reigns: the
+	// deposed primary flushes at most once per coalesce interval, so it
+	// cannot plausibly bridge a 4096-version gap while unreachable. Unique
+	// versions let the routing plane keep keying row exchange on the bare
+	// version number even across a split brain.
+	versionSkip = 1 << 12
+	// idSkip is added to the replicated nextID on promotion, covering
+	// assignments the old primary made after its last beacon.
+	idSkip = 64
+)
+
+// coordRole is a coordinator replica's current role.
+type coordRole int
+
+const (
+	roleStandby coordRole = iota
+	rolePrimary
+)
+
 // CoordinatorConfig tunes the membership coordinator.
 type CoordinatorConfig struct {
 	// Timeout expires members that have not been heard from (default 30 min,
@@ -22,6 +44,22 @@ type CoordinatorConfig struct {
 	// a k-node join storm is O(n + k) messages rather than the O(n·k) a
 	// per-change full-view broadcast would cost.
 	Coalesce time.Duration
+	// Coordinators lists the well-known IDs of the whole replica set in rank
+	// order (default: just CoordinatorID — a solo coordinator with no
+	// replication). The harness or deployment must bind each peer ID to its
+	// address via env.SetPeer before Start.
+	Coordinators []wire.NodeID
+	// Rank is this replica's index in Coordinators (default 0). Rank 0
+	// assumes primacy at boot; higher ranks start as standbys.
+	Rank int
+	// BeaconInterval is how often the primary beacons its liveness, epoch,
+	// and allocator high-water mark to the standbys (default 2 s).
+	BeaconInterval time.Duration
+	// ElectionTimeout is the beacon silence after which a standby promotes
+	// itself; each rank waits an extra BeaconInterval per rank so elections
+	// resolve deterministically to the lowest live rank (default
+	// 3·BeaconInterval + Rank·BeaconInterval).
+	ElectionTimeout time.Duration
 	// Logf, if non-nil, receives membership events.
 	Logf func(format string, args ...any)
 }
@@ -36,6 +74,18 @@ func (c *CoordinatorConfig) fill() {
 	if c.Coalesce <= 0 {
 		c.Coalesce = DefaultCoalesce
 	}
+	if len(c.Coordinators) == 0 {
+		c.Coordinators = []wire.NodeID{CoordinatorID}
+	}
+	if c.Rank < 0 || c.Rank >= len(c.Coordinators) {
+		c.Rank = 0
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = 2 * time.Second
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 3*c.BeaconInterval + time.Duration(c.Rank)*c.BeaconInterval
+	}
 }
 
 type memberState struct {
@@ -43,22 +93,42 @@ type memberState struct {
 	lastSeen time.Time
 }
 
-// Coordinator is the centralized membership service. Bind it to an Env with
-// Start; all state transitions then happen inside the Env's serialized
-// callbacks.
+// Coordinator is one replica of the membership service. A replica set is a
+// primary plus standbys at well-known IDs: the primary admits nodes, assigns
+// IDs, and broadcasts versioned views exactly like the paper's single
+// coordinator, while replicating every view (full or delta, the same wire
+// machinery the members consume) to the standbys and beaconing its liveness.
+// On beacon silence the lowest-rank live standby promotes itself under a new
+// epoch; clients discover the new primary through heartbeat-ack failover.
+// Bind it to an Env with Start; all state transitions then happen inside the
+// Env's serialized callbacks.
 type Coordinator struct {
 	env     transport.Env
 	cfg     CoordinatorConfig
+	selfID  wire.NodeID
+	role    coordRole
+	epoch   uint32
 	version uint32
 	nextID  wire.NodeID
 	members map[wire.NodeID]*memberState
 	byAddr  map[netip.AddrPort]wire.NodeID
 
 	// lastView is the membership as of the last broadcast (sorted by ID) at
-	// version `version`; deltas are computed against it. flushPending marks a
-	// scheduled coalesce flush.
+	// stamp (epoch, version); deltas are computed against it. On a standby it
+	// is the replica of the primary's broadcasts, and the member table a
+	// promotion rebuilds. flushPending marks a scheduled coalesce flush.
 	lastView     []wire.Member
 	flushPending bool
+
+	// Election state (replicated mode only).
+	lastPrimaryBeat time.Time
+	lastPrimaryID   wire.NodeID
+
+	flushTimer    transport.Timer
+	sweepTimer    transport.Timer
+	beaconTimer   transport.Timer
+	electionTimer transport.Timer
+	stopped       bool
 
 	stats CoordinatorStats
 }
@@ -70,35 +140,118 @@ type CoordinatorStats struct {
 	Broadcasts uint64
 	// DeltasSent and FullViewsSent count the per-member messages of those
 	// flushes plus full views served on demand (gap recovery, evicted-node
-	// heartbeats).
+	// heartbeats). Replication to standbys is included.
 	DeltasSent    uint64
 	FullViewsSent uint64
+	// HeartbeatAcks counts heartbeats acknowledged as primary.
+	HeartbeatAcks uint64
+	// Promotions and Demotions count this replica's role changes.
+	Promotions, Demotions uint64
 }
 
-// NewCoordinator creates a coordinator on env. Call Start to begin serving.
+// NewCoordinator creates a coordinator replica on env. Call Start to begin
+// serving.
 func NewCoordinator(env transport.Env, cfg CoordinatorConfig) *Coordinator {
 	cfg.fill()
 	return &Coordinator{
 		env:     env,
 		cfg:     cfg,
+		selfID:  cfg.Coordinators[cfg.Rank],
 		members: make(map[wire.NodeID]*memberState),
 		byAddr:  make(map[netip.AddrPort]wire.NodeID),
 	}
 }
 
-// Start installs the packet handler and begins the expiry sweep.
+// Start installs the packet handler and begins the expiry sweep. Rank 0
+// assumes primacy immediately (epoch 1 on a cold boot); higher ranks start
+// as standbys and only promote after beacon silence. A restarted rank 0
+// that boots into an overlay with a newer primary steps down on the first
+// beacon it hears.
 func (c *Coordinator) Start() {
-	c.env.SetLocalID(CoordinatorID)
+	c.env.SetLocalID(c.selfID)
 	c.env.Bind(c.handle)
-	c.env.After(c.cfg.Sweep, c.sweep)
+	c.sweepTimer = c.env.After(c.cfg.Sweep, c.sweep)
+	if c.solo() {
+		c.role = rolePrimary
+		c.epoch = 1
+		return
+	}
+	c.lastPrimaryBeat = c.env.Now()
+	if c.cfg.Rank == 0 {
+		c.role = rolePrimary
+		c.epoch = 1
+		c.sendBeacons()
+	} else {
+		c.role = roleStandby
+		c.armElection()
+	}
+	c.beaconTimer = c.env.After(c.cfg.BeaconInterval, c.beaconLoop)
 }
 
-// MemberCount returns the current number of admitted members. Call from
-// within env.Do.
-func (c *Coordinator) MemberCount() int { return len(c.members) }
+// Stop halts all timers and ignores further traffic; the churn harness uses
+// it to crash a replica. A fresh Coordinator on the same Env models a
+// process restart.
+func (c *Coordinator) Stop() {
+	c.stopped = true
+	for _, t := range []transport.Timer{c.flushTimer, c.sweepTimer, c.beaconTimer, c.electionTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+}
+
+func (c *Coordinator) solo() bool { return len(c.cfg.Coordinators) <= 1 }
+
+// peers returns the other replicas' IDs in rank order.
+func (c *Coordinator) peers() []wire.NodeID {
+	var out []wire.NodeID
+	for _, id := range c.cfg.Coordinators {
+		if id != c.selfID {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// rankOf maps a coordinator ID to its rank, or -1 for non-replicas.
+func (c *Coordinator) rankOf(id wire.NodeID) int {
+	for r, cid := range c.cfg.Coordinators {
+		if cid == id {
+			return r
+		}
+	}
+	return -1
+}
+
+// MemberCount returns the current number of admitted members (the replica's
+// last known view size when standing by). Call from within env.Do.
+func (c *Coordinator) MemberCount() int {
+	if c.role == rolePrimary {
+		return len(c.members)
+	}
+	return len(c.lastView)
+}
 
 // Version returns the current view version. Call from within env.Do.
 func (c *Coordinator) Version() uint32 { return c.version }
+
+// Stamp returns the current view stamp. Call from within env.Do.
+func (c *Coordinator) Stamp() wire.ViewStamp {
+	return wire.ViewStamp{Epoch: c.epoch, Version: c.version}
+}
+
+// IsPrimary reports whether this replica currently leads the set. Call from
+// within env.Do.
+func (c *Coordinator) IsPrimary() bool { return c.role == rolePrimary && !c.stopped }
+
+// Members returns a copy of the last broadcast view's member list, sorted by
+// ID (so the index of each member is its view slot). Call from within env.Do.
+func (c *Coordinator) Members() []wire.Member {
+	return append([]wire.Member(nil), c.lastView...)
+}
+
+// Rank returns the replica's configured rank.
+func (c *Coordinator) Rank() int { return c.cfg.Rank }
 
 // Stats returns a copy of the broadcast counters. Call from within env.Do.
 func (c *Coordinator) Stats() CoordinatorStats { return c.stats }
@@ -110,8 +263,37 @@ func (c *Coordinator) logf(format string, args ...any) {
 }
 
 func (c *Coordinator) handle(from wire.NodeID, payload []byte) {
+	if c.stopped {
+		return
+	}
 	h, body, err := wire.ParseHeader(payload)
 	if err != nil {
+		return
+	}
+	// Replica-plane traffic is handled in either role.
+	switch h.Type {
+	case wire.TCoordBeacon:
+		if b, err := wire.ParseCoordBeacon(body); err == nil && c.rankOf(h.Src) >= 0 {
+			c.handleBeacon(h.Src, b)
+		}
+		return
+	case wire.TView:
+		// Replication stream from the primary (or the full view answering a
+		// resync request after demotion).
+		if v, err := wire.ParseView(body); err == nil && c.rankOf(h.Src) >= 0 && c.role == roleStandby {
+			c.adoptReplica(v)
+		}
+		return
+	case wire.TViewDelta:
+		if d, err := wire.ParseViewDelta(body); err == nil && c.rankOf(h.Src) >= 0 && c.role == roleStandby {
+			c.applyReplicaDelta(h.Src, d)
+		}
+		return
+	}
+	// Client-plane traffic is served only by the primary; standbys stay
+	// silent so clients fail over to the replica actually holding the lease
+	// table.
+	if c.role != rolePrimary {
 		return
 	}
 	switch h.Type {
@@ -124,6 +306,8 @@ func (c *Coordinator) handle(from wire.NodeID, payload []byte) {
 	case wire.THeartbeat:
 		if m, ok := c.members[h.Src]; ok {
 			m.lastSeen = c.env.Now()
+			c.env.Send(h.Src, wire.AppendHeartbeatAck(nil, c.selfID, wire.HeartbeatAck{Stamp: c.Stamp()}))
+			c.stats.HeartbeatAcks++
 		} else {
 			// An expired member still heartbeating does not know it was
 			// evicted: answer with the current view, whose absence of its ID
@@ -135,10 +319,10 @@ func (c *Coordinator) handle(from wire.NodeID, payload []byte) {
 		if err != nil {
 			return
 		}
-		// A requester already holding the current version needs nothing — a
+		// A requester already holding the current stamp needs nothing — a
 		// delta built on a version it never saw (e.g. forged or reordered)
 		// does not invalidate its up-to-date view.
-		if have != c.version {
+		if have != c.Stamp() {
 			c.sendFullView(h.Src)
 		}
 	case wire.TLeave:
@@ -148,6 +332,199 @@ func (c *Coordinator) handle(from wire.NodeID, payload []byte) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Replication and election.
+// ---------------------------------------------------------------------------
+
+// handleBeacon processes a peer replica's beacon in either role.
+func (c *Coordinator) handleBeacon(from wire.NodeID, b wire.CoordBeacon) {
+	// The allocator high-water mark is monotone and never reused, so absorb
+	// it unconditionally: it protects against reissuing IDs assigned by any
+	// reign we have incomplete replication from.
+	if b.NextID > c.nextID {
+		c.nextID = b.NextID
+	}
+	if !b.Primary {
+		return
+	}
+	peerRank := c.rankOf(from)
+	if c.role == rolePrimary {
+		if b.Stamp.Epoch > c.epoch || (b.Stamp.Epoch == c.epoch && peerRank < c.cfg.Rank) {
+			c.demote(from, b)
+			return
+		}
+		// We win the conflict (healed split brain, or a stale reign still
+		// beaconing). Absorb the loser's version so our next broadcast
+		// supersedes everything its clients hold, and push a full view so
+		// both sides converge without waiting a heartbeat interval.
+		if b.Stamp.Version >= c.version {
+			c.version = b.Stamp.Version + 1
+			c.stats.Broadcasts++
+			c.logf("membership: absorbed rival reign e%d v%d, rebroadcasting as e%d v%d",
+				b.Stamp.Epoch, b.Stamp.Version, c.epoch, c.version)
+			c.broadcastFullView()
+		}
+		return
+	}
+	// Standby: note the leader and keep the election timer fed.
+	c.lastPrimaryBeat = c.env.Now()
+	c.lastPrimaryID = from
+	if b.Stamp.Epoch > c.epoch {
+		c.epoch = b.Stamp.Epoch
+	}
+	// A version ahead of our replica means we missed replication (e.g. we
+	// just restarted): resync with a full-view request.
+	if b.Stamp.Version > c.version {
+		c.env.Send(from, wire.AppendViewRequest(nil, c.selfID, c.Stamp()))
+	}
+}
+
+// adoptReplica installs a replicated full view on a standby.
+func (c *Coordinator) adoptReplica(v wire.View) {
+	if !v.Stamp().After(c.Stamp()) {
+		return
+	}
+	c.epoch = v.Epoch
+	c.version = v.Version
+	c.lastView = sortedMembers(v.Members)
+	for _, m := range c.lastView {
+		c.env.SetPeer(m.ID, m.Addr)
+	}
+}
+
+// applyReplicaDelta folds a replicated delta into a standby's view replica,
+// resyncing with a full-view request on any gap.
+func (c *Coordinator) applyReplicaDelta(from wire.NodeID, d wire.ViewDelta) {
+	if d.Epoch == c.epoch && d.Version <= c.version {
+		return // duplicate
+	}
+	if d.Epoch != c.epoch || d.BaseVersion != c.version {
+		c.env.Send(from, wire.AppendViewRequest(nil, c.selfID, c.Stamp()))
+		return
+	}
+	next, err := applyMembersDelta(c.lastView, d)
+	if err != nil {
+		c.env.Send(from, wire.AppendViewRequest(nil, c.selfID, c.Stamp()))
+		return
+	}
+	c.version = d.Version
+	c.lastView = next
+	for _, m := range d.Adds {
+		c.env.SetPeer(m.ID, m.Addr)
+	}
+}
+
+// armElection schedules the standby's next silence check.
+func (c *Coordinator) armElection() {
+	if c.electionTimer != nil {
+		c.electionTimer.Stop()
+	}
+	c.electionTimer = c.env.After(c.cfg.ElectionTimeout, c.electionCheck)
+}
+
+// electionCheck promotes the standby if the primary has been silent for the
+// whole (rank-staggered) election timeout, otherwise re-arms for the
+// remaining silence budget.
+func (c *Coordinator) electionCheck() {
+	if c.stopped || c.role == rolePrimary {
+		return
+	}
+	silence := c.env.Now().Sub(c.lastPrimaryBeat)
+	if silence < c.cfg.ElectionTimeout {
+		c.electionTimer = c.env.After(c.cfg.ElectionTimeout-silence, c.electionCheck)
+		return
+	}
+	c.promote()
+}
+
+// promote turns a standby into the primary: a new epoch, a version far past
+// anything the dead reign can have broadcast, an allocator bumped past its
+// replicated high-water mark, and the member table rebuilt from the view
+// replica with fresh leases (the members are not to blame for the election,
+// so none may expire before getting a full timeout to re-heartbeat).
+func (c *Coordinator) promote() {
+	now := c.env.Now()
+	c.role = rolePrimary
+	c.epoch++
+	c.version += versionSkip * uint32(c.cfg.Rank+1)
+	c.nextID += idSkip
+	c.members = make(map[wire.NodeID]*memberState, len(c.lastView))
+	c.byAddr = make(map[netip.AddrPort]wire.NodeID, len(c.lastView))
+	for _, m := range c.lastView {
+		c.members[m.ID] = &memberState{addr: m.Addr, lastSeen: now}
+		c.byAddr[m.Addr] = m.ID
+		c.env.SetPeer(m.ID, m.Addr)
+	}
+	c.stats.Promotions++
+	c.stats.Broadcasts++
+	c.logf("membership: rank %d promoted to primary (epoch %d, view %d, %d members)",
+		c.cfg.Rank, c.epoch, c.version, len(c.lastView))
+	c.broadcastFullView()
+	c.sendBeacons()
+}
+
+// demote steps a deposed primary down to standby. The member lease table
+// belongs to the winner now; the loser resyncs its view replica from it.
+func (c *Coordinator) demote(winner wire.NodeID, b wire.CoordBeacon) {
+	c.role = roleStandby
+	if b.Stamp.Epoch > c.epoch {
+		c.epoch = b.Stamp.Epoch
+	}
+	c.members = make(map[wire.NodeID]*memberState)
+	c.byAddr = make(map[netip.AddrPort]wire.NodeID)
+	c.flushPending = false
+	if c.flushTimer != nil {
+		c.flushTimer.Stop()
+	}
+	c.lastPrimaryBeat = c.env.Now()
+	c.lastPrimaryID = winner
+	c.stats.Demotions++
+	c.logf("membership: rank %d demoted by rank %d (epoch %d)", c.cfg.Rank, c.rankOf(winner), b.Stamp.Epoch)
+	c.env.Send(winner, wire.AppendViewRequest(nil, c.selfID, c.Stamp()))
+	c.armElection()
+}
+
+// beaconLoop perpetuates the beacon timer; only the primary actually sends.
+func (c *Coordinator) beaconLoop() {
+	if c.stopped {
+		return
+	}
+	if c.role == rolePrimary {
+		c.sendBeacons()
+	}
+	c.beaconTimer = c.env.After(c.cfg.BeaconInterval, c.beaconLoop)
+}
+
+// sendBeacons announces primacy to every peer replica.
+func (c *Coordinator) sendBeacons() {
+	for _, id := range c.peers() {
+		c.env.Send(id, wire.AppendCoordBeacon(nil, c.selfID, wire.CoordBeacon{
+			Stamp:   c.Stamp(),
+			NextID:  c.nextID,
+			Primary: c.role == rolePrimary,
+		}))
+	}
+}
+
+// broadcastFullView pushes the current view to every member and replica —
+// the promotion/absorption path, where waiting out delta coalescing would
+// cost convergence time.
+func (c *Coordinator) broadcastFullView() {
+	full := wire.AppendView(nil, c.selfID, wire.View{Epoch: c.epoch, Version: c.version, Members: c.lastView})
+	for _, m := range c.lastView {
+		c.env.Send(m.ID, full)
+		c.stats.FullViewsSent++
+	}
+	for _, id := range c.peers() {
+		c.env.Send(id, full)
+		c.stats.FullViewsSent++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Primary-side membership service (the paper's §5 coordinator).
+// ---------------------------------------------------------------------------
 
 func (c *Coordinator) handleJoin(j wire.Join) {
 	now := c.env.Now()
@@ -169,7 +546,7 @@ func (c *Coordinator) handleJoin(j wire.Join) {
 }
 
 func (c *Coordinator) reply(id wire.NodeID) {
-	c.env.Send(id, wire.AppendJoinReply(nil, CoordinatorID, wire.JoinReply{Assigned: id}))
+	c.env.Send(id, wire.AppendJoinReply(nil, c.selfID, wire.JoinReply{Assigned: id}))
 }
 
 func (c *Coordinator) remove(id wire.NodeID, why string) {
@@ -191,9 +568,9 @@ func (c *Coordinator) view() []wire.Member {
 
 // sendFullView serves the last broadcast view to one node (gap recovery and
 // evicted-node heartbeats). Pending coalesced changes are not leaked early:
-// the receiver sees exactly the version everyone else holds.
+// the receiver sees exactly the stamp everyone else holds.
 func (c *Coordinator) sendFullView(id wire.NodeID) {
-	c.env.Send(id, wire.AppendView(nil, CoordinatorID, wire.View{Version: c.version, Members: c.lastView}))
+	c.env.Send(id, wire.AppendView(nil, c.selfID, wire.View{Epoch: c.epoch, Version: c.version, Members: c.lastView}))
 	c.stats.FullViewsSent++
 }
 
@@ -203,17 +580,21 @@ func (c *Coordinator) scheduleFlush() {
 		return
 	}
 	c.flushPending = true
-	c.env.After(c.cfg.Coalesce, c.flush)
+	c.flushTimer = c.env.After(c.cfg.Coalesce, c.flush)
 }
 
 // flush broadcasts the changes accumulated during the coalesce window: one
 // version bump, a delta to every surviving member, and a full view to every
 // member added in the window (they hold no base to apply a delta to). If the
 // delta would not be smaller than the full view, everyone gets the full
-// view. Sends walk the sorted member list, so the broadcast order is
-// deterministic under the simulator.
+// view. Standby replicas receive the same delta (or full view), which is how
+// the member table is replicated. Sends walk the sorted member list, so the
+// broadcast order is deterministic under the simulator.
 func (c *Coordinator) flush() {
 	c.flushPending = false
+	if c.stopped || c.role != rolePrimary {
+		return
+	}
 	cur := c.view()
 	adds, removes := diffMembers(c.lastView, cur)
 	if len(adds) == 0 && len(removes) == 0 {
@@ -222,11 +603,12 @@ func (c *Coordinator) flush() {
 	base := c.version
 	c.version++
 	c.stats.Broadcasts++
-	full := wire.AppendView(nil, CoordinatorID, wire.View{Version: c.version, Members: cur})
+	full := wire.AppendView(nil, c.selfID, wire.View{Epoch: c.epoch, Version: c.version, Members: cur})
 	useDelta := wire.ViewDeltaSize(len(adds), len(removes)) < wire.ViewSize(len(cur))
 	var delta []byte
 	if useDelta {
-		delta = wire.AppendViewDelta(nil, CoordinatorID, wire.ViewDelta{
+		delta = wire.AppendViewDelta(nil, c.selfID, wire.ViewDelta{
+			Epoch:       c.epoch,
 			BaseVersion: base,
 			Version:     c.version,
 			Adds:        adds,
@@ -246,8 +628,17 @@ func (c *Coordinator) flush() {
 			c.stats.FullViewsSent++
 		}
 	}
+	for _, id := range c.peers() {
+		if useDelta {
+			c.env.Send(id, delta)
+			c.stats.DeltasSent++
+		} else {
+			c.env.Send(id, full)
+			c.stats.FullViewsSent++
+		}
+	}
 	c.lastView = cur
-	c.logf("membership: view %d (%d members, +%d −%d)", c.version, len(cur), len(adds), len(removes))
+	c.logf("membership: view %d/%d (%d members, +%d −%d)", c.epoch, c.version, len(cur), len(adds), len(removes))
 }
 
 // diffMembers returns the members present in cur but not in prev, and the
@@ -276,7 +667,52 @@ func diffMembers(prev, cur []wire.Member) (adds []wire.Member, removes []wire.No
 	return adds, removes
 }
 
+// sortedMembers returns a copy of ms sorted by ID.
+func sortedMembers(ms []wire.Member) []wire.Member {
+	out := append([]wire.Member(nil), ms...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// applyMembersDelta applies a wire delta to a sorted member list, returning
+// a new sorted list. It fails on a removal of an unknown ID or an addition
+// of an existing one, which signals a replication gap.
+func applyMembersDelta(ms []wire.Member, d wire.ViewDelta) ([]wire.Member, error) {
+	have := make(map[wire.NodeID]bool, len(ms))
+	for _, m := range ms {
+		have[m.ID] = true
+	}
+	removed := make(map[wire.NodeID]bool, len(d.Removes))
+	for _, id := range d.Removes {
+		if !have[id] {
+			return nil, wire.ErrBadLen
+		}
+		removed[id] = true
+	}
+	out := make([]wire.Member, 0, len(ms)+len(d.Adds)-len(d.Removes))
+	for _, m := range ms {
+		if !removed[m.ID] {
+			out = append(out, m)
+		}
+	}
+	for _, m := range d.Adds {
+		if have[m.ID] {
+			return nil, wire.ErrBadLen
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
 func (c *Coordinator) sweep() {
+	if c.stopped {
+		return
+	}
+	defer func() { c.sweepTimer = c.env.After(c.cfg.Sweep, c.sweep) }()
+	if c.role != rolePrimary {
+		return
+	}
 	now := c.env.Now()
 	// Collect expiries in sorted ID order so removal (and the resulting
 	// delta) is deterministic run to run.
@@ -293,5 +729,4 @@ func (c *Coordinator) sweep() {
 	if len(expired) > 0 {
 		c.scheduleFlush()
 	}
-	c.env.After(c.cfg.Sweep, c.sweep)
 }

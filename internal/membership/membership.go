@@ -18,9 +18,25 @@ import (
 	"allpairs/internal/wire"
 )
 
-// CoordinatorID is the well-known overlay ID of the membership coordinator.
-// It is outside the range ever assigned to members.
+// CoordinatorID is the well-known overlay ID of the membership coordinator
+// (the rank-0 primary in a replicated set). It is outside the range ever
+// assigned to members.
 const CoordinatorID wire.NodeID = 0xFFFE
+
+// CoordinatorIDAt returns the well-known ID of the coordinator replica at a
+// given rank: IDs descend from CoordinatorID (0xFFFE, 0xFFFD, ...), leaving
+// wire.NilNode untouched and staying far above any assigned member ID.
+func CoordinatorIDAt(rank int) wire.NodeID { return CoordinatorID - wire.NodeID(rank) }
+
+// CoordinatorIDs returns the well-known IDs of an n-replica coordinator set
+// in rank order.
+func CoordinatorIDs(n int) []wire.NodeID {
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = CoordinatorIDAt(i)
+	}
+	return ids
+}
 
 // Default protocol intervals.
 const (
@@ -42,6 +58,7 @@ const (
 // list and the slot mapping used to populate the routing grid. Slot i holds
 // the i-th smallest member ID (row-major fill from a sorted list, §5).
 type ViewInfo struct {
+	epoch   uint32
 	version uint32
 	members []wire.Member       // sorted by ID
 	slotOf  map[wire.NodeID]int // ID → slot
@@ -59,7 +76,7 @@ func NewViewInfo(v wire.View) (*ViewInfo, error) {
 		}
 		slotOf[m.ID] = i
 	}
-	return &ViewInfo{version: v.Version, members: ms, slotOf: slotOf}, nil
+	return &ViewInfo{epoch: v.Epoch, version: v.Version, members: ms, slotOf: slotOf}, nil
 }
 
 // NewStaticView builds a ViewInfo directly from node IDs, for emulations and
@@ -69,15 +86,23 @@ func NewStaticView(ids []wire.NodeID) *ViewInfo {
 	for i, id := range ids {
 		ms[i] = wire.Member{ID: id}
 	}
-	vi, err := NewViewInfo(wire.View{Version: 1, Members: ms})
+	vi, err := NewViewInfo(wire.View{Epoch: 1, Version: 1, Members: ms})
 	if err != nil {
 		panic(err) // duplicate IDs in a static view are a programming error
 	}
 	return vi
 }
 
-// VersionNum returns the view's version number.
+// VersionNum returns the view's version number. Versions are unique across
+// coordinator reigns (promotions skip the version counter far past anything
+// the deposed primary can have broadcast), so the routing plane keys its
+// row exchange on the version alone.
 func (v *ViewInfo) VersionNum() uint32 { return v.version }
+
+// Stamp returns the view's (epoch, version) stamp.
+func (v *ViewInfo) Stamp() wire.ViewStamp {
+	return wire.ViewStamp{Epoch: v.epoch, Version: v.version}
+}
 
 // N returns the number of members.
 func (v *ViewInfo) N() int { return len(v.members) }
@@ -116,8 +141,9 @@ func SlotMap(old, next *ViewInfo) []int {
 // caller must then request a full view), if a removed ID is unknown, or if
 // an added ID already exists.
 func (v *ViewInfo) ApplyDelta(d wire.ViewDelta) (*ViewInfo, error) {
-	if v.version != d.BaseVersion {
-		return nil, fmt.Errorf("membership: delta base %d does not match view %d", d.BaseVersion, v.version)
+	if v.epoch != d.Epoch || v.version != d.BaseVersion {
+		return nil, fmt.Errorf("membership: delta base %d/%d does not match view %d/%d",
+			d.Epoch, d.BaseVersion, v.epoch, v.version)
 	}
 	removed := make(map[wire.NodeID]bool, len(d.Removes))
 	for _, id := range d.Removes {
@@ -133,5 +159,5 @@ func (v *ViewInfo) ApplyDelta(d wire.ViewDelta) (*ViewInfo, error) {
 		}
 	}
 	ms = append(ms, d.Adds...)
-	return NewViewInfo(wire.View{Version: d.Version, Members: ms})
+	return NewViewInfo(wire.View{Epoch: d.Epoch, Version: d.Version, Members: ms})
 }

@@ -261,7 +261,7 @@ func TestJoinAddrConvention(t *testing.T) {
 func TestApplyDelta(t *testing.T) {
 	base := NewStaticView([]wire.NodeID{1, 2, 3})
 	vi, err := base.ApplyDelta(wire.ViewDelta{
-		BaseVersion: 1, Version: 2,
+		Epoch: 1, BaseVersion: 1, Version: 2,
 		Adds:    []wire.Member{{ID: 9}},
 		Removes: []wire.NodeID{2},
 	})
@@ -276,14 +276,17 @@ func TestApplyDelta(t *testing.T) {
 			t.Errorf("IDAt(%d) = %d, want %d", i, vi.IDAt(i), want)
 		}
 	}
-	// Base mismatch, unknown remove, duplicate add all fail.
-	if _, err := base.ApplyDelta(wire.ViewDelta{BaseVersion: 7, Version: 8}); err == nil {
+	// Base mismatch, epoch mismatch, unknown remove, duplicate add all fail.
+	if _, err := base.ApplyDelta(wire.ViewDelta{Epoch: 1, BaseVersion: 7, Version: 8}); err == nil {
 		t.Error("base mismatch accepted")
 	}
-	if _, err := base.ApplyDelta(wire.ViewDelta{BaseVersion: 1, Version: 2, Removes: []wire.NodeID{55}}); err == nil {
+	if _, err := base.ApplyDelta(wire.ViewDelta{Epoch: 2, BaseVersion: 1, Version: 2}); err == nil {
+		t.Error("epoch mismatch accepted")
+	}
+	if _, err := base.ApplyDelta(wire.ViewDelta{Epoch: 1, BaseVersion: 1, Version: 2, Removes: []wire.NodeID{55}}); err == nil {
 		t.Error("unknown removal accepted")
 	}
-	if _, err := base.ApplyDelta(wire.ViewDelta{BaseVersion: 1, Version: 2, Adds: []wire.Member{{ID: 1}}}); err == nil {
+	if _, err := base.ApplyDelta(wire.ViewDelta{Epoch: 1, BaseVersion: 1, Version: 2, Adds: []wire.Member{{ID: 1}}}); err == nil {
 		t.Error("duplicate add accepted")
 	}
 }
@@ -344,6 +347,7 @@ func TestVersionGapTriggersFullView(t *testing.T) {
 		sc.clients[0].HandlePacket(h, body)
 	}
 	deliverDelta(wire.ViewDelta{
+		Epoch:       1,
 		BaseVersion: v.VersionNum() + 5,
 		Version:     v.VersionNum() + 6,
 		Adds:        []wire.Member{{ID: 77}},
@@ -367,6 +371,7 @@ func TestVersionGapTriggersFullView(t *testing.T) {
 		t.Fatal("coordinator version did not advance")
 	}
 	deliverDelta(wire.ViewDelta{
+		Epoch:       1,
 		BaseVersion: sc.coord.Version(),
 		Version:     sc.coord.Version() + 1,
 		Adds:        []wire.Member{{ID: 88}},

@@ -259,7 +259,7 @@ func (n *Node) handlePacket(from wire.NodeID, payload []byte) {
 		if q, ok := n.router.(*core.Quorum); ok {
 			q.HandleLinkStateAck(h, body)
 		}
-	case wire.TJoinReply, wire.TView, wire.TViewDelta:
+	case wire.TJoinReply, wire.TView, wire.TViewDelta, wire.THeartbeatAck:
 		if n.mc != nil {
 			n.mc.HandlePacket(h, body)
 		}

@@ -13,6 +13,7 @@ package probe
 import (
 	"time"
 
+	"allpairs/internal/grid"
 	"allpairs/internal/lsdb"
 	"allpairs/internal/membership"
 	"allpairs/internal/stats"
@@ -43,6 +44,14 @@ type Config struct {
 	// NTP-grade in real deployments. Negative one-way estimates (clock skew
 	// exceeding the latency) are clamped to zero.
 	Asymmetric bool
+	// RampIntervals spreads a cold start over several probing intervals: a
+	// node whose links have never been measured probes its rendezvous row
+	// and column within the first interval (those links feed the quorum
+	// routing immediately) and staggers the rest uniformly over
+	// RampIntervals intervals, so one join at n ≥ 1000 no longer bursts n
+	// probes into one tick. Values ≤ 1 keep the classic single-interval
+	// stagger (the default; static fleets depend on it).
+	RampIntervals int
 }
 
 func (c *Config) fill() {
@@ -172,16 +181,55 @@ func (p *Prober) SetView(view *membership.ViewInfo, self int) {
 }
 
 // Start begins probing all destinations, staggering initial probes uniformly
-// across one interval to avoid synchronized bursts.
+// across one interval to avoid synchronized bursts. With RampIntervals > 1,
+// never-measured links outside the node's rendezvous row and column are
+// instead spread over the ramp window: the rendezvous links come up first
+// (they are what the quorum algorithm routes through), and the long tail of
+// the mesh fills in over the next few intervals.
 func (p *Prober) Start() {
+	ramp := p.rampSlots()
 	for slot := 0; slot < p.view.N(); slot++ {
 		if slot == p.self {
 			continue
 		}
 		slot := slot
-		delay := time.Duration(p.env.Rand().Int63n(int64(p.cfg.Interval)))
+		window := p.cfg.Interval
+		if ramp != nil && ramp[slot] {
+			window = time.Duration(p.cfg.RampIntervals) * p.cfg.Interval
+		}
+		delay := time.Duration(p.env.Rand().Int63n(int64(window)))
 		p.links[slot].probeTimer = p.env.After(delay, func() { p.sendProbe(slot) })
 	}
+}
+
+// rampSlots returns the set of slots eligible for ramped (delayed) initial
+// probing, or nil when ramping is off or not useful: only cold links — never
+// alive, so nothing downstream is waiting on a refresh — outside the node's
+// grid row and column are ramped.
+func (p *Prober) rampSlots() []bool {
+	if p.cfg.RampIntervals <= 1 || p.view.N() <= 3 {
+		return nil
+	}
+	g, err := grid.New(p.view.N())
+	if err != nil {
+		return nil
+	}
+	rendezvous := make([]bool, p.view.N())
+	for _, s := range g.Servers(p.self) {
+		rendezvous[s] = true
+	}
+	ramp := make([]bool, p.view.N())
+	any := false
+	for slot := range ramp {
+		if slot != p.self && !rendezvous[slot] && !p.links[slot].everAlive {
+			ramp[slot] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return ramp
 }
 
 // Stop cancels all timers.

@@ -1,0 +1,93 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"allpairs/internal/grid"
+	"allpairs/internal/wire"
+)
+
+// countFirstProbes runs a 9-node fixture and returns which destinations
+// node 0 probed within the first interval, plus the total probes it sent
+// over the whole run.
+func countFirstProbes(t *testing.T, cfg Config, run time.Duration) (first map[int]bool, total int) {
+	t.Helper()
+	f := newFixture(t, 9, cfg, 10*time.Millisecond)
+	first = make(map[int]bool)
+	f.nw.OnSend = func(from, to int, payload []byte) {
+		if from == 0 && wire.PeekType(payload) == wire.TProbe {
+			total++
+			if f.nw.Elapsed() < cfg.Interval {
+				first[to] = true
+			}
+		}
+	}
+	f.startAll()
+	f.nw.RunFor(run)
+	return first, total
+}
+
+func TestRampSpreadsColdStart(t *testing.T) {
+	cfg := Config{Interval: 30 * time.Second, RampIntervals: 3}
+	first, _ := countFirstProbes(t, cfg, 95*time.Second)
+
+	g, err := grid.New(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range g.Servers(0) {
+		if s != 0 && !first[s] {
+			t.Errorf("rendezvous slot %d not probed in the first interval", s)
+		}
+	}
+	// The non-rendezvous tail is spread over 3 intervals, so the first
+	// interval must not contain the full burst of 8 first probes.
+	if len(first) >= 8 {
+		t.Errorf("first interval probed %d destinations, want a ramped subset", len(first))
+	}
+
+	// By the end of the ramp every link is alive everywhere.
+	f := newFixture(t, 9, cfg, 10*time.Millisecond)
+	f.startAll()
+	f.nw.RunFor(95 * time.Second)
+	for slot := 1; slot < 9; slot++ {
+		if !f.probers[0].Alive(slot) {
+			t.Errorf("slot %d not alive after the ramp window", slot)
+		}
+	}
+}
+
+func TestRampOffByDefault(t *testing.T) {
+	cfg := Config{Interval: 30 * time.Second}
+	first, _ := countFirstProbes(t, cfg, 31*time.Second)
+	if len(first) != 8 {
+		t.Errorf("first interval probed %d destinations, want all 8 without ramping", len(first))
+	}
+}
+
+func TestRampSkipsWarmLinks(t *testing.T) {
+	// A node whose links are already measured (a view change, not a cold
+	// join) must keep the one-interval stagger: ramping would delay refresh
+	// of live state.
+	cfg := Config{Interval: 30 * time.Second, RampIntervals: 3}
+	f := newFixture(t, 9, cfg, 10*time.Millisecond)
+	f.startAll()
+	// Warm up past the full ramp window so every link has been measured.
+	f.nw.RunFor(100 * time.Second)
+
+	probed := make(map[int]bool)
+	mark := f.nw.Elapsed()
+	f.nw.OnSend = func(from, to int, payload []byte) {
+		if from == 0 && wire.PeekType(payload) == wire.TProbe && f.nw.Elapsed() < mark+cfg.Interval {
+			probed[to] = true
+		}
+	}
+	// Same-membership restart: everAlive is carried, so no slot is cold.
+	f.probers[0].Stop()
+	f.probers[0].Start()
+	f.nw.RunFor(cfg.Interval)
+	if len(probed) != 8 {
+		t.Errorf("warm restart probed %d destinations in one interval, want all 8", len(probed))
+	}
+}

@@ -89,6 +89,11 @@ type Network struct {
 	nodeDown []bool
 	handlers []Handler
 
+	// group partitions the endpoints: cross-group packets are dropped at
+	// send time. nil means no partition is active. Group 0 is the implicit
+	// "rest of the network" for endpoints not named in SetPartition.
+	group []int
+
 	// OnSend, if non-nil, observes every attempted transmission (including
 	// ones that will be dropped); used for outgoing bandwidth accounting.
 	OnSend func(from, to int, payload []byte)
@@ -184,11 +189,47 @@ func (nw *Network) SetNodeDown(a int, down bool) { nw.nodeDown[a] = down }
 // NodeDown reports whether node a is failed.
 func (nw *Network) NodeDown(a int) bool { return nw.nodeDown[a] }
 
+// SetPartition splits the network: each groups[i] lists the endpoints of
+// one side, and every endpoint not named falls into an implicit extra side
+// (group 0 alongside the first listed group's complement). Packets crossing
+// sides are dropped at send time, exactly like a failed link; traffic within
+// a side is untouched. Calling SetPartition again replaces the previous
+// partition. An endpoint named in two groups ends up in the last one listed.
+func (nw *Network) SetPartition(groups ...[]int) {
+	nw.group = make([]int, len(nw.links))
+	for gi, g := range groups {
+		for _, ep := range g {
+			if ep < 0 || ep >= len(nw.links) {
+				panic(fmt.Sprintf("simnet: partition endpoint %d out of range [0,%d)", ep, len(nw.links)))
+			}
+			// +1 keeps 0 as the implicit "everyone else" side.
+			nw.group[ep] = gi + 1
+		}
+	}
+}
+
+// Heal removes any active partition. Node and link failures injected
+// separately stay in force.
+func (nw *Network) Heal() { nw.group = nil }
+
+// Partitioned reports whether an active partition separates a and b.
+func (nw *Network) Partitioned(a, b int) bool {
+	return nw.group != nil && nw.group[a] != nw.group[b]
+}
+
+// SetGroupDown fails (or revives) a set of endpoints in one call — the
+// correlated regional-failure primitive.
+func (nw *Network) SetGroupDown(eps []int, down bool) {
+	for _, ep := range eps {
+		nw.nodeDown[ep] = down
+	}
+}
+
 // Reachable reports whether a packet sent now from a to b would be
 // delivered, ignoring probabilistic loss. This is the ground-truth
 // reachability used by the experiment harness.
 func (nw *Network) Reachable(a, b int) bool {
-	return !nw.nodeDown[a] && !nw.nodeDown[b] && !nw.links[a][b].down
+	return !nw.nodeDown[a] && !nw.nodeDown[b] && !nw.links[a][b].down && !nw.Partitioned(a, b)
 }
 
 // After schedules fn to run d from now. A non-positive d runs at the current
@@ -215,7 +256,8 @@ func (nw *Network) Send(from, to int, payload []byte) {
 		nw.OnSend(from, to, payload)
 	}
 	l := &nw.links[from][to]
-	if nw.nodeDown[from] || nw.nodeDown[to] || l.down || (l.loss > 0 && nw.rng.Float64() < l.loss) {
+	if nw.nodeDown[from] || nw.nodeDown[to] || l.down || nw.Partitioned(from, to) ||
+		(l.loss > 0 && nw.rng.Float64() < l.loss) {
 		nw.dropped++
 		if nw.OnDrop != nil {
 			nw.OnDrop(from, to, payload)

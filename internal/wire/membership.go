@@ -87,16 +87,36 @@ func ParseJoinReply(body []byte) (JoinReply, error) {
 	return JoinReply{Assigned: NodeID(binary.BigEndian.Uint16(body))}, nil
 }
 
+// ViewStamp orders membership views across coordinator reigns: Epoch counts
+// primary elections and Version counts broadcasts within a reign. Stamps
+// compare lexicographically, so a view published by a newer primary always
+// supersedes one from a deposed (or partitioned-away) primary even if the old
+// reign had raced ahead in version numbers.
+type ViewStamp struct {
+	Epoch   uint32
+	Version uint32
+}
+
+// After reports whether s strictly supersedes o.
+func (s ViewStamp) After(o ViewStamp) bool {
+	return s.Epoch > o.Epoch || (s.Epoch == o.Epoch && s.Version > o.Version)
+}
+
 // View is the coordinator's authoritative membership snapshot. Nodes with
 // the same view version build identical grids (§5, "Membership Service").
 type View struct {
+	Epoch   uint32
 	Version uint32
 	Members []Member
 }
 
+// Stamp returns the view's (epoch, version) stamp.
+func (v View) Stamp() ViewStamp { return ViewStamp{Epoch: v.Epoch, Version: v.Version} }
+
 // AppendView encodes v with its header.
 func AppendView(b []byte, src NodeID, v View) []byte {
 	b = AppendHeader(b, TView, src)
+	b = binary.BigEndian.AppendUint32(b, v.Epoch)
 	b = binary.BigEndian.AppendUint32(b, v.Version)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(v.Members)))
 	for _, m := range v.Members {
@@ -107,12 +127,15 @@ func AppendView(b []byte, src NodeID, v View) []byte {
 
 // ParseView decodes a View body.
 func ParseView(body []byte) (View, error) {
-	const fixed = 4 + 2
+	const fixed = 4 + 4 + 2
 	if len(body) < fixed {
 		return View{}, ErrShort
 	}
-	v := View{Version: binary.BigEndian.Uint32(body)}
-	n := int(binary.BigEndian.Uint16(body[4:]))
+	v := View{
+		Epoch:   binary.BigEndian.Uint32(body),
+		Version: binary.BigEndian.Uint32(body[4:]),
+	}
+	n := int(binary.BigEndian.Uint16(body[8:]))
 	body = body[fixed:]
 	if len(body) != n*memberLen {
 		return View{}, fmt.Errorf("%w: want %d member bytes, have %d", ErrBadLen, n*memberLen, len(body))
@@ -132,6 +155,9 @@ func ParseView(body []byte) (View, error) {
 // overlay size, which is what collapses a k-node join storm from O(n·k) to
 // O(n + k) coordinator messages.
 type ViewDelta struct {
+	// Epoch is the reign both BaseVersion and Version belong to; a delta
+	// never spans an election (promotions broadcast a full view).
+	Epoch       uint32
 	BaseVersion uint32
 	Version     uint32
 	Adds        []Member
@@ -141,6 +167,7 @@ type ViewDelta struct {
 // AppendViewDelta encodes d with its header.
 func AppendViewDelta(b []byte, src NodeID, d ViewDelta) []byte {
 	b = AppendHeader(b, TViewDelta, src)
+	b = binary.BigEndian.AppendUint32(b, d.Epoch)
 	b = binary.BigEndian.AppendUint32(b, d.BaseVersion)
 	b = binary.BigEndian.AppendUint32(b, d.Version)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(d.Adds)))
@@ -156,16 +183,17 @@ func AppendViewDelta(b []byte, src NodeID, d ViewDelta) []byte {
 
 // ParseViewDelta decodes a ViewDelta body.
 func ParseViewDelta(body []byte) (ViewDelta, error) {
-	const fixed = 4 + 4 + 2 + 2
+	const fixed = 4 + 4 + 4 + 2 + 2
 	if len(body) < fixed {
 		return ViewDelta{}, ErrShort
 	}
 	d := ViewDelta{
-		BaseVersion: binary.BigEndian.Uint32(body),
-		Version:     binary.BigEndian.Uint32(body[4:]),
+		Epoch:       binary.BigEndian.Uint32(body),
+		BaseVersion: binary.BigEndian.Uint32(body[4:]),
+		Version:     binary.BigEndian.Uint32(body[8:]),
 	}
-	nAdd := int(binary.BigEndian.Uint16(body[8:]))
-	nRem := int(binary.BigEndian.Uint16(body[10:]))
+	nAdd := int(binary.BigEndian.Uint16(body[12:]))
+	nRem := int(binary.BigEndian.Uint16(body[14:]))
 	body = body[fixed:]
 	if len(body) != nAdd*memberLen+nRem*2 {
 		return ViewDelta{}, fmt.Errorf("%w: want %d delta bytes, have %d", ErrBadLen, nAdd*memberLen+nRem*2, len(body))
@@ -186,26 +214,30 @@ func ParseViewDelta(body []byte) (ViewDelta, error) {
 // change counts, excluding per-packet overhead. The coordinator compares it
 // against ViewSize to fall back to a full view when the delta would be
 // larger.
-func ViewDeltaSize(adds, removes int) int { return HeaderLen + 12 + adds*memberLen + removes*2 }
+func ViewDeltaSize(adds, removes int) int { return HeaderLen + 16 + adds*memberLen + removes*2 }
 
 // ViewSize returns the encoded payload size of a full n-member view,
 // excluding per-packet overhead.
-func ViewSize(n int) int { return HeaderLen + 6 + n*memberLen }
+func ViewSize(n int) int { return HeaderLen + 10 + n*memberLen }
 
 // AppendViewRequest encodes a full-view request carrying the requester's
-// current view version (0 if it holds none).
-func AppendViewRequest(b []byte, src NodeID, have uint32) []byte {
+// current view stamp (the zero stamp if it holds none).
+func AppendViewRequest(b []byte, src NodeID, have ViewStamp) []byte {
 	b = AppendHeader(b, TViewRequest, src)
-	return binary.BigEndian.AppendUint32(b, have)
+	b = binary.BigEndian.AppendUint32(b, have.Epoch)
+	return binary.BigEndian.AppendUint32(b, have.Version)
 }
 
 // ParseViewRequest decodes a ViewRequest body, returning the requester's
-// current view version.
-func ParseViewRequest(body []byte) (uint32, error) {
-	if len(body) != 4 {
-		return 0, ErrBadLen
+// current view stamp.
+func ParseViewRequest(body []byte) (ViewStamp, error) {
+	if len(body) != 8 {
+		return ViewStamp{}, ErrBadLen
 	}
-	return binary.BigEndian.Uint32(body), nil
+	return ViewStamp{
+		Epoch:   binary.BigEndian.Uint32(body),
+		Version: binary.BigEndian.Uint32(body[4:]),
+	}, nil
 }
 
 // AppendLeave encodes a Leave notification (no body).
@@ -218,4 +250,71 @@ func AppendLeave(b []byte, src NodeID) []byte {
 // expires truly departed nodes.
 func AppendHeartbeat(b []byte, src NodeID) []byte {
 	return AppendHeader(b, THeartbeat, src)
+}
+
+// HeartbeatAck is the primary coordinator's answer to a member heartbeat. It
+// carries the primary's current view stamp: a client holding a different
+// stamp learns it missed an update (or is talking across a healed partition)
+// and requests a full view, while the arrival itself proves the coordinator
+// is alive and clears the client's failover deadline.
+type HeartbeatAck struct {
+	Stamp ViewStamp
+}
+
+// AppendHeartbeatAck encodes a with its header.
+func AppendHeartbeatAck(b []byte, src NodeID, a HeartbeatAck) []byte {
+	b = AppendHeader(b, THeartbeatAck, src)
+	b = binary.BigEndian.AppendUint32(b, a.Stamp.Epoch)
+	return binary.BigEndian.AppendUint32(b, a.Stamp.Version)
+}
+
+// ParseHeartbeatAck decodes a HeartbeatAck body.
+func ParseHeartbeatAck(body []byte) (HeartbeatAck, error) {
+	if len(body) != 8 {
+		return HeartbeatAck{}, ErrBadLen
+	}
+	return HeartbeatAck{Stamp: ViewStamp{
+		Epoch:   binary.BigEndian.Uint32(body),
+		Version: binary.BigEndian.Uint32(body[4:]),
+	}}, nil
+}
+
+// CoordBeacon is the liveness beacon a primary coordinator sends to its
+// standby replicas every beacon interval. Standbys elect a new primary after
+// beacon silence; a deposed primary hearing a beacon with a higher stamp
+// (or an equal epoch from a lower rank) steps down. NextID replicates the ID
+// allocator high-water mark so a promoted standby never reissues an ID the
+// old primary already assigned.
+type CoordBeacon struct {
+	Stamp   ViewStamp
+	NextID  NodeID
+	Primary bool
+}
+
+// AppendCoordBeacon encodes cb with its header.
+func AppendCoordBeacon(b []byte, src NodeID, cb CoordBeacon) []byte {
+	b = AppendHeader(b, TCoordBeacon, src)
+	b = binary.BigEndian.AppendUint32(b, cb.Stamp.Epoch)
+	b = binary.BigEndian.AppendUint32(b, cb.Stamp.Version)
+	b = binary.BigEndian.AppendUint16(b, uint16(cb.NextID))
+	flag := byte(0)
+	if cb.Primary {
+		flag = 1
+	}
+	return append(b, flag)
+}
+
+// ParseCoordBeacon decodes a CoordBeacon body.
+func ParseCoordBeacon(body []byte) (CoordBeacon, error) {
+	if len(body) != 11 {
+		return CoordBeacon{}, ErrBadLen
+	}
+	return CoordBeacon{
+		Stamp: ViewStamp{
+			Epoch:   binary.BigEndian.Uint32(body),
+			Version: binary.BigEndian.Uint32(body[4:]),
+		},
+		NextID:  NodeID(binary.BigEndian.Uint16(body[8:])),
+		Primary: body[10] == 1,
+	}, nil
 }

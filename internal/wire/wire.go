@@ -77,6 +77,10 @@ const (
 	// Data plane.
 	TData
 
+	// Membership plane, replicated-coordinator extension.
+	THeartbeatAck // primary's heartbeat acknowledgment carrying its view stamp
+	TCoordBeacon  // primary liveness/epoch beacon between coordinator replicas
+
 	maxMsgType
 )
 
@@ -113,6 +117,10 @@ func (t MsgType) String() string {
 		return "view-request"
 	case TData:
 		return "data"
+	case THeartbeatAck:
+		return "heartbeat-ack"
+	case TCoordBeacon:
+		return "coord-beacon"
 	default:
 		return fmt.Sprintf("msgtype(%d)", byte(t))
 	}

@@ -69,6 +69,8 @@ func TestCategoryOf(t *testing.T) {
 		TLeave:          CatMembership,
 		THeartbeat:      CatMembership,
 		TView:           CatMembership,
+		THeartbeatAck:   CatMembership,
+		TCoordBeacon:    CatMembership,
 	}
 	for mt, cat := range want {
 		if got := CategoryOf(mt); got != cat {
@@ -340,6 +342,7 @@ func TestJoinReplyRoundTrip(t *testing.T) {
 
 func TestViewRoundTrip(t *testing.T) {
 	v := View{
+		Epoch:   3,
 		Version: 12,
 		Members: []Member{
 			{ID: 0, Addr: netip.MustParseAddrPort("192.168.0.1:4000")},
@@ -470,6 +473,7 @@ func TestParsersNeverPanic(t *testing.T) {
 
 func TestViewDeltaRoundTrip(t *testing.T) {
 	d := ViewDelta{
+		Epoch:       2,
 		BaseVersion: 41,
 		Version:     42,
 		Adds: []Member{
@@ -490,8 +494,8 @@ func TestViewDeltaRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.BaseVersion != 41 || got.Version != 42 {
-		t.Errorf("versions = %d->%d", got.BaseVersion, got.Version)
+	if got.Epoch != 2 || got.BaseVersion != 41 || got.Version != 42 {
+		t.Errorf("versions = e%d %d->%d", got.Epoch, got.BaseVersion, got.Version)
 	}
 	if len(got.Adds) != 2 || got.Adds[0] != d.Adds[0] || got.Adds[1] != d.Adds[1] {
 		t.Errorf("adds = %+v", got.Adds)
@@ -518,24 +522,76 @@ func TestViewDeltaParseErrors(t *testing.T) {
 	b := AppendViewDelta(nil, 1, ViewDelta{BaseVersion: 1, Version: 2})
 	_, body, _ := ParseHeader(b)
 	bad := append([]byte(nil), body...)
-	bad[8] = 0
-	bad[9] = 1
+	bad[12] = 0
+	bad[13] = 1
 	if _, err := ParseViewDelta(bad); err == nil {
 		t.Error("inconsistent length accepted")
 	}
 }
 
 func TestViewRequestRoundTrip(t *testing.T) {
-	b := AppendViewRequest(nil, 12, 77)
+	b := AppendViewRequest(nil, 12, ViewStamp{Epoch: 4, Version: 77})
 	h, body, err := ParseHeader(b)
 	if err != nil || h.Type != TViewRequest || h.Src != 12 {
 		t.Fatalf("header = %+v err=%v", h, err)
 	}
 	have, err := ParseViewRequest(body)
-	if err != nil || have != 77 {
-		t.Errorf("have = %d err=%v", have, err)
+	if err != nil || have != (ViewStamp{Epoch: 4, Version: 77}) {
+		t.Errorf("have = %+v err=%v", have, err)
 	}
 	if _, err := ParseViewRequest(body[:2]); err == nil {
 		t.Error("short body accepted")
+	}
+}
+
+func TestHeartbeatAckRoundTrip(t *testing.T) {
+	a := HeartbeatAck{Stamp: ViewStamp{Epoch: 5, Version: 991}}
+	b := AppendHeartbeatAck(nil, 0xFFFE, a)
+	h, body, err := ParseHeader(b)
+	if err != nil || h.Type != THeartbeatAck || h.Src != 0xFFFE {
+		t.Fatalf("header = %+v err=%v", h, err)
+	}
+	got, err := ParseHeartbeatAck(body)
+	if err != nil || got != a {
+		t.Errorf("got %+v err=%v", got, err)
+	}
+	if _, err := ParseHeartbeatAck(body[:3]); err == nil {
+		t.Error("short body accepted")
+	}
+}
+
+func TestCoordBeaconRoundTrip(t *testing.T) {
+	for _, cb := range []CoordBeacon{
+		{Stamp: ViewStamp{Epoch: 2, Version: 9000}, NextID: 512, Primary: true},
+		{Stamp: ViewStamp{Epoch: 1, Version: 3}, NextID: 0, Primary: false},
+	} {
+		b := AppendCoordBeacon(nil, 0xFFFD, cb)
+		h, body, err := ParseHeader(b)
+		if err != nil || h.Type != TCoordBeacon || h.Src != 0xFFFD {
+			t.Fatalf("header = %+v err=%v", h, err)
+		}
+		got, err := ParseCoordBeacon(body)
+		if err != nil || got != cb {
+			t.Errorf("got %+v want %+v err=%v", got, cb, err)
+		}
+		if _, err := ParseCoordBeacon(body[:5]); err == nil {
+			t.Error("short body accepted")
+		}
+	}
+}
+
+func TestViewStampAfter(t *testing.T) {
+	for _, tc := range []struct {
+		a, b ViewStamp
+		want bool
+	}{
+		{ViewStamp{1, 5}, ViewStamp{1, 4}, true},
+		{ViewStamp{1, 4}, ViewStamp{1, 4}, false},
+		{ViewStamp{2, 0}, ViewStamp{1, 9999}, true},  // epoch dominates version
+		{ViewStamp{1, 9999}, ViewStamp{2, 0}, false}, // deposed reign never wins
+	} {
+		if got := tc.a.After(tc.b); got != tc.want {
+			t.Errorf("%+v.After(%+v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
 	}
 }
