@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: all tier1 vet fmt bench
+# Pinned external analyzer versions (see tools/tools.go). Installed on demand
+# in CI; `make lint` / `make vuln` skip them gracefully when absent so the
+# repo keeps building in offline sandboxes.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
-all: tier1 vet
+.PHONY: all tier1 vet fmt bench lint vuln fuzz
+
+all: tier1 vet lint
 
 # tier1 is the gate every PR must keep green.
 tier1:
@@ -14,6 +20,31 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# lint runs the repo's own determinism/concurrency multichecker (always) and
+# staticcheck (when installed — CI installs the pinned version; offline
+# sandboxes skip it).
+lint:
+	$(GO) run ./cmd/lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI runs $(STATICCHECK_VERSION))"; \
+	fi
+
+# vuln scans the module against the Go vulnerability database (needs network;
+# skipped when govulncheck is absent).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed; skipping (CI runs $(GOVULNCHECK_VERSION))"; \
+	fi
+
+# fuzz smoke-runs every wire-codec fuzz target for FUZZTIME each.
+FUZZTIME ?= 30s
+fuzz:
+	FUZZTIME=$(FUZZTIME) ./scripts/fuzz.sh
 
 # bench runs tier-1 plus the perf-trajectory benchmarks (the batched one-hop
 # kernels and the Figure 1 sweep) and records the results in BENCH_1.json.

@@ -184,6 +184,7 @@ func (q *Quorum) SetView(view *membership.ViewInfo, self int) error {
 		}
 		q.routes = remapRoutes(q.routes, m, n, self)
 		lastRec := make(map[int][]time.Time, len(q.lastRecAbout))
+		//lint:orderinvariant map-to-map remap; each key lands in its own slot regardless of visit order
 		for k, about := range q.lastRecAbout {
 			if k < 0 || k >= len(m) || m[k] < 0 {
 				continue

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Allocfree rejects heap-allocating constructs inside functions annotated
+// //lint:allocfree — the hot-path kernels PERF.md pins at 0 allocs/op. The
+// flagged constructs are the ones the issue of allocation actually enters
+// through in kernel code:
+//
+//   - make and new
+//   - append (may grow its backing array)
+//   - map and slice composite literals
+//   - function literals (closure environments escape)
+//   - string <-> []byte / []rune conversions
+//
+// A single amortized growth site (grow-once buffers) can be excused with
+// `//lint:allowalloc <reason>` on the offending line or the line above.
+// Calls to other functions are not traced; annotate the callees too if they
+// are part of the hot path.
+var Allocfree = &Analyzer{
+	Name: "allocfree",
+	Doc: "reject heap allocations (make, new, append growth, map/slice " +
+		"literals, closures) inside functions annotated //lint:allocfree",
+	Run: runAllocfree,
+}
+
+func runAllocfree(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasAllocfreeDirective(pass, f, fd) {
+				continue
+			}
+			checkAllocfree(pass, f, fd)
+		}
+	}
+	return nil
+}
+
+// hasAllocfreeDirective reports whether fd is annotated //lint:allocfree in
+// its doc comment or on the line above the declaration.
+func hasAllocfreeDirective(pass *Pass, f *ast.File, fd *ast.FuncDecl) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if d, ok := parseDirective(c); ok && d.verb == "allocfree" {
+				return true
+			}
+		}
+	}
+	_, ok := pass.directiveFor(f, fd, "allocfree")
+	return ok
+}
+
+// allowAlloc reports whether the line of pos (or the line above) carries an
+// //lint:allowalloc escape; a missing reason is itself reported.
+func allowAlloc(pass *Pass, f *ast.File, n ast.Node) bool {
+	d, ok := pass.directiveFor(f, n, "allowalloc")
+	if !ok {
+		return false
+	}
+	if d.reason == "" {
+		pass.Reportf(n.Pos(), "//lint:allowalloc requires a reason")
+	}
+	return true
+}
+
+func checkAllocfree(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
+	report := func(n ast.Node, what string) {
+		if allowAlloc(pass, f, n) {
+			return
+		}
+		pass.Reportf(n.Pos(), "%s in //lint:allocfree function %s", what, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n, "function literal (closure allocation)")
+			return false
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n, "map literal allocation")
+			case *types.Slice:
+				report(n, "slice literal allocation")
+			}
+		case *ast.CallExpr:
+			if fn, ok := n.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := pass.TypesInfo.Uses[fn].(*types.Builtin); isBuiltin {
+					switch fn.Name {
+					case "make":
+						report(n, "make allocation")
+					case "new":
+						report(n, "new allocation")
+					case "append":
+						report(n, "append (may grow its backing array)")
+					}
+					return true
+				}
+			}
+			// Conversions between strings and byte/rune slices copy.
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+				to := tv.Type.Underlying()
+				from := pass.TypesInfo.TypeOf(n.Args[0])
+				if from == nil {
+					return true
+				}
+				if isStringByteConversion(from.Underlying(), to) {
+					report(n, "string conversion allocation")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isStringByteConversion reports whether a conversion from one type to the
+// other copies its operand ([]byte <-> string, []rune <-> string).
+func isStringByteConversion(from, to types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+			e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+	}
+	return (isStr(from) && isByteOrRuneSlice(to)) || (isByteOrRuneSlice(from) && isStr(to))
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAllocfree(t *testing.T) {
+	RunFixture(t, Allocfree, "testdata/allocfree", "allpairs/internal/lsdb")
+}

@@ -1,0 +1,386 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lockguard checks that struct fields annotated with a "guarded by <mu>"
+// comment are only read or written in methods of that struct while the
+// named mutex is held: reads require at least a read lock (RLock or Lock),
+// writes require the exclusive lock. The tracking is a linear, source-order
+// scan of each method body — Lock/RLock set the held state, Unlock/RUnlock
+// clear it, and `defer mu.Unlock()` keeps it held to the end of the method —
+// which matches the straight-line locking discipline the transport layer
+// uses. Constructors that build the struct via composite literals are
+// untouched (literals are not field selections), and access through
+// variables other than the method receiver is out of scope.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc: "check that fields annotated `// guarded by mu` are accessed only " +
+		"with the named mutex held in methods of the struct",
+	Run: runLockguard,
+}
+
+// lockState is the linear-scan belief about one mutex.
+type lockState int
+
+const (
+	lockNone lockState = iota
+	lockRead           // RLock held: reads allowed
+	lockFull           // Lock held: reads and writes allowed
+)
+
+// guardedStruct maps a struct's annotated fields to their guarding mutex
+// field names.
+type guardedStruct map[string]string // field name → mutex field name
+
+func runLockguard(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvType := receiverNamed(pass, fd)
+			if recvType == nil {
+				continue
+			}
+			gs, ok := guards[recvType]
+			if !ok {
+				continue
+			}
+			var recvObj types.Object
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recvObj = pass.TypesInfo.ObjectOf(names[0])
+			}
+			if recvObj == nil {
+				continue
+			}
+			held := make(map[string]lockState)
+			checkLockedBody(pass, fd.Body, recvObj, gs, held)
+		}
+	}
+	return nil
+}
+
+// collectGuards scans struct declarations for "guarded by <mu>" field
+// comments, validating that the named mutex is itself a field.
+func collectGuards(pass *Pass) map[*types.Named]guardedStruct {
+	out := make(map[*types.Named]guardedStruct)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var gs guardedStruct
+			fieldNames := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					if !fieldNames[mu] {
+						pass.Reportf(fld.Pos(), "field %s is guarded by %q, but the struct has no such field", name.Name, mu)
+						continue
+					}
+					if gs == nil {
+						gs = make(guardedStruct)
+					}
+					gs[name.Name] = mu
+				}
+			}
+			if gs != nil {
+				if obj, ok := pass.TypesInfo.Defs[ts.Name]; ok {
+					if named, ok := obj.Type().(*types.Named); ok {
+						out[named] = gs
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment.
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range [2]*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// receiverNamed resolves a method's receiver base type.
+func receiverNamed(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// checkLockedBody walks stmts in source order, updating the held-lock map on
+// Lock/Unlock calls and flagging guarded-field accesses made without the
+// required lock.
+func checkLockedBody(pass *Pass, body *ast.BlockStmt, recv types.Object, gs guardedStruct, held map[string]lockState) {
+	var walkStmt func(s ast.Stmt)
+	// checkExpr scans an expression for guarded-field reads.
+	checkExpr := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		reportReads(pass, e, recv, gs, held)
+	}
+	// checkWrite classifies an assignment target: a guarded selector (or an
+	// index into one) is a write to the field; everything else in the target
+	// expression is a read.
+	checkWrite := func(e ast.Expr) {
+		target := e
+		for {
+			if ix, ok := target.(*ast.IndexExpr); ok {
+				checkExpr(ix.Index)
+				target = ix.X
+				continue
+			}
+			break
+		}
+		if sel, ok := guardedSel(pass, target, recv, gs); ok {
+			mu := gs[sel.Sel.Name]
+			if held[mu] != lockFull {
+				pass.Reportf(sel.Pos(), "write to %s (guarded by %s) without holding %s.Lock", selLabel(sel), mu, mu)
+			}
+			return
+		}
+		checkExpr(target)
+	}
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case nil:
+			return
+		case *ast.ExprStmt:
+			if mu, op, ok := lockCall(pass, s.X, recv); ok {
+				switch op {
+				case "Lock":
+					held[mu] = lockFull
+				case "RLock":
+					held[mu] = lockRead
+				case "Unlock", "RUnlock":
+					held[mu] = lockNone
+				}
+				return
+			}
+			// delete(recv.f, k) mutates the guarded map.
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "delete" && len(call.Args) == 2 {
+					if _, isBuiltin := pass.TypesInfo.Uses[fn].(*types.Builtin); isBuiltin {
+						checkWrite(call.Args[0])
+						checkExpr(call.Args[1])
+						return
+					}
+				}
+			}
+			checkExpr(s.X)
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				checkWrite(l)
+			}
+			for _, r := range s.Rhs {
+				checkExpr(r)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(s.X)
+		case *ast.DeferStmt:
+			// `defer mu.Unlock()` keeps the lock held to the end of the
+			// method; any other deferred call is scanned for accesses with
+			// the current state (an approximation biased toward the common
+			// lock-then-defer-unlock idiom).
+			if _, op, ok := lockCall(pass, s.Call, recv); ok && (op == "Unlock" || op == "RUnlock") {
+				return
+			}
+			checkExpr(s.Call)
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				walkStmt(st)
+			}
+		case *ast.IfStmt:
+			walkStmt(s.Init)
+			checkExpr(s.Cond)
+			walkStmt(s.Body)
+			walkStmt(s.Else)
+		case *ast.ForStmt:
+			walkStmt(s.Init)
+			checkExpr(s.Cond)
+			walkStmt(s.Body)
+			walkStmt(s.Post)
+		case *ast.RangeStmt:
+			checkExpr(s.X)
+			walkStmt(s.Body)
+		case *ast.SwitchStmt:
+			walkStmt(s.Init)
+			checkExpr(s.Tag)
+			walkStmt(s.Body)
+		case *ast.TypeSwitchStmt:
+			walkStmt(s.Init)
+			walkStmt(s.Assign)
+			walkStmt(s.Body)
+		case *ast.CaseClause:
+			for _, e := range s.List {
+				checkExpr(e)
+			}
+			for _, st := range s.Body {
+				walkStmt(st)
+			}
+		case *ast.SelectStmt:
+			walkStmt(s.Body)
+		case *ast.CommClause:
+			walkStmt(s.Comm)
+			for _, st := range s.Body {
+				walkStmt(st)
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt)
+		case *ast.GoStmt:
+			// A spawned goroutine does not inherit the held locks.
+			saved := copyHeld(held)
+			for mu := range held {
+				held[mu] = lockNone
+			}
+			checkExpr(s.Call)
+			restoreHeld(held, saved)
+		default:
+			// Returns, sends, decls: every contained expression is a read.
+			ast.Inspect(s, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					checkExpr(e)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	for _, st := range body.List {
+		walkStmt(st)
+	}
+}
+
+// guardedSel reports whether e is a selection of a guarded field on recv.
+func guardedSel(pass *Pass, e ast.Expr, recv types.Object, gs guardedStruct) (*ast.SelectorExpr, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(base) != recv {
+		return nil, false
+	}
+	_, guarded := gs[sel.Sel.Name]
+	return sel, guarded
+}
+
+// selLabel renders recv.field for diagnostics.
+func selLabel(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}
+
+func copyHeld(held map[string]lockState) map[string]lockState {
+	out := make(map[string]lockState, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func restoreHeld(held, saved map[string]lockState) {
+	for k := range held {
+		delete(held, k)
+	}
+	for k, v := range saved {
+		held[k] = v
+	}
+}
+
+// lockCall matches recv.<mu>.(Lock|Unlock|RLock|RUnlock)() and returns the
+// mutex field name and operation.
+func lockCall(pass *Pass, e ast.Expr, recv types.Object) (mu, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	inner, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	base, isIdent := inner.X.(*ast.Ident)
+	if !isIdent || pass.TypesInfo.ObjectOf(base) != recv {
+		return "", "", false
+	}
+	return inner.Sel.Name, sel.Sel.Name, true
+}
+
+// reportReads descends into e, flagging reads of guarded fields of recv made
+// with no lock held (a read lock suffices for reads).
+func reportReads(pass *Pass, e ast.Expr, recv types.Object, gs guardedStruct, held map[string]lockState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			// A closure may run later, outside the current lock scope; scan
+			// it with nothing held so escaping guarded accesses are flagged.
+			none := make(map[string]lockState)
+			checkLockedBody(pass, fl.Body, recv, gs, none)
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.ObjectOf(base) != recv {
+			return true
+		}
+		mu, guarded := gs[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		if held[mu] == lockNone {
+			pass.Reportf(sel.Pos(), "read of %s.%s (guarded by %s) without holding %s", base.Name, sel.Sel.Name, mu, mu)
+		}
+		return true
+	})
+}

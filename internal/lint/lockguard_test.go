@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockguard(t *testing.T) {
+	RunFixture(t, Lockguard, "testdata/lockguard", "allpairs/internal/transport")
+}

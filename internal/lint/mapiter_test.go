@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+func TestMapiter(t *testing.T) {
+	RunFixture(t, Mapiter, "testdata/mapiter", "allpairs/internal/core")
+}
+
+func TestMapiterOutOfScope(t *testing.T) {
+	// The same fixture under a non-deterministic import path is silent.
+	RunFixtureNoDiagnostics(t, Mapiter, "testdata/mapiter", "allpairs/cmd/experiments")
+}

@@ -1,0 +1,70 @@
+// Fixture for the allocfree analyzer.
+package fixture
+
+//lint:allocfree
+func kernel(dst, a, b []uint32) {
+	for i := range dst {
+		if a[i] < b[i] {
+			dst[i] = a[i]
+		} else {
+			dst[i] = b[i]
+		}
+	}
+}
+
+//lint:allocfree
+func badMake(n int) []uint32 {
+	return make([]uint32, n) // want `make allocation in //lint:allocfree function badMake`
+}
+
+//lint:allocfree
+func badNew() *int {
+	return new(int) // want `new allocation in //lint:allocfree function badNew`
+}
+
+//lint:allocfree
+func badAppend(xs []uint32, v uint32) []uint32 {
+	return append(xs, v) // want `append \(may grow its backing array\) in //lint:allocfree function badAppend`
+}
+
+//lint:allocfree
+func badClosure() func() int {
+	n := 0
+	return func() int { // want `function literal \(closure allocation\) in //lint:allocfree function badClosure`
+		n++
+		return n
+	}
+}
+
+//lint:allocfree
+func badSliceLiteral() []int {
+	return []int{1, 2, 3} // want `slice literal allocation in //lint:allocfree function badSliceLiteral`
+}
+
+//lint:allocfree
+func badMapLiteral() map[int]int {
+	return map[int]int{} // want `map literal allocation in //lint:allocfree function badMapLiteral`
+}
+
+//lint:allocfree
+func badStringConv(b []byte) string {
+	return string(b) // want `string conversion allocation in //lint:allocfree function badStringConv`
+}
+
+//lint:allocfree
+func allowedGrow(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		//lint:allowalloc amortized grow-once buffer; callers size it eagerly
+		buf = make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+//lint:allocfree
+func missingReason(n int) []byte {
+	//lint:allowalloc
+	return make([]byte, n) // want `//lint:allowalloc requires a reason`
+}
+
+// Unannotated functions may allocate freely.
+func free(n int) []uint32 { return make([]uint32, n) }

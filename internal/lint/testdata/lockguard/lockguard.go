@@ -1,0 +1,78 @@
+// Fixture for the lockguard analyzer.
+package fixture
+
+import "sync"
+
+type conn struct {
+	mu sync.RWMutex
+	// guarded by mu
+	id    uint64
+	peers map[uint64]string // guarded by mu
+	seq   uint64            // unguarded
+}
+
+func (c *conn) setID(id uint64) {
+	c.mu.Lock()
+	c.id = id
+	c.mu.Unlock()
+}
+
+func (c *conn) badSetID(id uint64) {
+	c.id = id // want `write to c\.id \(guarded by mu\) without holding mu\.Lock`
+}
+
+func (c *conn) readUnderRLock() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.id
+}
+
+func (c *conn) badRead() uint64 {
+	return c.id // want `read of c\.id \(guarded by mu\) without holding mu`
+}
+
+func (c *conn) writeUnderRLock(id uint64) {
+	c.mu.RLock()
+	c.id = id // want `write to c\.id \(guarded by mu\) without holding mu\.Lock`
+	c.mu.RUnlock()
+}
+
+func (c *conn) deferKeepsHeld(id uint64) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peers[id] = "a"
+	return c.peers[id]
+}
+
+func (c *conn) badDelete(id uint64) {
+	c.mu.RLock()
+	delete(c.peers, id) // want `write to c\.peers \(guarded by mu\) without holding mu\.Lock`
+	c.mu.RUnlock()
+}
+
+func (c *conn) releasedTooEarly() uint64 {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.id // want `read of c\.id \(guarded by mu\) without holding mu`
+}
+
+func (c *conn) goroutineLosesLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		_ = c.id // want `read of c\.id \(guarded by mu\) without holding mu`
+	}()
+}
+
+func (c *conn) incUnguarded() {
+	c.seq++
+}
+
+func (c *conn) badInc() {
+	c.id++ // want `write to c\.id \(guarded by mu\) without holding mu\.Lock`
+}
+
+type orphan struct {
+	// guarded by missing
+	v int // want `field v is guarded by "missing", but the struct has no such field`
+}

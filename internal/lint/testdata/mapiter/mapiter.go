@@ -1,0 +1,90 @@
+// Fixture for the mapiter analyzer, type-checked under the synthetic import
+// path allpairs/internal/core so the deterministic-package scope applies.
+package fixture
+
+import "sort"
+
+type coord struct {
+	members  map[uint64]int
+	lastView map[uint64]bool
+}
+
+func (c *coord) send(id uint64, payload []byte) {}
+
+// broadcast reproduces the PR 2 bug shape: sending while ranging over the
+// member map randomizes the simulated packet schedule between
+// identically-seeded runs.
+func (c *coord) broadcast(payload []byte) {
+	for id := range c.members { // want `range over map c\.members in deterministic package`
+		c.send(id, payload)
+	}
+}
+
+// view is the accepted collect-then-sort shape.
+func (c *coord) view() []uint64 {
+	ids := make([]uint64, 0, len(c.members))
+	for id := range c.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// collectNoSort collects but never sorts: still flagged.
+func (c *coord) collectNoSort() []uint64 {
+	var ids []uint64
+	for id := range c.members { // want `range over map c\.members`
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// guardedCollect keeps the collect-then-sort shape under an if guard.
+func (c *coord) guardedCollect() []uint64 {
+	var ids []uint64
+	for id, n := range c.members {
+		if n > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// size is order-invariant and annotated with a reason.
+func (c *coord) size() int {
+	total := 0
+	//lint:orderinvariant summation over values is commutative
+	for _, v := range c.members {
+		total += v
+	}
+	return total
+}
+
+// missingReason carries the directive but no reason.
+func (c *coord) missingReason() int {
+	n := 0
+	//lint:orderinvariant
+	for range c.lastView { // want `//lint:orderinvariant requires a reason`
+		n++
+	}
+	return n
+}
+
+// nonMap ranges over a slice: never flagged.
+func (c *coord) nonMap(ids []uint64) int {
+	n := 0
+	for range ids {
+		n++
+	}
+	return n
+}
+
+// literalBroadcast shows the check descending into closures.
+func (c *coord) literalBroadcast(payload []byte) func() {
+	return func() {
+		for id := range c.members { // want `range over map c\.members`
+			c.send(id, payload)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Fixture for the wallclock analyzer, type-checked under the synthetic
+// import path allpairs/internal/probe (a node-logic package).
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallNow() time.Time {
+	return time.Now() // want `time\.Now in node-logic package`
+}
+
+func wallSleep(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep in node-logic package`
+}
+
+func wallAfter() <-chan time.Time {
+	return time.After(time.Second) // want `time\.After in node-logic package`
+}
+
+func wallSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in node-logic package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn in node-logic package`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle in node-logic package`
+}
+
+// seeded local generators are the sanctioned alternative.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// time arithmetic and types stay free.
+func arithmetic(d time.Duration) time.Duration {
+	return d + time.Second
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// NodeLogicPackages are the packages that implement node and harness logic:
+// everything in them must take time and randomness from the transport Env
+// (virtual clock and seeded RNG under simulation), never from the wall
+// clock or the global math/rand state — otherwise identically-seeded runs
+// diverge and the golden-hash tests stop pinning anything.
+var NodeLogicPackages = append([]string{
+	"allpairs",
+	"allpairs/internal/transport",
+}, DeterministicPackages...)
+
+// WallclockAllowedFiles lists the file positions where real time and
+// wall-clock seeding are the point: the UDP Env adapter (it *implements*
+// the clock) and deployment seeding. cmd/ binaries are outside
+// NodeLogicPackages entirely. Keys are "<package path>/<file base name>".
+var WallclockAllowedFiles = map[string]bool{
+	"allpairs/internal/transport/udp.go": true,
+	"allpairs/deploy.go":                 true,
+}
+
+// bannedTimeFuncs is the wall-clock family of package time. Types and
+// arithmetic (time.Time, time.Duration, d * time.Second) remain free.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+// allowedRandFuncs are the math/rand package-level names that construct
+// seeded local generators rather than touching the global source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// Types.
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+// Wallclock forbids wall-clock time and global math/rand in node-logic
+// packages, forcing all time and randomness through the transport Env
+// (Env.Now, Env.After, Env.Rand). Allowed exceptions: transport/udp.go
+// (the real-time Env implementation), deploy.go (wall-clock seeding of real
+// deployments), and anything under cmd/.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Sleep/After and global math/rand outside the " +
+		"transport Env in node-logic packages",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	if !pkgScoped(pass.Pkg.Path(), NodeLogicPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(f.Package).Filename)
+		if WallclockAllowedFiles[pass.Pkg.Path()+"/"+base] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isPkgSelector(pass.TypesInfo, sel, "time"); ok && bannedTimeFuncs[name] {
+				pass.Reportf(sel.Pos(), "time.%s in node-logic package: take time from the transport Env (Env.Now/Env.After) so simulated runs stay deterministic", name)
+				return true
+			}
+			if name, ok := isPkgSelector(pass.TypesInfo, sel, "math/rand"); ok && !allowedRandFuncs[name] {
+				pass.Reportf(sel.Pos(), "global math/rand.%s in node-logic package: use the transport Env's seeded RNG (Env.Rand) or a rand.New(rand.NewSource(seed)) local generator", name)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+func TestWallclock(t *testing.T) {
+	RunFixture(t, Wallclock, "testdata/wallclock", "allpairs/internal/probe")
+}
+
+func TestWallclockOutOfScope(t *testing.T) {
+	// cmd/ binaries are outside NodeLogicPackages: wall clocks are fine there.
+	RunFixtureNoDiagnostics(t, Wallclock, "testdata/wallclock", "allpairs/cmd/experiments")
+}

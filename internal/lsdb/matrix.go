@@ -37,21 +37,25 @@ type CostMatrix struct {
 	seq  []uint32
 
 	// keyBuf holds the packed source-row keys a batch pass shares across all
-	// its destinations (see sourceKeys). Kernels that use it are not safe for
-	// concurrent calls on the same matrix; every consumer (one router per
-	// node, one fleet per sweep worker) is single-threaded per table.
+	// its destinations (see sourceKeys). NewCostMatrix sizes it for n-entry
+	// rows up front so the batch kernels stay allocation-free in the steady
+	// state; sourceKeys only grows it on the defensive over-length-row path.
+	// Kernels that use it are not safe for concurrent calls on the same
+	// matrix; every consumer (one router per node, one fleet per sweep
+	// worker) is single-threaded per table.
 	keyBuf []uint64
 }
 
 // NewCostMatrix returns an empty matrix for an n-slot view.
 func NewCostMatrix(n int) *CostMatrix {
 	m := &CostMatrix{
-		n:    n,
-		rows: make([][]wire.Cost, n),
-		inf:  make([]wire.Cost, n),
-		have: make([]bool, n),
-		when: make([]time.Time, n),
-		seq:  make([]uint32, n),
+		n:      n,
+		rows:   make([][]wire.Cost, n),
+		inf:    make([]wire.Cost, n),
+		have:   make([]bool, n),
+		when:   make([]time.Time, n),
+		seq:    make([]uint32, n),
+		keyBuf: make([]uint64, n),
 	}
 	for i := range m.inf {
 		m.inf[i] = wire.InfCost
@@ -128,6 +132,8 @@ func UnpackCosts(dst []wire.Cost, row []wire.LinkEntry) []wire.Cost {
 // broken toward the smallest h exactly like BestOneHop. Pass skip = -1 to
 // consider every index (the multi-hop midpoint search). The scan length is
 // min(len(rowA), len(rowB)).
+//
+//lint:allocfree
 func BestOneHopRows(skip int, rowA, rowB []wire.Cost) (hop int, cost wire.Cost) {
 	n := len(rowA)
 	if len(rowB) < n {
@@ -172,8 +178,11 @@ const infKey = uint64(wire.InfCost) << 16
 // smallest total cost with ties broken toward the smallest h — exactly the
 // scalar kernel's first-strict-minimum order — without tracking an index in
 // the hot loop. The skip slot is forced to InfCost so it can never win.
+//
+//lint:allocfree
 func (m *CostMatrix) sourceKeys(rowA []wire.Cost, skip int) []uint64 {
 	if cap(m.keyBuf) < len(rowA) {
+		//lint:allowalloc grow-once for rows longer than the view NewCostMatrix sized keyBuf for
 		m.keyBuf = make([]uint64, len(rowA))
 	}
 	keys := m.keyBuf[:len(rowA)]
@@ -192,6 +201,8 @@ func (m *CostMatrix) sourceKeys(rowA []wire.Cost, skip int) []uint64 {
 // Four independent lanes break the compare dependency chain; the final lane
 // merge preserves the smallest-index tie-break because the index is part of
 // the key.
+//
+//lint:allocfree
 func bestOneHopKeys(keys []uint64, rowB []wire.Cost) (hop int, cost wire.Cost) {
 	n := len(keys)
 	if len(rowB) < n {
@@ -271,6 +282,8 @@ func bestOneHopKeys(keys []uint64, rowB []wire.Cost) (hop int, cost wire.Cost) {
 // row is packed once and stays cache-resident across the whole pass. out
 // must have len(dsts) entries; the kernel performs no steady-state
 // allocation (the shared key buffer is grown once per view size).
+//
+//lint:allocfree
 func (m *CostMatrix) BestOneHopAll(a int, dsts []int, out []HopCost) {
 	m.BestOneHopAllRow(m.Row(a), a, dsts, out)
 }
@@ -279,6 +292,8 @@ func (m *CostMatrix) BestOneHopAll(a int, dsts []int, out []HopCost) {
 // used when the source is the node's own live measurement row, which is not
 // stored in its table. skip (the source's slot, excluded as an intermediate)
 // is passed separately because the row does not identify it.
+//
+//lint:allocfree
 func (m *CostMatrix) BestOneHopAllRow(rowA []wire.Cost, skip int, dsts []int, out []HopCost) {
 	keys := m.sourceKeys(rowA, skip)
 	for i, b := range dsts {
@@ -291,6 +306,8 @@ func (m *CostMatrix) BestOneHopAllRow(rowA []wire.Cost, skip int, dsts []int, ou
 // matrix. out must have len(pairs) entries. Consecutive pairs sharing a
 // source reuse its packed keys, so grouping pairs by source gets the same
 // amortization as BestOneHopAll.
+//
+//lint:allocfree
 func (m *CostMatrix) BestOneHopPairs(pairs [][2]int, out []HopCost) {
 	lastSrc := -1
 	var keys []uint64
@@ -311,6 +328,8 @@ func (m *CostMatrix) BestOneHopPairs(pairs [][2]int, out []HopCost) {
 // intermediate's matrix row is then streamed across all destinations, so the
 // whole table recompute is one cache-friendly O(fresh·n) pass. out must have
 // t.N() entries.
+//
+//lint:allocfree
 func (t *Table) BestOneHopViaAll(rowA []wire.Cost, now time.Time, maxAge time.Duration, out []HopCost) {
 	n := t.n
 	m := t.mat

@@ -556,7 +556,9 @@ func (c *Coordinator) remove(id wire.NodeID, why string) {
 	c.logf("membership: removed node %d (%s)", id, why)
 }
 
-// view returns the current membership sorted by ID.
+// view returns the current membership sorted by ID. The map iteration is the
+// collect-then-sort shape the mapiter lint pass proves order-invariant —
+// nothing is emitted until after the sort.
 func (c *Coordinator) view() []wire.Member {
 	ms := make([]wire.Member, 0, len(c.members))
 	for id, m := range c.members {
@@ -715,7 +717,9 @@ func (c *Coordinator) sweep() {
 	}
 	now := c.env.Now()
 	// Collect expiries in sorted ID order so removal (and the resulting
-	// delta) is deterministic run to run.
+	// delta) is deterministic run to run — the collect-then-sort shape the
+	// mapiter lint pass accepts; removing inside the range would be the PR 2
+	// broadcast-order bug all over again.
 	var expired []wire.NodeID
 	for id, m := range c.members {
 		if now.Sub(m.lastSeen) > c.cfg.Timeout {

@@ -27,10 +27,10 @@ type UDPEnv struct {
 	stateMu sync.RWMutex
 	conn    *net.UDPConn
 	local   netip.AddrPort
-	id      wire.NodeID
+	id      wire.NodeID // guarded by stateMu
 	rng     *rand.Rand
-	handler Handler
-	peers   map[wire.NodeID]netip.AddrPort
+	handler Handler                        // guarded by stateMu
+	peers   map[wire.NodeID]netip.AddrPort // guarded by stateMu
 	closed  atomic.Bool
 	done    chan struct{}
 	wg      sync.WaitGroup

@@ -1,0 +1,224 @@
+package wire_test
+
+// Byte-driven round-trip fuzzing of every wire codec: any body the parser
+// accepts must re-encode byte-identically. A decoder that accepts bytes it
+// cannot reproduce is lossy — two nodes could hold different in-memory views
+// of the same datagram — so asymmetry is treated as a bug, not a curiosity.
+// (FuzzCoordBeaconRoundTrip caught exactly that: ParseCoordBeacon accepted
+// any nonzero primary-flag byte but re-encoded it as 1.)
+//
+// Run a single target with, e.g.:
+//
+//	go test ./internal/wire -run '^$' -fuzz FuzzViewRoundTrip -fuzztime 30s
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"allpairs/internal/wire"
+)
+
+// roundTrip parses body, and — if the parser accepts it — re-encodes the
+// value and requires the rebuilt message to reproduce the input exactly,
+// header included.
+func roundTrip[T any](t *testing.T, src uint16, body []byte,
+	parse func([]byte) (T, error),
+	appendFn func([]byte, wire.NodeID, T) []byte) {
+	t.Helper()
+	v, err := parse(body)
+	if err != nil {
+		return // rejecting malformed input is fine; accepting it lossily is not
+	}
+	out := appendFn(nil, wire.NodeID(src), v)
+	h, got, err := wire.ParseHeader(out)
+	if err != nil {
+		t.Fatalf("re-encoded message has bad header: %v", err)
+	}
+	if h.Src != wire.NodeID(src) {
+		t.Fatalf("src mangled: sent %d, got %d", src, h.Src)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("decode/encode asymmetry:\n in:  %x\n out: %x", body, got)
+	}
+}
+
+// body strips the common header from a freshly encoded message, turning the
+// Append* output into a seed for the corresponding body parser.
+func body(msg []byte) []byte { return msg[wire.HeaderLen:] }
+
+func FuzzHeaderRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(wire.AppendHeartbeat(nil, 7))
+	f.Add(wire.AppendProbe(nil, 1, wire.Probe{Seq: 42, Echo: -1}))
+	f.Add([]byte{0xFF, 0, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h, rest, err := wire.ParseHeader(raw)
+		if err != nil {
+			return
+		}
+		if !h.Type.Valid() {
+			t.Fatalf("ParseHeader accepted invalid type %d", h.Type)
+		}
+		out := wire.AppendHeader(nil, h.Type, h.Src)
+		out = append(out, rest...)
+		if !bytes.Equal(out, raw) {
+			t.Fatalf("header asymmetry:\n in:  %x\n out: %x", raw, out)
+		}
+	})
+}
+
+func FuzzProbeRoundTrip(f *testing.F) {
+	f.Add(uint16(1), body(wire.AppendProbe(nil, 1, wire.Probe{Seq: 7, Echo: 123456789})))
+	f.Add(uint16(9), []byte{})
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseProbe, wire.AppendProbe)
+	})
+}
+
+func FuzzProbeReplyRoundTrip(f *testing.F) {
+	f.Add(uint16(2), body(wire.AppendProbeReply(nil, 2, wire.ProbeReply{Seq: 7, Echo: -42, RecvAt: 99})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseProbeReply, wire.AppendProbeReply)
+	})
+}
+
+func FuzzLinkStateRoundTrip(f *testing.F) {
+	f.Add(uint16(3), body(wire.AppendLinkState(nil, 3, wire.LinkState{
+		ViewVersion: 2, Seq: 9,
+		Entries: []wire.LinkEntry{{Latency: 30, Status: 0}, {Latency: 0, Status: wire.StatusDead}},
+	})))
+	f.Add(uint16(0), []byte{0, 0, 0, 1, 0, 0, 0, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseLinkState, wire.AppendLinkState)
+	})
+}
+
+func FuzzLinkStateMHRoundTrip(f *testing.F) {
+	f.Add(uint16(4), body(wire.AppendLinkStateMH(nil, 4, wire.LinkStateMH{
+		ViewVersion: 1, Iter: 2,
+		Entries: []wire.MHEntry{{Cost: 55, Sec: 3}, {Cost: wire.InfCost, Sec: wire.NilNode}},
+	})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseLinkStateMH, wire.AppendLinkStateMH)
+	})
+}
+
+func FuzzLinkStateAsymRoundTrip(f *testing.F) {
+	f.Add(uint16(5), body(wire.AppendLinkStateAsym(nil, 5, wire.LinkStateAsym{
+		ViewVersion: 3, Seq: 1,
+		Entries: []wire.AsymEntry{{Out: 20, In: 35, Status: 4}},
+	})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseLinkStateAsym, wire.AppendLinkStateAsym)
+	})
+}
+
+func FuzzLinkStateAckRoundTrip(f *testing.F) {
+	f.Add(uint16(6), body(wire.AppendLinkStateAck(nil, 6, 77)))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseLinkStateAck, wire.AppendLinkStateAck)
+	})
+}
+
+func FuzzRecommendationRoundTrip(f *testing.F) {
+	f.Add(uint16(7), body(wire.AppendRecommendation(nil, 7, wire.Recommendation{
+		ViewVersion: 4,
+		Entries: []wire.RecEntry{
+			{Dst: 2, Hop: 2, Cost: 30},
+			{Dst: 5, Hop: wire.NilNode, Cost: wire.InfCost},
+		},
+	})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseRecommendation, wire.AppendRecommendation)
+	})
+}
+
+func FuzzJoinRoundTrip(f *testing.F) {
+	f.Add(body(wire.AppendJoin(nil, wire.Join{
+		Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 1}), 4400),
+	})))
+	// AppendJoin hardcodes NilNode as the source (the joiner has no ID yet),
+	// so the comparison is body-level.
+	f.Fuzz(func(t *testing.T, b []byte) {
+		j, err := wire.ParseJoin(b)
+		if err != nil {
+			return
+		}
+		out := wire.AppendJoin(nil, j)
+		if !bytes.Equal(body(out), b) {
+			t.Fatalf("join asymmetry:\n in:  %x\n out: %x", b, body(out))
+		}
+	})
+}
+
+func FuzzJoinReplyRoundTrip(f *testing.F) {
+	f.Add(uint16(1), body(wire.AppendJoinReply(nil, 1, wire.JoinReply{Assigned: 12})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseJoinReply, wire.AppendJoinReply)
+	})
+}
+
+func FuzzViewRoundTrip(f *testing.F) {
+	f.Add(uint16(1), body(wire.AppendView(nil, 1, wire.View{
+		Epoch: 1, Version: 3,
+		Members: []wire.Member{
+			{ID: 1, Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 1}), 4400)},
+			{ID: 2},
+		},
+	})))
+	f.Add(uint16(0), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseView, wire.AppendView)
+	})
+}
+
+func FuzzViewDeltaRoundTrip(f *testing.F) {
+	f.Add(uint16(1), body(wire.AppendViewDelta(nil, 1, wire.ViewDelta{
+		Epoch: 1, BaseVersion: 3, Version: 4,
+		Adds:    []wire.Member{{ID: 9, Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), 9000)}},
+		Removes: []wire.NodeID{2, 5},
+	})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseViewDelta, wire.AppendViewDelta)
+	})
+}
+
+func FuzzViewRequestRoundTrip(f *testing.F) {
+	f.Add(uint16(3), body(wire.AppendViewRequest(nil, 3, wire.ViewStamp{Epoch: 2, Version: 17})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseViewRequest,
+			func(b []byte, src wire.NodeID, s wire.ViewStamp) []byte {
+				return wire.AppendViewRequest(b, src, s)
+			})
+	})
+}
+
+func FuzzHeartbeatAckRoundTrip(f *testing.F) {
+	f.Add(uint16(4), body(wire.AppendHeartbeatAck(nil, 4, wire.HeartbeatAck{Stamp: wire.ViewStamp{Epoch: 1, Version: 8}})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseHeartbeatAck, wire.AppendHeartbeatAck)
+	})
+}
+
+func FuzzCoordBeaconRoundTrip(f *testing.F) {
+	f.Add(uint16(1), body(wire.AppendCoordBeacon(nil, 1, wire.CoordBeacon{
+		Stamp: wire.ViewStamp{Epoch: 2, Version: 40}, NextID: 12, Primary: true,
+	})))
+	// The historical asymmetry: a flag byte of 2 decoded as Primary=true but
+	// re-encoded as 1. The decoder now rejects it.
+	f.Add(uint16(1), []byte{0, 0, 0, 1, 0, 0, 0, 2, 0, 5, 2})
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseCoordBeacon, wire.AppendCoordBeacon)
+	})
+}
+
+func FuzzDataRoundTrip(f *testing.F) {
+	f.Add(uint16(2), body(wire.AppendData(nil, 2, wire.Data{
+		Origin: 1, Dst: 6, TTL: wire.DefaultDataTTL, Payload: []byte("ping"),
+	})))
+	f.Add(uint16(0), []byte{0, 1, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseData, wire.AppendData)
+	})
+}

@@ -304,10 +304,15 @@ func AppendCoordBeacon(b []byte, src NodeID, cb CoordBeacon) []byte {
 	return append(b, flag)
 }
 
-// ParseCoordBeacon decodes a CoordBeacon body.
+// ParseCoordBeacon decodes a CoordBeacon body. The primary flag byte must be
+// exactly 0 or 1: accepting arbitrary nonzero bytes would make decode lossy
+// (re-encoding could not reproduce the input), found by FuzzCoordBeaconRoundTrip.
 func ParseCoordBeacon(body []byte) (CoordBeacon, error) {
 	if len(body) != 11 {
 		return CoordBeacon{}, ErrBadLen
+	}
+	if body[10] > 1 {
+		return CoordBeacon{}, fmt.Errorf("%w: primary flag byte %d", ErrBadLen, body[10])
 	}
 	return CoordBeacon{
 		Stamp: ViewStamp{

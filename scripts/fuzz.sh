@@ -1,0 +1,20 @@
+#!/bin/sh
+# Smoke-run every wire-codec fuzz target for FUZZTIME (default 30s) each.
+# `go test -fuzz` accepts only one target per invocation, so the targets are
+# enumerated with -list and looped. Any crasher fails the run and leaves its
+# reproducer under internal/wire/testdata/fuzz/ for `go test` to replay.
+set -eu
+
+FUZZTIME="${FUZZTIME:-30s}"
+PKG=./internal/wire
+
+targets=$(go test "$PKG" -list '^Fuzz' | grep '^Fuzz' || true)
+if [ -z "$targets" ]; then
+    echo "fuzz.sh: no fuzz targets found in $PKG" >&2
+    exit 1
+fi
+
+for t in $targets; do
+    echo "==> $t ($FUZZTIME)"
+    go test "$PKG" -run '^$' -fuzz "^${t}\$" -fuzztime "$FUZZTIME"
+done

@@ -1,0 +1,17 @@
+// Package tools pins the versions of the external analyzers the repo runs
+// in CI. The conventional blank-import tools.go pattern would add
+// honnef.co/go/tools and golang.org/x/vuln to go.mod; this module
+// deliberately has zero dependencies (it must build in offline sandboxes
+// with an empty module cache), so the pins live here as constants and the
+// Makefile / CI install steps read the same versions.
+//
+// To bump a tool, change the constant, the matching Makefile variable, and
+// the install step in .github/workflows/ci.yml together.
+package tools
+
+const (
+	// StaticcheckVersion pins honnef.co/go/tools/cmd/staticcheck.
+	StaticcheckVersion = "2025.1.1"
+	// GovulncheckVersion pins golang.org/x/vuln/cmd/govulncheck.
+	GovulncheckVersion = "v1.1.4"
+)
