@@ -47,6 +47,7 @@ fuzz:
 	FUZZTIME=$(FUZZTIME) ./scripts/fuzz.sh
 
 # bench runs tier-1 plus the perf-trajectory benchmarks (the batched one-hop
-# kernels and the Figure 1 sweep) and records the results in BENCH_1.json.
+# kernels, the Figure 1 sweep, and the n ∈ {1000, 2000, 5000} recompute
+# trajectory) and records the results in BENCH_2.json.
 bench: tier1
-	./scripts/bench.sh BENCH_1.json
+	./scripts/bench.sh BENCH_2.json

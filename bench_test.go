@@ -17,9 +17,12 @@ import (
 	"allpairs/internal/grid"
 	"allpairs/internal/lowerbound"
 	"allpairs/internal/lsdb"
+	"allpairs/internal/membership"
 	"allpairs/internal/metrics"
 	"allpairs/internal/overlay"
+	"allpairs/internal/simnet"
 	"allpairs/internal/traces"
+	"allpairs/internal/transport"
 	"allpairs/internal/wire"
 )
 
@@ -497,6 +500,163 @@ func BenchmarkQuorumTick(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(144, "nodes")
+}
+
+// benchEnv builds a one-endpoint simulated transport whose sends to the rest
+// of the (unregistered) view are silently dropped. A standalone router can
+// then be ticked at any view size with the timer covering recompute, route
+// install, message marshalling, and the failure scan — everything but packet
+// delivery, which in deployment is the network's cost, not the node's.
+func benchEnv() *transport.SimEnv {
+	nw := simnet.New(1, 1)
+	env := transport.NewSimEnv(nw, transport.NewRegistry(), 0, 1)
+	env.SetLocalID(0)
+	return env
+}
+
+// benchView returns an n-slot static view with IDs 0..n-1.
+func benchView(n int) *membership.ViewInfo {
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i)
+	}
+	return membership.NewStaticView(ids)
+}
+
+// benchRow is the kernelTable row generator with a salt that rewrites every
+// latency, used to dirty rows between benchmark iterations.
+func benchRow(n, s, salt int) []wire.LinkEntry {
+	row := make([]wire.LinkEntry, n)
+	for j := range row {
+		st := byte(0)
+		if (s*j+j)%97 == 0 {
+			st = wire.StatusDead
+		}
+		row[j] = wire.LinkEntry{Latency: uint16((s*31 + j*7 + salt) % 500), Status: st}
+	}
+	lsdb.SelfRow(s, row)
+	return row
+}
+
+// benchQuorumNode builds a standalone rendezvous in an n-slot view with every
+// grid client's row stored fresh: the busiest single-server workload the
+// paper's deployment sizes imply.
+func benchQuorumNode(b *testing.B, n int, disableIncremental bool) (*core.Quorum, []int, *transport.SimEnv) {
+	b.Helper()
+	env := benchEnv()
+	q, err := core.NewQuorum(env, core.QuorumConfig{DisableIncremental: disableIncremental}, benchView(n), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	self := benchRow(n, 0, 0)
+	q.SelfRow = func() []wire.LinkEntry { return self }
+	q.LinkAlive = func(int) bool { return true }
+	g, err := grid.New(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients := g.Clients(0)
+	for _, c := range clients {
+		q.Table().Put(c, lsdb.Row{Seq: 1, When: env.Now(), Entries: benchRow(n, c, 0)})
+	}
+	return q, clients, env
+}
+
+// benchFullMeshNode builds a standalone full-mesh node holding all n−1 peer
+// rows, the RON baseline's per-node recompute workload.
+func benchFullMeshNode(b *testing.B, n int, disableIncremental bool) (*core.FullMesh, *transport.SimEnv) {
+	b.Helper()
+	env := benchEnv()
+	f := core.NewFullMesh(env, core.FullMeshConfig{DisableIncremental: disableIncremental}, benchView(n), 0)
+	self := benchRow(n, 0, 0)
+	f.SelfRow = func() []wire.LinkEntry { return self }
+	for s := 1; s < n; s++ {
+		f.Table().Put(s, lsdb.Row{Seq: 1, When: env.Now(), Entries: benchRow(n, s, 0)})
+	}
+	return f, env
+}
+
+// BenchmarkRecomputeTrajectory records the single-node recompute trajectory
+// behind BENCH_2.json at n ∈ {1000, 2000, 5000}. For the quorum it times one
+// routing tick of a rendezvous serving its full ~2√n client set, the
+// from-scratch pass against the steady-state generation-cache path; for the
+// full-mesh baseline, a from-scratch pass over all n destinations against an
+// incremental pass with a bounded dirty set. The tentpole criterion is the
+// n=5000 quorum tick finishing inside the 30 s probing interval; with
+// GOMAXPROCS=1 these numbers are the parallelism-free floor, and the sharded
+// full pass only improves on them.
+func BenchmarkRecomputeTrajectory(b *testing.B) {
+	for _, n := range []int{1000, 2000, 5000} {
+		b.Run(fmt.Sprintf("quorum/n=%d/full", n), func(b *testing.B) {
+			q, clients, _ := benchQuorumNode(b, n, true)
+			q.Tick()
+			base := q.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Tick()
+			}
+			b.StopTimer()
+			st := q.Stats()
+			b.ReportMetric(float64(len(clients)), "clients")
+			b.ReportMetric(float64(st.PairsComputed-base.PairsComputed)/float64(b.N), "pairs_computed/op")
+		})
+		b.Run(fmt.Sprintf("quorum/n=%d/steady", n), func(b *testing.B) {
+			q, clients, _ := benchQuorumNode(b, n, false)
+			q.Tick() // cold tick populates the pair cache
+			base := q.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Tick()
+			}
+			b.StopTimer()
+			st := q.Stats()
+			if st.PairsComputed != base.PairsComputed {
+				b.Fatalf("steady ticks recomputed %d pairs", st.PairsComputed-base.PairsComputed)
+			}
+			b.ReportMetric(float64(len(clients)), "clients")
+			b.ReportMetric(float64(st.PairsCached-base.PairsCached)/float64(b.N), "pairs_cached/op")
+		})
+	}
+	for _, n := range []int{1000, 2000, 5000} {
+		b.Run(fmt.Sprintf("fullmesh/n=%d/full", n), func(b *testing.B) {
+			f, _ := benchFullMeshNode(b, n, true)
+			f.Tick()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Tick()
+			}
+			b.StopTimer()
+			_, incr, _ := f.RecomputeStats()
+			if incr != 0 {
+				b.Fatalf("DisableIncremental node ran %d incremental passes", incr)
+			}
+			b.ReportMetric(float64(n), "dsts/op")
+		})
+		b.Run(fmt.Sprintf("fullmesh/n=%d/incremental", n), func(b *testing.B) {
+			f, env := benchFullMeshNode(b, n, false)
+			f.Tick() // first pass is full and takes the snapshot
+			_, _, baseDsts := f.RecomputeStats()
+			const dirty = 8
+			seq := uint32(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				seq++
+				for d := 0; d < dirty; d++ {
+					s := 1 + (i*dirty+d)%(n-1)
+					f.Table().Put(s, lsdb.Row{Seq: seq, When: env.Now(), Entries: benchRow(n, s, i+1)})
+				}
+				b.StartTimer()
+				f.Tick()
+			}
+			b.StopTimer()
+			full, incr, dsts := f.RecomputeStats()
+			if incr != uint64(b.N) {
+				b.Fatalf("expected %d incremental passes, got %d (full=%d)", b.N, incr, full)
+			}
+			b.ReportMetric(float64(dsts-baseDsts)/float64(b.N), "dsts/op")
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -90,6 +90,62 @@ func TestQuorumStaleHopRequiresLiveFirstHop(t *testing.T) {
 	}
 }
 
+func TestQuorumStaleHopSecondOrderFallback(t *testing.T) {
+	c := degradedCluster(t, "quorum")
+	dst := 5
+	if _, ok := c.routers[0].BestHop(dst); !ok {
+		t.Fatal("no fresh route")
+	}
+	c.nw.SetPartition([]int{0})
+	c.nw.RunFor(60 * time.Second)
+	e, ok := c.routers[0].BestHop(dst)
+	if !ok || e.Source != SourceStale {
+		t.Fatalf("expected stale entry, got %+v ok=%v", e, ok)
+	}
+	// The remembered first hop dies mid-outage. Dropping the route outright
+	// would end the degraded grace early even though other intermediates are
+	// alive and the stale rows still cover them: the router must re-derive a
+	// second-best hop from the extended-staleness window and keep serving.
+	hop := e.Hop
+	c.dead[0][hop], c.dead[hop][0] = true, true
+	e2, ok := c.routers[0].BestHop(dst)
+	if !ok {
+		t.Fatal("no second-order fallback served after the first hop died")
+	}
+	if e2.Source != SourceStale {
+		t.Fatalf("fallback source = %v, want stale", e2.Source)
+	}
+	if e2.Hop == hop || e2.Hop < 0 {
+		t.Fatalf("fallback hop = %d, want a live hop other than dead %d", e2.Hop, hop)
+	}
+	if e2.Cost == wire.InfCost {
+		t.Error("fallback served at infinite cost")
+	}
+}
+
+func TestFullMeshStaleHopSecondOrderFallback(t *testing.T) {
+	c := degradedCluster(t, "fullmesh")
+	dst := 5
+	c.nw.SetPartition([]int{0})
+	c.nw.RunFor(120 * time.Second)
+	e, ok := c.routers[0].BestHop(dst)
+	if !ok || e.Source != SourceStale {
+		t.Fatalf("expected stale entry, got %+v ok=%v", e, ok)
+	}
+	hop := e.Hop
+	c.dead[0][hop], c.dead[hop][0] = true, true
+	e2, ok := c.routers[0].BestHop(dst)
+	if !ok {
+		t.Fatal("no second-order fallback served after the first hop died")
+	}
+	if e2.Source != SourceStale {
+		t.Fatalf("fallback source = %v, want stale", e2.Source)
+	}
+	if e2.Hop == hop || e2.Hop < 0 {
+		t.Fatalf("fallback hop = %d, want a live hop other than dead %d", e2.Hop, hop)
+	}
+}
+
 func TestFullMeshStaleHopDamping(t *testing.T) {
 	c := degradedCluster(t, "fullmesh")
 	dst := 5
@@ -139,7 +195,7 @@ func TestStaleCostPenaltySaturates(t *testing.T) {
 	q.LinkAlive = func(int) bool { return true }
 	base := time.Unix(0, 0)
 	e := RouteEntry{Hop: 1, Cost: wire.InfCost - 1, When: base, Source: SourceRendezvous}
-	got, ok := q.staleHop(e, base.Add(q.cfg.RouteTTL+q.cfg.DegradedHold))
+	got, ok := q.staleHop(1, e, base.Add(q.cfg.RouteTTL+q.cfg.DegradedHold))
 	if !ok {
 		t.Fatal("edge-of-window entry not served")
 	}

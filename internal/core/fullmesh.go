@@ -5,6 +5,7 @@ import (
 
 	"allpairs/internal/lsdb"
 	"allpairs/internal/membership"
+	"allpairs/internal/par"
 	"allpairs/internal/transport"
 	"allpairs/internal/wire"
 )
@@ -23,6 +24,15 @@ type FullMeshConfig struct {
 	// age-proportional cost penalty when no fresh route exists. Zero or
 	// negative disables degraded mode (the default).
 	DegradedHold time.Duration
+	// DisableIncremental forces a from-scratch recompute every interval
+	// instead of the dirty-row incremental pass. The two are byte-identical
+	// (pinned by the golden churn test); the switch exists for that test and
+	// for debugging.
+	DisableIncremental bool
+	// Workers caps the fork/join fan-out of full recompute passes
+	// (0 = GOMAXPROCS, 1 = serial). Shards write disjoint destination spans,
+	// so the worker count never changes the output bytes.
+	Workers int
 }
 
 func (c *FullMeshConfig) fill() {
@@ -50,7 +60,20 @@ type FullMesh struct {
 
 	// scratch buffers reused across recomputes.
 	costsBuf []wire.Cost
-	hopBuf   []lsdb.HopCost
+
+	// Incremental recompute state (see recompute): the previous pass's full
+	// result plus the snapshots that decide which destinations may differ
+	// this pass. Invalidated by SetView (Remap restarts row generations).
+	lastOut   []lsdb.HopCost // previous pass's kernel output, all destinations
+	prevGen   []uint32       // table row generations at the previous pass
+	prevFresh []bool         // per-slot freshness at the previous pass
+	prevSelf  []wire.Cost    // unpacked self row at the previous pass
+	lastValid bool
+	dirtySet  []bool // scratch: slot → dirty this pass
+	affSet    []bool // scratch: destination → must recompute
+	dirtyBuf  []int  // scratch: dirty slot list
+	affBuf    []int  // scratch: affected destination list
+	affOut    []lsdb.HopCost
 
 	// SelfRow returns the node's current measured link-state row. Required.
 	SelfRow func() []wire.LinkEntry
@@ -59,6 +82,9 @@ type FullMesh struct {
 
 	stats struct {
 		linkStatesSent uint64
+		fullPasses     uint64 // recomputes that ran the full kernel pass
+		incPasses      uint64 // recomputes served by the incremental path
+		dstsRecomputed uint64 // destinations re-evaluated by incremental passes
 	}
 }
 
@@ -87,6 +113,9 @@ func (f *FullMesh) SetView(view *membership.ViewInfo, self int) {
 		f.table = lsdb.NewTable(view.N())
 		f.routes = make([]RouteEntry, view.N())
 	}
+	// Remap returns a fresh table whose row generations restart, so every
+	// incremental snapshot is void: the next recompute runs a full pass.
+	f.lastValid = false
 }
 
 // Interval implements Router.
@@ -94,6 +123,13 @@ func (f *FullMesh) Interval() time.Duration { return f.cfg.Interval }
 
 // LinkStatesSent returns the number of link-state broadcasts sent.
 func (f *FullMesh) LinkStatesSent() uint64 { return f.stats.linkStatesSent }
+
+// RecomputeStats reports how recomputes have executed: from-scratch kernel
+// passes, incremental passes, and the total destinations the incremental
+// passes re-evaluated.
+func (f *FullMesh) RecomputeStats() (full, incremental, dstsRecomputed uint64) {
+	return f.stats.fullPasses, f.stats.incPasses, f.stats.dstsRecomputed
+}
 
 // Table exposes the received-rows database (read-only).
 func (f *FullMesh) Table() *lsdb.Table { return f.table }
@@ -117,24 +153,47 @@ func (f *FullMesh) Tick() {
 	f.recompute()
 }
 
-// recompute rebuilds the route table from the link-state database in one
-// batched pass: the self row is unpacked once and every destination is
-// evaluated by the cost-matrix kernel, instead of re-checking every
-// intermediate's freshness per destination.
+// incrementalMaxDirtyDenom sets the incremental-path bail-out threshold: if
+// more than n/incrementalMaxDirtyDenom slots went dirty since the previous
+// pass, the O(dirty·n) affected-scan stops being cheaper than the sharded
+// full pass and recompute falls back to it.
+const incrementalMaxDirtyDenom = 4
+
+// shardMinDsts is the smallest destination count worth forking the full pass
+// across workers; below it the fork/join overhead dominates.
+const shardMinDsts = 256
+
+// recompute rebuilds the route table from the link-state database.
+//
+// The steady-state path is incremental: Table row generations (advanced only
+// when a row's unpacked costs change), per-slot freshness, and the node's own
+// row are compared against snapshots from the previous pass, and only
+// destinations whose best hop could have changed are re-evaluated. A
+// destination is affected when its own direct seed changed, when its current
+// best hop went dirty (content, freshness, or first leg), or when some dirty
+// fresh intermediate now reaches it at a cost ≤ its previous best (the ≤
+// catches tie-break flips to a smaller hop index). Affected destinations are
+// re-evaluated by BestOneHopViaDsts, which runs the intermediates in full-
+// pass order, so the maintained result stays bit-identical to a from-scratch
+// recompute (pinned by the golden churn test). When the dirty fraction
+// exceeds 1/incrementalMaxDirtyDenom — or after a view change, which voids
+// every snapshot — the pass falls back to the full kernel, sharded across
+// workers by destination span.
 func (f *FullMesh) recompute() {
 	now := f.env.Now()
 	n := f.view.N()
 	f.costsBuf = lsdb.UnpackCosts(f.costsBuf[:0], f.SelfRow())
-	if cap(f.hopBuf) < n {
-		f.hopBuf = make([]lsdb.HopCost, n)
+	f.sizeRecomputeState(n)
+	if f.cfg.DisableIncremental || !f.lastValid || len(f.costsBuf) != n || len(f.prevSelf) != n {
+		f.fullPass(now, n)
+	} else {
+		f.incrementalPass(now, n)
 	}
-	out := f.hopBuf[:n]
-	f.table.BestOneHopViaAll(f.costsBuf, now, f.cfg.Staleness, out)
 	for dst := 0; dst < n; dst++ {
 		if dst == f.self {
 			continue
 		}
-		hc := out[dst]
+		hc := f.lastOut[dst]
 		if hc.Hop < 0 {
 			continue // keep the stale entry; BestHop ages it out
 		}
@@ -144,6 +203,131 @@ func (f *FullMesh) recompute() {
 			f.OnRouteUpdate(dst, e)
 		}
 	}
+}
+
+// sizeRecomputeState (re)sizes the incremental buffers for an n-slot view.
+func (f *FullMesh) sizeRecomputeState(n int) {
+	if cap(f.lastOut) < n {
+		f.lastOut = make([]lsdb.HopCost, n)
+		f.prevGen = make([]uint32, n)
+		f.prevFresh = make([]bool, n)
+		f.dirtySet = make([]bool, n)
+		f.affSet = make([]bool, n)
+		f.affOut = make([]lsdb.HopCost, n)
+	}
+	f.lastOut = f.lastOut[:n]
+	f.prevGen = f.prevGen[:n]
+	f.prevFresh = f.prevFresh[:n]
+	f.dirtySet = f.dirtySet[:n]
+	f.affSet = f.affSet[:n]
+	f.affOut = f.affOut[:n]
+}
+
+// fullPass runs the from-scratch kernel over every destination (sharded by
+// span when the table is large enough) and snapshots the inputs the next
+// incremental pass will diff against.
+func (f *FullMesh) fullPass(now time.Time, n int) {
+	f.stats.fullPasses++
+	workers := f.cfg.Workers
+	if n >= shardMinDsts && workers != 1 {
+		out := f.lastOut
+		table, costs, stale := f.table, f.costsBuf, f.cfg.Staleness
+		par.Spans(n, workers, func(lo, hi int) {
+			table.BestOneHopViaSpan(costs, now, stale, out, lo, hi)
+		})
+	} else {
+		f.table.BestOneHopViaAll(f.costsBuf, now, f.cfg.Staleness, f.lastOut)
+	}
+	f.snapshot(now, n)
+}
+
+// snapshot records the inputs of the pass that just filled lastOut.
+func (f *FullMesh) snapshot(now time.Time, n int) {
+	for h := 0; h < n; h++ {
+		f.prevGen[h] = f.table.Gen(h)
+		f.prevFresh[h] = f.table.Matrix().FreshAt(h, now, f.cfg.Staleness)
+	}
+	f.prevSelf = append(f.prevSelf[:0], f.costsBuf...)
+	f.lastValid = true
+}
+
+// incrementalPass updates lastOut in place, re-evaluating only affected
+// destinations. See recompute for the invariant.
+func (f *FullMesh) incrementalPass(now time.Time, n int) {
+	m := f.table.Matrix()
+	stale := f.cfg.Staleness
+	// A slot is dirty when its row contents changed (generation), its
+	// freshness flipped (either direction: a newly fresh row adds candidates,
+	// an aged-out row removes them), or the first leg toward it from the self
+	// row changed (which shifts every path routed through it, and the direct
+	// seed of the slot itself).
+	dirty := f.dirtyBuf[:0]
+	for h := 0; h < n; h++ {
+		g := f.table.Gen(h)
+		fr := m.FreshAt(h, now, stale)
+		if g != f.prevGen[h] || fr != f.prevFresh[h] || f.costsBuf[h] != f.prevSelf[h] {
+			dirty = append(dirty, h)
+			f.dirtySet[h] = true
+		}
+		f.prevGen[h] = g
+		f.prevFresh[h] = fr
+	}
+	f.dirtyBuf = dirty
+	if len(dirty)*incrementalMaxDirtyDenom > n {
+		for _, h := range dirty {
+			f.dirtySet[h] = false
+		}
+		f.fullPass(now, n)
+		return
+	}
+	f.stats.incPasses++
+	// Mark affected destinations.
+	for dst := 0; dst < n; dst++ {
+		if f.dirtySet[dst] {
+			f.affSet[dst] = true // direct seed or skip-set membership changed
+			continue
+		}
+		if hop := f.lastOut[dst].Hop; hop >= 0 && f.dirtySet[hop] {
+			f.affSet[dst] = true // current best hop went dirty
+		}
+	}
+	for _, h := range dirty {
+		if !f.prevFresh[h] {
+			continue // a stale intermediate cannot improve any destination
+		}
+		ca := uint32(f.costsBuf[h])
+		if ca >= uint32(wire.InfCost) {
+			continue
+		}
+		row := m.Row(h)
+		for dst := 0; dst < n; dst++ {
+			if dst == h || f.affSet[dst] {
+				continue
+			}
+			if s := ca + uint32(row[dst]); s <= uint32(f.lastOut[dst].Cost) {
+				f.affSet[dst] = true // could beat or tie (and re-break) the old best
+			}
+		}
+	}
+	aff := f.affBuf[:0]
+	for dst := 0; dst < n; dst++ {
+		if f.affSet[dst] {
+			aff = append(aff, dst)
+			f.affSet[dst] = false
+		}
+	}
+	f.affBuf = aff
+	for _, h := range dirty {
+		f.dirtySet[h] = false
+	}
+	if len(aff) > 0 {
+		f.table.BestOneHopViaDsts(f.costsBuf, now, stale, aff, f.affOut[:len(aff)])
+		for i, dst := range aff {
+			f.lastOut[dst] = f.affOut[i]
+		}
+		f.stats.dstsRecomputed += uint64(len(aff))
+	}
+	f.prevSelf = append(f.prevSelf[:0], f.costsBuf...)
 }
 
 // HandleLinkState implements Router.
@@ -177,7 +361,7 @@ func (f *FullMesh) BestHop(dst int) (RouteEntry, bool) {
 	if hop >= 0 && cost != wire.InfCost {
 		return RouteEntry{Hop: hop, Cost: cost, When: now, From: -1, Source: SourceFallback}, true
 	}
-	if se, ok := f.staleHop(e, now); ok {
+	if se, ok := f.staleHop(dst, e, now); ok {
 		return se, true
 	}
 	return RouteEntry{Hop: -1, Cost: wire.InfCost}, false
@@ -185,8 +369,12 @@ func (f *FullMesh) BestHop(dst int) (RouteEntry, bool) {
 
 // staleHop is the baseline's degraded-mode damping, mirroring
 // Quorum.staleHop: serve the expired entry with an age-inflated cost while
-// the self row still reports the first hop alive.
-func (f *FullMesh) staleHop(e RouteEntry, now time.Time) (RouteEntry, bool) {
+// the self row still reports the first hop alive. If the first hop itself
+// died during the outage, fall back second-order: re-evaluate the aged rows
+// under the degraded age bound (Staleness+DegradedHold) and serve the best
+// surviving alternative with the same damping — the dead hop self-excludes
+// because the live self row reports it unreachable.
+func (f *FullMesh) staleHop(dst int, e RouteEntry, now time.Time) (RouteEntry, bool) {
 	if f.cfg.DegradedHold <= 0 || e.Source == SourceNone || e.Hop < 0 || e.Cost == wire.InfCost {
 		return RouteEntry{}, false
 	}
@@ -196,7 +384,11 @@ func (f *FullMesh) staleHop(e RouteEntry, now time.Time) (RouteEntry, bool) {
 	}
 	row := f.SelfRow()
 	if e.Hop >= len(row) || !wire.StatusAlive(row[e.Hop].Status) {
-		return RouteEntry{}, false
+		hop, cost := lsdb.BestOneHopVia(row, f.table, dst, now, f.cfg.Staleness+f.cfg.DegradedHold)
+		if hop < 0 || cost == wire.InfCost {
+			return RouteEntry{}, false
+		}
+		e.Hop, e.Cost = hop, cost
 	}
 	over := age - f.cfg.Staleness
 	if over < 0 {

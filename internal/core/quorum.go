@@ -7,6 +7,7 @@ import (
 	"allpairs/internal/grid"
 	"allpairs/internal/lsdb"
 	"allpairs/internal/membership"
+	"allpairs/internal/par"
 	"allpairs/internal/transport"
 	"allpairs/internal/wire"
 )
@@ -56,6 +57,15 @@ type QuorumConfig struct {
 	// RetransmitTimeout is the ack wait before the single retransmission
 	// (default 2 s).
 	RetransmitTimeout time.Duration
+	// DisableIncremental forces from-scratch round-2 computation every tick
+	// instead of the generation-validated pair cache. Both produce
+	// byte-identical messages (pinned by the golden churn test); the switch
+	// exists for that test and for debugging.
+	DisableIncremental bool
+	// Workers caps the fork/join fan-out of full round-2 passes
+	// (0 = GOMAXPROCS, 1 = serial). Shards stage results per source and are
+	// merged in slot order, so the worker count never changes the bytes sent.
+	Workers int
 }
 
 func (c *QuorumConfig) fill() {
@@ -95,6 +105,11 @@ type QuorumStats struct {
 	LinkStatesSent uint64
 	// Retransmits counts reliable-mode row retransmissions.
 	Retransmits uint64
+	// PairsComputed counts client pairs evaluated by the one-hop kernel in
+	// round 2; PairsCached counts pairs served from the generation-validated
+	// cache instead. Their ratio is the incremental path's hit rate.
+	PairsComputed uint64
+	PairsCached   uint64
 }
 
 // failoverState tracks §4.1 recovery for one destination.
@@ -147,7 +162,42 @@ type Quorum struct {
 	costsBuf   []wire.Cost
 	hopBuf     []lsdb.HopCost
 	sortBuf    []int // sorted-map-iteration scratch (activeServers, retransmit)
+
+	// Incremental round-2 state. A pair's best hop depends only on the two
+	// endpoint rows (the kernel reads intermediate costs out of exactly those
+	// rows), so a cached value revalidates by comparing the endpoints' row
+	// generations — lookup-only maps, never iterated. Self pairs additionally
+	// depend on the live self row, revalidated by content compare. SetView
+	// drops everything: a Remap restarts generations. See sendRecommendations.
+	pairCache     map[uint32]pairVal
+	selfPairCache map[int]selfPairVal
+	lastGen       []uint32    // per-slot generation at the previous tick (dirty-fraction gate)
+	prevSelf      []wire.Cost // unpacked self row at the previous tick
+	missPosBuf    []int
+	missDstBuf    []int
+	missOutBuf    []lsdb.HopCost
+	pairOutBuf    []lsdb.HopCost // sharded full-pass staging, merged in slot order
+	asymInBuf     []wire.Cost
 }
+
+// pairVal is one cached client-pair result with the endpoint row generations
+// it was computed from.
+type pairVal struct {
+	hop        int32
+	cost       wire.Cost
+	genA, genB uint32
+}
+
+// selfPairVal is one cached (self, client) result; valid while the self row
+// is unchanged and the client's generation matches.
+type selfPairVal struct {
+	hop  int32
+	cost wire.Cost
+	gen  uint32
+}
+
+// pairKey packs an ordered slot pair (a < b; slots fit u16 by NodeID width).
+func pairKey(a, b int) uint32 { return uint32(a)<<16 | uint32(b) }
 
 // NewQuorum creates a quorum router for the node at slot self of view.
 func NewQuorum(env transport.Env, cfg QuorumConfig, view *membership.ViewInfo, self int) (*Quorum, error) {
@@ -215,6 +265,12 @@ func (q *Quorum) SetView(view *membership.ViewInfo, self int) error {
 	}
 	q.failovers = make(map[int]*failoverState)
 	q.pendingAcks = make(map[int]uint32)
+	// Remapped tables restart row generations, so every cached pair value and
+	// generation snapshot is void.
+	q.pairCache = make(map[uint32]pairVal)
+	q.selfPairCache = make(map[int]selfPairVal)
+	q.lastGen = make([]uint32, n)
+	q.prevSelf = q.prevSelf[:0]
 	q.started = q.env.Now()
 	return nil
 }
@@ -385,10 +441,24 @@ func (q *Quorum) buildLinkState() []byte {
 	})
 }
 
+// shardMinClients is the smallest fresh-client count worth forking the full
+// round-2 pair pass across workers.
+const shardMinClients = 32
+
 // sendRecommendations is round 2: acting as a rendezvous server, compute the
 // best one-hop route for every pair of clients with fresh rows and send each
 // client one message covering all its pairs. The node also serves itself:
 // routes between it and each client are computed and installed locally.
+//
+// The steady-state path is incremental: a pair's value depends only on its
+// two endpoint rows, so results cached under the endpoints' row generations
+// stay valid until either row's contents change — and rows re-announced with
+// identical costs every interval do not change. When more than
+// 1/incrementalMaxDirtyDenom of the fresh clients went dirty since the last
+// tick (cold start, churn burst), the pass falls back to the from-scratch
+// pair sweep, sharded across workers by source. Either way the entries
+// appended to each client's message — and their order — are exactly those of
+// the original unconditional sweep.
 func (q *Quorum) sendRecommendations() {
 	if q.cfg.Asymmetric {
 		q.sendRecommendationsAsym()
@@ -400,43 +470,80 @@ func (q *Quorum) sendRecommendations() {
 	if len(clients) == 0 {
 		return
 	}
+	k := len(clients)
 
-	if cap(q.recsBuf) < len(clients) {
-		q.recsBuf = make([][]wire.RecEntry, len(clients))
+	if cap(q.recsBuf) < k {
+		q.recsBuf = make([][]wire.RecEntry, k)
 	}
-	recs := q.recsBuf[:len(clients)]
+	recs := q.recsBuf[:k]
 	for i := range recs {
 		recs[i] = recs[i][:0]
 	}
 
 	mat := q.table.Matrix()
-	if cap(q.hopBuf) < len(clients) {
-		q.hopBuf = make([]lsdb.HopCost, len(clients))
+	if cap(q.hopBuf) < k {
+		q.hopBuf = make([]lsdb.HopCost, k)
 	}
 
-	// Pairs among clients: compute once per unordered pair (links are
-	// bidirectional, so the optimal hop is shared). Each source's unpacked
-	// cost row is scanned against all later clients in one batched pass.
-	for i := 0; i < len(clients); i++ {
-		dsts := clients[i+1:]
-		out := q.hopBuf[:len(dsts)]
-		mat.BestOneHopAll(clients[i], dsts, out)
-		for k, hc := range out {
-			j := i + 1 + k
-			hopID := wire.NilNode
-			if hc.Hop >= 0 {
-				hopID = q.view.IDAt(hc.Hop)
+	useCache := false
+	if !q.cfg.DisableIncremental {
+		changed := 0
+		for _, c := range clients {
+			if q.table.Gen(c) != q.lastGen[c] {
+				changed++
 			}
-			recs[i] = append(recs[i], wire.RecEntry{Dst: q.view.IDAt(clients[j]), Hop: hopID, Cost: hc.Cost})
-			recs[j] = append(recs[j], wire.RecEntry{Dst: q.view.IDAt(clients[i]), Hop: hopID, Cost: hc.Cost})
 		}
+		useCache = changed*incrementalMaxDirtyDenom <= k
+	}
+	if useCache {
+		q.pairsCached(mat, clients, recs)
+	} else {
+		q.pairsFull(mat, clients, recs)
+	}
+	for _, c := range clients {
+		q.lastGen[c] = q.table.Gen(c)
 	}
 
 	// Pairs (self, client): install locally and tell the client its route to
-	// us. The live self row is unpacked once for the whole batch.
+	// us. The live self row is unpacked once for the whole batch; when its
+	// costs are unchanged since the last tick, cached results revalidate
+	// against each client's generation.
 	q.costsBuf = lsdb.UnpackCosts(q.costsBuf[:0], q.SelfRow())
-	out := q.hopBuf[:len(clients)]
-	mat.BestOneHopAllRow(q.costsBuf, q.self, clients, out)
+	out := q.hopBuf[:k]
+	if useCache && costsEqual(q.costsBuf, q.prevSelf) {
+		miss := q.missPosBuf[:0]
+		missDsts := q.missDstBuf[:0]
+		for i, c := range clients {
+			if pv, ok := q.selfPairCache[c]; ok && pv.gen == q.table.Gen(c) {
+				out[i] = lsdb.HopCost{Hop: int(pv.hop), Cost: pv.cost}
+				q.stats.PairsCached++
+				continue
+			}
+			miss = append(miss, i)
+			missDsts = append(missDsts, c)
+		}
+		if len(missDsts) > 0 {
+			if cap(q.missOutBuf) < len(missDsts) {
+				q.missOutBuf = make([]lsdb.HopCost, len(missDsts))
+			}
+			mOut := q.missOutBuf[:len(missDsts)]
+			mat.BestOneHopAllRow(q.costsBuf, q.self, missDsts, mOut)
+			q.stats.PairsComputed += uint64(len(missDsts))
+			for z, i := range miss {
+				out[i] = mOut[z]
+				c := missDsts[z]
+				q.selfPairCache[c] = selfPairVal{hop: int32(mOut[z].Hop), cost: mOut[z].Cost, gen: q.table.Gen(c)}
+			}
+		}
+		q.missPosBuf, q.missDstBuf = miss, missDsts
+	} else {
+		mat.BestOneHopAllRow(q.costsBuf, q.self, clients, out)
+		q.stats.PairsComputed += uint64(k)
+		for i, c := range clients {
+			q.selfPairCache[c] = selfPairVal{hop: int32(out[i].Hop), cost: out[i].Cost, gen: q.table.Gen(c)}
+		}
+	}
+	q.prevSelf = append(q.prevSelf[:0], q.costsBuf...)
 	for i, c := range clients {
 		hc := out[i]
 		q.install(c, RouteEntry{Hop: hc.Hop, Cost: hc.Cost, When: now, From: q.self, Source: SourceSelf})
@@ -455,6 +562,123 @@ func (q *Quorum) sendRecommendations() {
 		q.env.Send(q.view.IDAt(c), msg)
 		q.stats.RecommendationsSent++
 	}
+}
+
+// appendPairRecs appends one unordered pair sweep's results for source i to
+// both endpoints' pending messages, in exactly the order the original
+// unconditional sweep used (source order outer, destination order inner), so
+// the incremental and full paths emit byte-identical messages.
+func (q *Quorum) appendPairRecs(i int, clients []int, out []lsdb.HopCost, recs [][]wire.RecEntry) {
+	for k, hc := range out {
+		j := i + 1 + k
+		hopID := wire.NilNode
+		if hc.Hop >= 0 {
+			hopID = q.view.IDAt(hc.Hop)
+		}
+		recs[i] = append(recs[i], wire.RecEntry{Dst: q.view.IDAt(clients[j]), Hop: hopID, Cost: hc.Cost})
+		recs[j] = append(recs[j], wire.RecEntry{Dst: q.view.IDAt(clients[i]), Hop: hopID, Cost: hc.Cost})
+	}
+}
+
+// pairsCached runs the pair sweep through the generation-validated cache:
+// hits are copied out, misses are batched per source through the same kernel
+// the full pass uses and then cached.
+func (q *Quorum) pairsCached(mat *lsdb.CostMatrix, clients []int, recs [][]wire.RecEntry) {
+	for i := 0; i < len(clients); i++ {
+		a := clients[i]
+		genA := q.table.Gen(a)
+		dsts := clients[i+1:]
+		out := q.hopBuf[:len(dsts)]
+		miss := q.missPosBuf[:0]
+		missDsts := q.missDstBuf[:0]
+		for k, b := range dsts {
+			if pv, ok := q.pairCache[pairKey(a, b)]; ok && pv.genA == genA && pv.genB == q.table.Gen(b) {
+				out[k] = lsdb.HopCost{Hop: int(pv.hop), Cost: pv.cost}
+				q.stats.PairsCached++
+				continue
+			}
+			miss = append(miss, k)
+			missDsts = append(missDsts, b)
+		}
+		if len(missDsts) > 0 {
+			if cap(q.missOutBuf) < len(missDsts) {
+				q.missOutBuf = make([]lsdb.HopCost, len(missDsts))
+			}
+			mOut := q.missOutBuf[:len(missDsts)]
+			mat.BestOneHopAll(a, missDsts, mOut)
+			q.stats.PairsComputed += uint64(len(missDsts))
+			for z, k := range miss {
+				hc := mOut[z]
+				out[k] = hc
+				b := missDsts[z]
+				q.pairCache[pairKey(a, b)] = pairVal{hop: int32(hc.Hop), cost: hc.Cost, genA: genA, genB: q.table.Gen(b)}
+			}
+		}
+		q.missPosBuf, q.missDstBuf = miss, missDsts
+		q.appendPairRecs(i, clients, out, recs)
+	}
+}
+
+// pairsFull runs the from-scratch pair sweep, sharded across workers by
+// source when the client set is large enough. Shards stage into disjoint
+// ranges of one flat buffer and only read the table, so the merge — in
+// source order, on one goroutine — emits the same bytes regardless of the
+// worker count. Results refresh the cache for the next incremental tick.
+func (q *Quorum) pairsFull(mat *lsdb.CostMatrix, clients []int, recs [][]wire.RecEntry) {
+	k := len(clients)
+	q.stats.PairsComputed += uint64(k * (k - 1) / 2)
+	workers := q.cfg.Workers
+	if k >= shardMinClients && workers != 1 {
+		total := k * (k - 1) / 2
+		if cap(q.pairOutBuf) < total {
+			q.pairOutBuf = make([]lsdb.HopCost, total)
+		}
+		stage := q.pairOutBuf[:total]
+		// offset of source i's staged range: pairs contributed by sources < i.
+		off := func(i int) int { return i*(k-1) - i*(i-1)/2 }
+		par.Spans(k-1, workers, func(lo, hi int) {
+			var keyBuf []uint64 // worker-local: the matrix's shared key buffer is single-threaded
+			for i := lo; i < hi; i++ {
+				dsts := clients[i+1:]
+				keyBuf = mat.BestOneHopAllInto(keyBuf, clients[i], dsts, stage[off(i):off(i)+len(dsts)])
+			}
+		})
+		for i := 0; i < k; i++ {
+			a := clients[i]
+			genA := q.table.Gen(a)
+			dsts := clients[i+1:]
+			out := stage[off(i) : off(i)+len(dsts)]
+			for z, b := range dsts {
+				q.pairCache[pairKey(a, b)] = pairVal{hop: int32(out[z].Hop), cost: out[z].Cost, genA: genA, genB: q.table.Gen(b)}
+			}
+			q.appendPairRecs(i, clients, out, recs)
+		}
+		return
+	}
+	for i := 0; i < k; i++ {
+		a := clients[i]
+		genA := q.table.Gen(a)
+		dsts := clients[i+1:]
+		out := q.hopBuf[:len(dsts)]
+		mat.BestOneHopAll(a, dsts, out)
+		for z, b := range dsts {
+			q.pairCache[pairKey(a, b)] = pairVal{hop: int32(out[z].Hop), cost: out[z].Cost, genA: genA, genB: q.table.Gen(b)}
+		}
+		q.appendPairRecs(i, clients, out, recs)
+	}
+}
+
+// costsEqual reports whether two unpacked cost rows are identical.
+func costsEqual(a, b []wire.Cost) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // install writes a route table entry and fires the update hook.
@@ -562,7 +786,7 @@ func (q *Quorum) BestHop(dst int) (RouteEntry, bool) {
 	if hop >= 0 && cost != wire.InfCost {
 		return RouteEntry{Hop: hop, Cost: cost, When: now, From: -1, Source: SourceFallback}, true
 	}
-	if se, ok := q.staleHop(e, now); ok {
+	if se, ok := q.staleHop(dst, e, now); ok {
 		return se, true
 	}
 	return RouteEntry{Hop: -1, Cost: wire.InfCost}, false
@@ -574,7 +798,14 @@ func (q *Quorum) BestHop(dst int) (RouteEntry, bool) {
 // inflated proportionally to its age. The inflation keeps genuinely fresh
 // information preferred everywhere a choice exists, so degraded entries only
 // ever win when the alternative is no route at all.
-func (q *Quorum) staleHop(e RouteEntry, now time.Time) (RouteEntry, bool) {
+//
+// If the prober has lost the last-known-good first hop itself during the
+// outage, the fallback goes second-order instead of blanking: the aged client
+// rows are re-evaluated under the degraded age bound
+// (Staleness+DegradedHold), and the best surviving alternative is served with
+// the same damping. The dead hop self-excludes because the live self row
+// reports its first leg unreachable.
+func (q *Quorum) staleHop(dst int, e RouteEntry, now time.Time) (RouteEntry, bool) {
 	if q.cfg.DegradedHold <= 0 || e.Source == SourceNone || e.Hop < 0 || e.Cost == wire.InfCost {
 		return RouteEntry{}, false
 	}
@@ -583,7 +814,17 @@ func (q *Quorum) staleHop(e RouteEntry, now time.Time) (RouteEntry, bool) {
 		return RouteEntry{}, false
 	}
 	if q.LinkAlive != nil && !q.LinkAlive(e.Hop) {
-		return RouteEntry{}, false
+		var hop int
+		var cost wire.Cost
+		if q.cfg.Asymmetric {
+			hop, cost = lsdb.BestOneHopViaAsym(q.SelfAsymRow(), q.atable, dst, now, q.cfg.Staleness+q.cfg.DegradedHold)
+		} else {
+			hop, cost = lsdb.BestOneHopVia(q.SelfRow(), q.table, dst, now, q.cfg.Staleness+q.cfg.DegradedHold)
+		}
+		if hop < 0 || cost == wire.InfCost || !q.LinkAlive(hop) {
+			return RouteEntry{}, false
+		}
+		e.Hop, e.Cost = hop, cost
 	}
 	over := age - q.cfg.RouteTTL
 	if over < 0 {
@@ -754,7 +995,12 @@ func (q *Quorum) FailoverServer(dst int) int {
 }
 
 // sendRecommendationsAsym is round 2 in asymmetric mode: best hops are
-// computed per direction, since out- and in-costs differ (footnote 2).
+// computed per direction, since out- and in-costs differ (footnote 2). The
+// sweep runs on the AsymTable's directional matrix pair — each source's
+// out-row is packed into keys once and streamed across the later clients'
+// contiguous in-rows (and, for the reverse direction, each later client's
+// out-row against the source's in-row) — retiring the per-pair scalar
+// BestOneHopAsym fallback this mode used to take.
 func (q *Quorum) sendRecommendationsAsym() {
 	now := q.env.Now()
 	clients := q.atable.FreshSlots(q.clientsBuf[:0], now, q.cfg.Staleness)
@@ -762,18 +1008,16 @@ func (q *Quorum) sendRecommendationsAsym() {
 	if len(clients) == 0 {
 		return
 	}
-	if cap(q.recsBuf) < len(clients) {
-		q.recsBuf = make([][]wire.RecEntry, len(clients))
+	k := len(clients)
+	if cap(q.recsBuf) < k {
+		q.recsBuf = make([][]wire.RecEntry, k)
 	}
-	recs := q.recsBuf[:len(clients)]
+	recs := q.recsBuf[:k]
 	for i := range recs {
 		recs[i] = recs[i][:0]
 	}
-
-	selfRow := q.SelfAsymRow()
-	rows := make([][]wire.AsymEntry, len(clients))
-	for i, c := range clients {
-		rows[i] = q.atable.Get(c).Entries
+	if cap(q.hopBuf) < 2*k {
+		q.hopBuf = make([]lsdb.HopCost, 2*k)
 	}
 
 	hopID := func(hop int) wire.NodeID {
@@ -783,19 +1027,31 @@ func (q *Quorum) sendRecommendationsAsym() {
 		return q.view.IDAt(hop)
 	}
 
-	for i := 0; i < len(clients); i++ {
-		for j := i + 1; j < len(clients); j++ {
-			h1, c1 := lsdb.BestOneHopAsym(clients[i], rows[i], clients[j], rows[j])
-			h2, c2 := lsdb.BestOneHopAsym(clients[j], rows[j], clients[i], rows[i])
-			recs[i] = append(recs[i], wire.RecEntry{Dst: q.view.IDAt(clients[j]), Hop: hopID(h1), Cost: c1})
-			recs[j] = append(recs[j], wire.RecEntry{Dst: q.view.IDAt(clients[i]), Hop: hopID(h2), Cost: c2})
+	for i := 0; i < k; i++ {
+		dsts := clients[i+1:]
+		fwd := q.hopBuf[:len(dsts)]
+		rev := q.hopBuf[k : k+len(dsts)]
+		q.atable.BestOneHopAsymAll(clients[i], dsts, fwd)
+		q.atable.BestOneHopAsymToRow(dsts, q.atable.InRow(clients[i]), rev)
+		for z := range dsts {
+			j := i + 1 + z
+			recs[i] = append(recs[i], wire.RecEntry{Dst: q.view.IDAt(clients[j]), Hop: hopID(fwd[z].Hop), Cost: fwd[z].Cost})
+			recs[j] = append(recs[j], wire.RecEntry{Dst: q.view.IDAt(clients[i]), Hop: hopID(rev[z].Hop), Cost: rev[z].Cost})
 		}
 	}
+
+	// Pairs (self, client), both directions, with the live directional row
+	// unpacked once per direction.
+	selfRow := q.SelfAsymRow()
+	q.costsBuf = lsdb.UnpackOutCosts(q.costsBuf[:0], selfRow)
+	q.asymInBuf = lsdb.UnpackInCosts(q.asymInBuf[:0], selfRow)
+	fwd := q.hopBuf[:k]
+	rev := q.hopBuf[k : 2*k]
+	q.atable.BestOneHopAsymRowAll(q.costsBuf, q.self, clients, fwd)
+	q.atable.BestOneHopAsymToRow(clients, q.asymInBuf, rev)
 	for i, c := range clients {
-		hop, cost := lsdb.BestOneHopAsym(q.self, selfRow, c, rows[i])
-		q.install(c, RouteEntry{Hop: hop, Cost: cost, When: now, From: q.self, Source: SourceSelf})
-		hBack, cBack := lsdb.BestOneHopAsym(c, rows[i], q.self, selfRow)
-		recs[i] = append(recs[i], wire.RecEntry{Dst: q.env.LocalID(), Hop: hopID(hBack), Cost: cBack})
+		q.install(c, RouteEntry{Hop: fwd[i].Hop, Cost: fwd[i].Cost, When: now, From: q.self, Source: SourceSelf})
+		recs[i] = append(recs[i], wire.RecEntry{Dst: q.env.LocalID(), Hop: hopID(rev[i].Hop), Cost: rev[i].Cost})
 	}
 	for i, c := range clients {
 		msg := wire.AppendRecommendation(nil, q.env.LocalID(), wire.Recommendation{

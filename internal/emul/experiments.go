@@ -9,6 +9,7 @@ import (
 	"allpairs/internal/grid"
 	"allpairs/internal/metrics"
 	"allpairs/internal/overlay"
+	"allpairs/internal/par"
 	"allpairs/internal/probe"
 	"allpairs/internal/stats"
 	"allpairs/internal/traces"
@@ -52,7 +53,7 @@ type fig1Slot struct {
 func Fig1(env *traces.Env, thresholdMS float64) *Fig1Result {
 	n := env.N
 	slots := make([]fig1Slot, n)
-	parallelFor(n, 0, func(a int) {
+	par.For(n, 0, func(a int) {
 		s := &slots[a]
 		rowA := env.LatencyMS[a]
 		alts := make([]float64, 0, n)
@@ -150,7 +151,7 @@ func Fig9Sweep(ns []int, algos []overlay.Algorithm, seed int64, warmup, measure 
 	for i := range out {
 		out[i] = make([]float64, len(algos))
 	}
-	parallelFor(len(ns)*len(algos), 0, func(k int) {
+	par.For(len(ns)*len(algos), 0, func(k int) {
 		i, j := k/len(algos), k%len(algos)
 		out[i][j] = Fig9Point(ns[i], algos[j], seed, warmup, measure)
 	})

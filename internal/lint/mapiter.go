@@ -21,6 +21,7 @@ var DeterministicPackages = []string{
 	"allpairs/internal/emul",
 	"allpairs/internal/simnet",
 	"allpairs/internal/grid",
+	"allpairs/internal/par",
 }
 
 // Mapiter flags `range` over a map in deterministic packages. This is the

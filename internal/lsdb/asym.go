@@ -30,16 +30,34 @@ func (r *AsymRow) InCost(slot int) wire.Cost {
 	return r.Entries[slot].InCost()
 }
 
-// AsymTable stores the most recent directional row from each slot.
+// AsymTable stores the most recent directional row from each slot, alongside
+// a directional CostMatrix pair the batch kernels scan: outM row s holds the
+// directed costs s→h announced by slot s, inM row s holds s's in-costs h→s.
+// Splitting the two directions into their own contiguous matrices is what
+// lets the footnote-2 mode run the same packed-key kernels as the symmetric
+// path — out-rows feed the source keys, in-rows feed the destination scans —
+// instead of falling back to the scalar BestOneHopAsym per pair.
 type AsymTable struct {
 	n    int
 	rows []AsymRow
 	have []bool
+	outM *CostMatrix // row s: directed costs s→h
+	inM  *CostMatrix // row s: directed costs h→s
+
+	// unpack scratch reused across Puts so ingest stays allocation-free in
+	// steady state.
+	outBuf, inBuf []wire.Cost
 }
 
 // NewAsymTable returns an empty table for an n-slot view.
 func NewAsymTable(n int) *AsymTable {
-	return &AsymTable{n: n, rows: make([]AsymRow, n), have: make([]bool, n)}
+	return &AsymTable{
+		n:    n,
+		rows: make([]AsymRow, n),
+		have: make([]bool, n),
+		outM: NewCostMatrix(n),
+		inM:  NewCostMatrix(n),
+	}
 }
 
 // N returns the number of slots in the view.
@@ -61,7 +79,33 @@ func (t *AsymTable) Put(slot int, row AsymRow) bool {
 	}
 	t.rows[slot] = row
 	t.have[slot] = true
+	t.index(slot, &row)
 	return true
+}
+
+// index unpacks row's two directions into the matrices. Like Table.Put, the
+// 2-byte cost bits are resolved exactly once at ingest so the kernels scan
+// plain uint16 rows.
+func (t *AsymTable) index(slot int, row *AsymRow) {
+	t.outBuf = UnpackOutCosts(t.outBuf[:0], row.Entries)
+	t.inBuf = UnpackInCosts(t.inBuf[:0], row.Entries)
+	t.outM.setCosts(slot, t.outBuf, row.Seq, row.When)
+	t.inM.setCosts(slot, t.inBuf, row.Seq, row.When)
+}
+
+// OutRow returns slot's unpacked directed costs slot→h (all InfCost if no
+// row is stored). The slice aliases the table and must not be modified.
+func (t *AsymTable) OutRow(slot int) []wire.Cost { return t.outM.Row(slot) }
+
+// InRow returns slot's unpacked directed costs h→slot (the in-direction
+// column of the conceptual cost matrix, stored contiguously).
+func (t *AsymTable) InRow(slot int) []wire.Cost { return t.inM.Row(slot) }
+
+// Gen returns a content generation for slot's directional rows, advancing
+// whenever either direction's unpacked costs may have changed — the
+// directional counterpart of Table.Gen, with the same snapshot contract.
+func (t *AsymTable) Gen(slot int) uint32 {
+	return t.outM.gen[slot] + t.inM.gen[slot]
 }
 
 // Remap returns a table for a view of newN slots, carrying rows of surviving
@@ -86,6 +130,7 @@ func (t *AsymTable) Remap(oldToNew []int, newN int) *AsymTable {
 		}
 		nt.rows[ns] = AsymRow{Seq: old.Seq, When: old.When, Entries: entries}
 		nt.have[ns] = true
+		nt.index(ns, &nt.rows[ns])
 	}
 	return nt
 }
@@ -174,4 +219,67 @@ func SelfAsymRow(self int, entries []wire.AsymEntry) []wire.AsymEntry {
 		entries[self] = wire.AsymEntry{Status: wire.MakeStatus(true, 0)}
 	}
 	return entries
+}
+
+// UnpackOutCosts appends the out-direction costs of row to dst and returns
+// the result — the directional counterpart of UnpackCosts, used to bring a
+// live measured row into the flat form the kernels scan.
+func UnpackOutCosts(dst []wire.Cost, row []wire.AsymEntry) []wire.Cost {
+	for _, e := range row {
+		dst = append(dst, e.OutCost())
+	}
+	return dst
+}
+
+// UnpackInCosts appends the in-direction costs of row to dst.
+func UnpackInCosts(dst []wire.Cost, row []wire.AsymEntry) []wire.Cost {
+	for _, e := range row {
+		dst = append(dst, e.InCost())
+	}
+	return dst
+}
+
+// BestOneHopAsymAll batch-evaluates the directed one-hop optimum from slot a
+// to every slot in dsts against the stored rows: per destination it equals
+// the scalar BestOneHopAsym(a, rowA, b, rowB) — minimize out_a(h) + in_b(h)
+// over h ≠ a with InfCost saturation and smallest-h tie-break — but a's
+// out-row is packed into keys once and each destination scan streams b's
+// contiguous in-row, exactly like the symmetric BestOneHopAll. out must have
+// len(dsts) entries.
+//
+//lint:allocfree
+func (t *AsymTable) BestOneHopAsymAll(a int, dsts []int, out []HopCost) {
+	keys := t.outM.sourceKeys(t.outM.Row(a), a)
+	for i, b := range dsts {
+		hop, cost := bestOneHopKeys(keys, t.inM.Row(b))
+		out[i] = HopCost{Hop: hop, Cost: cost}
+	}
+}
+
+// BestOneHopAsymRowAll is BestOneHopAsymAll with the source's out-costs
+// supplied unpacked — used when the source is the node's own live measurement
+// row, which is not stored in its table. skip is the source's slot.
+//
+//lint:allocfree
+func (t *AsymTable) BestOneHopAsymRowAll(rowOut []wire.Cost, skip int, dsts []int, out []HopCost) {
+	keys := t.outM.sourceKeys(rowOut, skip)
+	for i, b := range dsts {
+		hop, cost := bestOneHopKeys(keys, t.inM.Row(b))
+		out[i] = HopCost{Hop: hop, Cost: cost}
+	}
+}
+
+// BestOneHopAsymToRow evaluates the reverse direction of the self pairs: the
+// directed one-hop optimum from each slot in srcs to the holder of rowIn (the
+// holder's live in-costs h→self, unpacked). The skip slot differs per source,
+// so each source's stored out-row is packed in turn and scanned against the
+// one shared in-row.
+//
+//lint:allocfree
+func (t *AsymTable) BestOneHopAsymToRow(srcs []int, rowIn []wire.Cost, out []HopCost) {
+	for i, a := range srcs {
+		keys := t.outM.sourceKeys(t.outM.Row(a), a)
+		hop, cost := bestOneHopKeys(keys, rowIn)
+		out[i] = HopCost{Hop: hop, Cost: cost}
+	}
 }

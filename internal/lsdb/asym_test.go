@@ -119,6 +119,120 @@ func TestBestOneHopAsymQuick(t *testing.T) {
 	}
 }
 
+// Property: every directional batch kernel matches the scalar one-hop
+// minimum per pair — absent rows (all-Inf via the shared inf row), dead
+// entries, and cost sums saturating at InfCost included. These are the
+// kernels the asymmetric round 2 runs on, so this is the footnote-2
+// equivalence proof in miniature.
+func TestAsymBatchKernelsMatchScalarQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(24)
+		tb := NewAsymTable(n)
+		randRow := func() []wire.AsymEntry {
+			row := make([]wire.AsymEntry, n)
+			for i := range row {
+				// Costs up to 40000 make many sums exceed InfCost, so the
+				// saturation path is exercised, not just possible.
+				row[i] = aentry(rng.Intn(40000), rng.Intn(40000), rng.Intn(6) > 0)
+			}
+			return row
+		}
+		for s := 0; s < n; s++ {
+			if rng.Intn(5) == 0 {
+				continue // absent row: the kernels must see all-Inf
+			}
+			tb.Put(s, AsymRow{Seq: 1, When: t0, Entries: SelfAsymRow(s, randRow())})
+		}
+		scalar := func(src func(h int) wire.Cost, dst func(h int) wire.Cost, skip int) (int, wire.Cost) {
+			hop, cost := -1, wire.InfCost
+			for h := 0; h < n; h++ {
+				if h == skip {
+					continue
+				}
+				if c := src(h).Add(dst(h)); c < cost {
+					hop, cost = h, c
+				}
+			}
+			return hop, cost
+		}
+		dsts := make([]int, n)
+		for i := range dsts {
+			dsts[i] = i
+		}
+		out := make([]HopCost, n)
+		for a := 0; a < n; a++ {
+			a := a
+			tb.BestOneHopAsymAll(a, dsts, out)
+			for _, b := range dsts {
+				wh, wc := scalar(
+					func(h int) wire.Cost { return tb.OutRow(a)[h] },
+					func(h int) wire.Cost { return tb.InRow(b)[h] }, a)
+				if out[b].Hop != wh || out[b].Cost != wc {
+					return false
+				}
+			}
+		}
+		// The live-measurement variants feed a row that is not in the table,
+		// the shape the self pairs of the asym round 2 use.
+		live := SelfAsymRow(0, randRow())
+		rowOut := UnpackOutCosts(nil, live)
+		rowIn := UnpackInCosts(nil, live)
+		tb.BestOneHopAsymRowAll(rowOut, 0, dsts, out)
+		for _, b := range dsts {
+			wh, wc := scalar(
+				func(h int) wire.Cost { return rowOut[h] },
+				func(h int) wire.Cost { return tb.InRow(b)[h] }, 0)
+			if out[b].Hop != wh || out[b].Cost != wc {
+				return false
+			}
+		}
+		tb.BestOneHopAsymToRow(dsts, rowIn, out)
+		for i, a := range dsts {
+			a := a
+			wh, wc := scalar(
+				func(h int) wire.Cost { return tb.OutRow(a)[h] },
+				func(h int) wire.Cost { return rowIn[h] }, a)
+			if out[i].Hop != wh || out[i].Cost != wc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsymGenAdvancesOnContentChange(t *testing.T) {
+	tb := NewAsymTable(2)
+	row := func(out int) []wire.AsymEntry {
+		return SelfAsymRow(0, []wire.AsymEntry{{}, aentry(out, 30, true)})
+	}
+	g0 := tb.Gen(0)
+	if !tb.Put(0, AsymRow{Seq: 1, When: t0, Entries: row(10)}) {
+		t.Fatal("Put rejected")
+	}
+	g1 := tb.Gen(0)
+	if g1 == g0 {
+		t.Error("gen did not advance on first store")
+	}
+	// A refresh with identical costs (new When, same contents) must keep the
+	// generation stable: it is what every quiescent probing interval produces.
+	if !tb.Put(0, AsymRow{Seq: 2, When: t0.Add(time.Second), Entries: row(10)}) {
+		t.Fatal("refresh rejected")
+	}
+	if tb.Gen(0) != g1 {
+		t.Error("gen advanced on identical re-Put")
+	}
+	if !tb.Put(0, AsymRow{Seq: 3, When: t0.Add(2 * time.Second), Entries: row(11)}) {
+		t.Fatal("changed row rejected")
+	}
+	if tb.Gen(0) == g1 {
+		t.Error("gen did not advance on changed cost")
+	}
+}
+
 func TestAsymPutRejectsEqualSeqOlderWhen(t *testing.T) {
 	t0 := time.Unix(0, 0)
 	tb := NewAsymTable(2)

@@ -51,6 +51,14 @@ func (t *Table) N() int { return t.n }
 // Matrix exposes the flat cost matrix maintained by Put (read-only).
 func (t *Table) Matrix() *CostMatrix { return t.mat }
 
+// Gen returns the content generation of slot's row: it advances exactly when
+// the slot's unpacked costs may have changed (first store, a store with
+// different costs, a Drop), and stays put across refresh-only Puts. Consumers
+// snapshot generations to decide which rows an incremental recompute may
+// skip. A Remap returns a new table whose generations restart, so view
+// changes must invalidate every snapshot.
+func (t *Table) Gen(slot int) uint32 { return t.mat.gen[slot] }
+
 // Put stores a row for slot if it is not older than what the table already
 // holds: lower sequence numbers are rejected, as are equal-sequence rows
 // whose When is older than the stored one, so a delayed duplicate can never

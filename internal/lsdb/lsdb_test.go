@@ -76,6 +76,82 @@ func TestTableDrop(t *testing.T) {
 	tb.Drop(9)
 }
 
+// TestGenDirtyInvariants pins the dirty-tracking contract the incremental
+// recompute paths in internal/core depend on: Gen(slot) advances exactly
+// when the slot's unpacked costs may differ from what a previous reader saw,
+// and stays put when a re-Put carries identical contents (the quiescent
+// steady state, where rows are re-announced unchanged every interval).
+func TestGenDirtyInvariants(t *testing.T) {
+	tb := NewTable(3)
+	g0 := tb.Gen(1)
+
+	// Dropping a slot that holds nothing is not a change.
+	tb.Drop(1)
+	if tb.Gen(1) != g0 {
+		t.Error("Drop of an empty slot advanced gen")
+	}
+
+	if !tb.Put(1, Row{Seq: 1, When: t0, Entries: aliveRow(5, 0, 9)}) {
+		t.Fatal("Put rejected")
+	}
+	g1 := tb.Gen(1)
+	if g1 == g0 {
+		t.Error("first store did not advance gen")
+	}
+
+	// Identical contents, fresher stamp: the common no-op refresh.
+	if !tb.Put(1, Row{Seq: 2, When: t0.Add(time.Second), Entries: aliveRow(5, 0, 9)}) {
+		t.Fatal("refresh rejected")
+	}
+	if tb.Gen(1) != g1 {
+		t.Error("identical re-Put advanced gen")
+	}
+
+	// A latency change is a content change.
+	if !tb.Put(1, Row{Seq: 3, When: t0.Add(2 * time.Second), Entries: aliveRow(5, 0, 12)}) {
+		t.Fatal("changed row rejected")
+	}
+	g2 := tb.Gen(1)
+	if g2 == g1 {
+		t.Error("cost change did not advance gen")
+	}
+
+	// A status flip with the same latency changes the unpacked cost (Inf).
+	row := aliveRow(5, 0, 12)
+	row[0] = entry(5, false)
+	if !tb.Put(1, Row{Seq: 4, When: t0.Add(3 * time.Second), Entries: row}) {
+		t.Fatal("status-flip row rejected")
+	}
+	g3 := tb.Gen(1)
+	if g3 == g2 {
+		t.Error("status flip did not advance gen")
+	}
+
+	// Dropping a held row is a change; the restored row is one too (its
+	// costs reappear out of the shared inf row).
+	tb.Drop(1)
+	g4 := tb.Gen(1)
+	if g4 == g3 {
+		t.Error("Drop of a held row did not advance gen")
+	}
+	if !tb.Put(1, Row{Seq: 5, When: t0.Add(4 * time.Second), Entries: row}) {
+		t.Fatal("re-store rejected")
+	}
+	if tb.Gen(1) == g4 {
+		t.Error("re-store after Drop did not advance gen")
+	}
+
+	// A rejected Put (stale seq) must not advance gen even with different
+	// contents — nothing was stored.
+	gBefore := tb.Gen(1)
+	if tb.Put(1, Row{Seq: 1, When: t0.Add(5 * time.Second), Entries: aliveRow(1, 2, 3)}) {
+		t.Fatal("stale seq accepted")
+	}
+	if tb.Gen(1) != gBefore {
+		t.Error("rejected Put advanced gen")
+	}
+}
+
 func TestFreshness(t *testing.T) {
 	tb := NewTable(2)
 	tb.Put(0, Row{Seq: 1, When: t0, Entries: aliveRow(0, 5)})

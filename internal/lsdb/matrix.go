@@ -36,6 +36,16 @@ type CostMatrix struct {
 	when []time.Time
 	seq  []uint32
 
+	// gen is the per-slot content generation: it advances exactly when the
+	// slot's unpacked cost contents may have changed (first store, a store
+	// whose costs differ from what was held, or a clear). Refreshes that
+	// re-announce identical costs — the steady state, where every row is
+	// re-Put each interval — leave it untouched, which is what lets the
+	// incremental recompute paths in internal/core skip clean rows. Every
+	// mutator of row storage MUST keep this in sync (see CONTRIBUTING.md,
+	// "Dirty tracking").
+	gen []uint32
+
 	// keyBuf holds the packed source-row keys a batch pass shares across all
 	// its destinations (see sourceKeys). NewCostMatrix sizes it for n-entry
 	// rows up front so the batch kernels stay allocation-free in the steady
@@ -55,6 +65,7 @@ func NewCostMatrix(n int) *CostMatrix {
 		have:   make([]bool, n),
 		when:   make([]time.Time, n),
 		seq:    make([]uint32, n),
+		gen:    make([]uint32, n),
 		keyBuf: make([]uint64, n),
 	}
 	for i := range m.inf {
@@ -92,15 +103,58 @@ func (m *CostMatrix) FreshAt(slot int, now time.Time, maxAge time.Duration) bool
 	return m.have[slot] && now.Sub(m.when[slot]) <= maxAge
 }
 
-// setRow unpacks entries into slot's row and records its metadata.
+// Gen returns slot's content generation. Two reads returning the same value
+// bracket a window in which the slot's unpacked costs did not change; a
+// consumer that snapshots generations after a recompute can therefore skip
+// every slot whose generation still matches on the next pass. Generations
+// survive clearRow (a clear is itself a content change), so absent and
+// present slots share one monotone counter per slot.
+func (m *CostMatrix) Gen(slot int) uint32 { return m.gen[slot] }
+
+// setRow unpacks entries into slot's row and records its metadata, advancing
+// the slot's generation only if the unpacked costs actually changed. The
+// compare rides the unpack loop, so refresh-only Puts (identical costs, newer
+// seq/when) cost nothing extra and stay generation-stable.
 func (m *CostMatrix) setRow(slot int, entries []wire.LinkEntry, seq uint32, when time.Time) {
 	row := m.rows[slot]
+	changed := !m.have[slot]
 	if row == nil {
 		row = make([]wire.Cost, m.n)
 		m.rows[slot] = row
+		changed = true
 	}
 	for i, e := range entries {
-		row[i] = e.Cost()
+		if c := e.Cost(); row[i] != c {
+			row[i] = c
+			changed = true
+		}
+	}
+	if changed {
+		m.gen[slot]++
+	}
+	m.have[slot] = true
+	m.seq[slot] = seq
+	m.when[slot] = when
+}
+
+// setCosts is setRow for an already-unpacked cost row (the directional
+// AsymTable matrices ingest these). Same generation contract.
+func (m *CostMatrix) setCosts(slot int, costs []wire.Cost, seq uint32, when time.Time) {
+	row := m.rows[slot]
+	changed := !m.have[slot]
+	if row == nil {
+		row = make([]wire.Cost, m.n)
+		m.rows[slot] = row
+		changed = true
+	}
+	for i, c := range costs {
+		if row[i] != c {
+			row[i] = c
+			changed = true
+		}
+	}
+	if changed {
+		m.gen[slot]++
 	}
 	m.have[slot] = true
 	m.seq[slot] = seq
@@ -108,8 +162,13 @@ func (m *CostMatrix) setRow(slot int, entries []wire.LinkEntry, seq uint32, when
 }
 
 // clearRow drops slot's row storage and metadata; the slot reads as
-// all-InfCost again.
+// all-InfCost again. The generation advances — a drop changes the contents a
+// kernel would scan — but only for slots that actually held a row, so
+// repeated clears of an absent slot stay generation-stable.
 func (m *CostMatrix) clearRow(slot int) {
+	if m.have[slot] {
+		m.gen[slot]++
+	}
 	m.rows[slot] = nil
 	m.have[slot] = false
 	m.seq[slot] = 0
@@ -185,7 +244,21 @@ func (m *CostMatrix) sourceKeys(rowA []wire.Cost, skip int) []uint64 {
 		//lint:allowalloc grow-once for rows longer than the view NewCostMatrix sized keyBuf for
 		m.keyBuf = make([]uint64, len(rowA))
 	}
-	keys := m.keyBuf[:len(rowA)]
+	return sourceKeysInto(m.keyBuf, rowA, skip)
+}
+
+// sourceKeysInto is sourceKeys with a caller-provided buffer, for passes that
+// shard one matrix across workers: the shared keyBuf is single-threaded, so
+// each worker packs into its own buffer instead. buf is grown if too small
+// and the packed keys are returned (aliasing buf when it was large enough).
+//
+//lint:allocfree
+func sourceKeysInto(buf []uint64, rowA []wire.Cost, skip int) []uint64 {
+	if cap(buf) < len(rowA) {
+		//lint:allowalloc grow-once when the caller's buffer is smaller than the row
+		buf = make([]uint64, len(rowA))
+	}
+	keys := buf[:len(rowA)]
 	for h, c := range rowA {
 		keys[h] = uint64(c)<<16 | uint64(h)
 	}
@@ -288,6 +361,22 @@ func (m *CostMatrix) BestOneHopAll(a int, dsts []int, out []HopCost) {
 	m.BestOneHopAllRow(m.Row(a), a, dsts, out)
 }
 
+// BestOneHopAllInto is BestOneHopAll with a caller-provided key buffer,
+// making it safe to run concurrently with other readers of the same matrix
+// (the shared keyBuf is the only mutable state a read-only batch pass
+// touches). Sharded passes give each worker its own buffer. The packed keys
+// are returned so the caller can keep the grown buffer for reuse.
+//
+//lint:allocfree
+func (m *CostMatrix) BestOneHopAllInto(keyBuf []uint64, a int, dsts []int, out []HopCost) []uint64 {
+	keys := sourceKeysInto(keyBuf, m.Row(a), a)
+	for i, b := range dsts {
+		hop, cost := bestOneHopKeys(keys, m.Row(b))
+		out[i] = HopCost{Hop: hop, Cost: cost}
+	}
+	return keys
+}
+
 // BestOneHopAllRow is BestOneHopAll with the source row supplied unpacked —
 // used when the source is the node's own live measurement row, which is not
 // stored in its table. skip (the source's slot, excluded as an intermediate)
@@ -365,6 +454,97 @@ func (t *Table) BestOneHopViaAll(rowA []wire.Cost, now time.Time, maxAge time.Du
 			}
 			if s := ca + uint32(cb); s < uint32(out[dst].Cost) {
 				out[dst] = HopCost{Hop: h, Cost: wire.Cost(s)}
+			}
+		}
+	}
+}
+
+// BestOneHopViaSpan is BestOneHopViaAll restricted to destinations in
+// [lo, hi): out[dst] is written for exactly those slots (absolute indexing;
+// out must still have t.N() entries). The intermediate loop runs in the same
+// order with the same strict-< improvement rule, so covering [0, n) with
+// disjoint spans — in any order, including concurrently across workers —
+// produces bit-identical results to one full pass. This is the multicore
+// shard unit: spans write disjoint out ranges and only read the table.
+//
+//lint:allocfree
+func (t *Table) BestOneHopViaSpan(rowA []wire.Cost, now time.Time, maxAge time.Duration, out []HopCost, lo, hi int) {
+	m := t.mat
+	for dst := lo; dst < hi; dst++ {
+		if dst < len(rowA) && rowA[dst] != wire.InfCost {
+			out[dst] = HopCost{Hop: dst, Cost: rowA[dst]}
+		} else {
+			out[dst] = HopCost{Hop: -1, Cost: wire.InfCost}
+		}
+	}
+	lim := t.n
+	if len(rowA) < lim {
+		lim = len(rowA)
+	}
+	dhi := hi
+	if dhi > lim {
+		dhi = lim // destinations ≥ lim keep their -1 seed, as in the full pass
+	}
+	if lo >= dhi {
+		return
+	}
+	for h := 0; h < lim; h++ {
+		if !m.FreshAt(h, now, maxAge) {
+			continue
+		}
+		ca := uint32(rowA[h])
+		if ca >= uint32(wire.InfCost) {
+			continue
+		}
+		row := m.Row(h)
+		for dst := lo; dst < dhi; dst++ {
+			if dst == h {
+				continue
+			}
+			if s := ca + uint32(row[dst]); s < uint32(out[dst].Cost) {
+				out[dst] = HopCost{Hop: h, Cost: wire.Cost(s)}
+			}
+		}
+	}
+}
+
+// BestOneHopViaDsts is BestOneHopViaAll restricted to an arbitrary
+// destination subset: out[i] is what the full pass would put at dsts[i]. The
+// incremental recompute path uses it to re-evaluate only the destinations
+// whose best hop could have changed; because the intermediate loop order and
+// the strict-< rule match the full pass, the per-destination results are
+// bit-identical to a from-scratch recompute.
+//
+//lint:allocfree
+func (t *Table) BestOneHopViaDsts(rowA []wire.Cost, now time.Time, maxAge time.Duration, dsts []int, out []HopCost) {
+	m := t.mat
+	for i, dst := range dsts {
+		if dst < len(rowA) && rowA[dst] != wire.InfCost {
+			out[i] = HopCost{Hop: dst, Cost: rowA[dst]}
+		} else {
+			out[i] = HopCost{Hop: -1, Cost: wire.InfCost}
+		}
+	}
+	lim := t.n
+	if len(rowA) < lim {
+		lim = len(rowA)
+	}
+	out = out[:len(dsts)]
+	for h := 0; h < lim; h++ {
+		if !m.FreshAt(h, now, maxAge) {
+			continue
+		}
+		ca := uint32(rowA[h])
+		if ca >= uint32(wire.InfCost) {
+			continue
+		}
+		row := m.Row(h)
+		for i, dst := range dsts {
+			if dst == h || dst >= lim {
+				continue
+			}
+			if s := ca + uint32(row[dst]); s < uint32(out[i].Cost) {
+				out[i] = HopCost{Hop: h, Cost: wire.Cost(s)}
 			}
 		}
 	}

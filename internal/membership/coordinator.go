@@ -60,6 +60,16 @@ type CoordinatorConfig struct {
 	// resolve deterministically to the lowest live rank (default
 	// 3·BeaconInterval + Rank·BeaconInterval).
 	ElectionTimeout time.Duration
+	// PreVoteWait is how long a standby whose election timeout expired
+	// solicits peer confirmation of the primary's silence before promoting
+	// (default 2·BeaconInterval). Beacon loss on one path — a stalled link,
+	// an asymmetric partition — is indistinguishable from a dead primary to
+	// the starved standby alone; any peer still observing the primary vetoes
+	// the promotion and the standby re-arms instead of splitting the epoch.
+	// If no peer answers within the wait (all dead, or the asker really is
+	// partitioned), the standby falls back to its local evidence and
+	// promotes, preserving liveness.
+	PreVoteWait time.Duration
 	// Logf, if non-nil, receives membership events.
 	Logf func(format string, args ...any)
 }
@@ -85,6 +95,9 @@ func (c *CoordinatorConfig) fill() {
 	}
 	if c.ElectionTimeout <= 0 {
 		c.ElectionTimeout = 3*c.BeaconInterval + time.Duration(c.Rank)*c.BeaconInterval
+	}
+	if c.PreVoteWait <= 0 {
+		c.PreVoteWait = 2 * c.BeaconInterval
 	}
 }
 
@@ -120,14 +133,23 @@ type Coordinator struct {
 	lastView     []wire.Member
 	flushPending bool
 
-	// Election state (replicated mode only).
+	// Election state (replicated mode only). lastPrimaryBeat records actual
+	// beacons only — it is what this replica vouches with when peers
+	// pre-vote. lastIndirect records secondhand liveness (a pre-vote veto):
+	// it feeds this replica's own election clock but is never presented to
+	// peers as evidence, or two starved standbys could veto each other on
+	// nothing forever. preVoting marks the window between the election
+	// timeout expiring and the pre-vote verdict.
 	lastPrimaryBeat time.Time
+	lastIndirect    time.Time
 	lastPrimaryID   wire.NodeID
+	preVoting       bool
 
 	flushTimer    transport.Timer
 	sweepTimer    transport.Timer
 	beaconTimer   transport.Timer
 	electionTimer transport.Timer
+	preVoteTimer  transport.Timer
 	stopped       bool
 
 	stats CoordinatorStats
@@ -147,6 +169,9 @@ type CoordinatorStats struct {
 	HeartbeatAcks uint64
 	// Promotions and Demotions count this replica's role changes.
 	Promotions, Demotions uint64
+	// PreVotesVetoed counts elections abandoned because a peer still
+	// observed the primary — each one is a split brain that did not happen.
+	PreVotesVetoed uint64
 }
 
 // NewCoordinator creates a coordinator replica on env. Call Start to begin
@@ -193,7 +218,7 @@ func (c *Coordinator) Start() {
 // process restart.
 func (c *Coordinator) Stop() {
 	c.stopped = true
-	for _, t := range []transport.Timer{c.flushTimer, c.sweepTimer, c.beaconTimer, c.electionTimer} {
+	for _, t := range []transport.Timer{c.flushTimer, c.sweepTimer, c.beaconTimer, c.electionTimer, c.preVoteTimer} {
 		if t != nil {
 			t.Stop()
 		}
@@ -289,6 +314,16 @@ func (c *Coordinator) handle(from wire.NodeID, payload []byte) {
 			c.applyReplicaDelta(h.Src, d)
 		}
 		return
+	case wire.TPreVote:
+		if _, err := wire.ParsePreVote(body); err == nil && c.rankOf(h.Src) >= 0 {
+			c.handlePreVote(h.Src)
+		}
+		return
+	case wire.TPreVoteReply:
+		if pr, err := wire.ParsePreVoteReply(body); err == nil && c.rankOf(h.Src) >= 0 {
+			c.handlePreVoteReply(h.Src, pr)
+		}
+		return
 	}
 	// Client-plane traffic is served only by the primary; standbys stay
 	// silent so clients fail over to the replica actually holding the lease
@@ -367,9 +402,15 @@ func (c *Coordinator) handleBeacon(from wire.NodeID, b wire.CoordBeacon) {
 		}
 		return
 	}
-	// Standby: note the leader and keep the election timer fed.
+	// Standby: note the leader and keep the election timer fed. A beacon
+	// arriving mid-pre-vote is direct evidence the silence was transient:
+	// abandon the election and fall back to the normal silence watch.
 	c.lastPrimaryBeat = c.env.Now()
 	c.lastPrimaryID = from
+	if c.preVoting {
+		c.cancelPreVote()
+		c.armElection()
+	}
 	if b.Stamp.Epoch > c.epoch {
 		c.epoch = b.Stamp.Epoch
 	}
@@ -423,19 +464,95 @@ func (c *Coordinator) armElection() {
 	c.electionTimer = c.env.After(c.cfg.ElectionTimeout, c.electionCheck)
 }
 
-// electionCheck promotes the standby if the primary has been silent for the
+// electionCheck opens a pre-vote if the primary has been silent for the
 // whole (rank-staggered) election timeout, otherwise re-arms for the
 // remaining silence budget.
 func (c *Coordinator) electionCheck() {
-	if c.stopped || c.role == rolePrimary {
+	if c.stopped || c.role == rolePrimary || c.preVoting {
 		return
 	}
-	silence := c.env.Now().Sub(c.lastPrimaryBeat)
+	silence := c.env.Now().Sub(c.lastEvidence())
 	if silence < c.cfg.ElectionTimeout {
 		c.electionTimer = c.env.After(c.cfg.ElectionTimeout-silence, c.electionCheck)
 		return
 	}
+	c.startPreVote()
+}
+
+// lastEvidence is the most recent sign of a live primary, direct or indirect.
+func (c *Coordinator) lastEvidence() time.Time {
+	if c.lastIndirect.After(c.lastPrimaryBeat) {
+		return c.lastIndirect
+	}
+	return c.lastPrimaryBeat
+}
+
+// startPreVote asks every peer replica whether it still observes the primary
+// before this standby promotes. The verdict lands in preVoteDecide unless a
+// veto (or a live beacon) cancels the election first.
+func (c *Coordinator) startPreVote() {
+	c.preVoting = true
+	for _, id := range c.peers() {
+		c.env.Send(id, wire.AppendPreVote(nil, c.selfID, wire.PreVote{Stamp: c.Stamp()}))
+	}
+	c.preVoteTimer = c.env.After(c.cfg.PreVoteWait, c.preVoteDecide)
+}
+
+// cancelPreVote abandons an open pre-vote without deciding it.
+func (c *Coordinator) cancelPreVote() {
+	c.preVoting = false
+	if c.preVoteTimer != nil {
+		c.preVoteTimer.Stop()
+	}
+}
+
+// preVoteDecide closes the pre-vote window: no peer vouched for the primary,
+// so if the local silence still stands, the standby finally promotes. The
+// silence re-check matters — a beacon may have raced the timer through the
+// same callback queue.
+func (c *Coordinator) preVoteDecide() {
+	if c.stopped || c.role == rolePrimary || !c.preVoting {
+		return
+	}
+	c.preVoting = false
+	if c.env.Now().Sub(c.lastEvidence()) < c.cfg.ElectionTimeout {
+		c.armElection()
+		return
+	}
 	c.promote()
+}
+
+// handlePreVote answers a peer's pre-vote with this replica's own evidence of
+// the primary: a primary vouches for itself, a standby vouches iff it heard a
+// beacon within the base (unstaggered) silence window. Answered in either
+// role so a stalled-but-alive primary can veto its own deposition.
+func (c *Coordinator) handlePreVote(from wire.NodeID) {
+	alive := c.role == rolePrimary ||
+		c.env.Now().Sub(c.lastPrimaryBeat) <= 3*c.cfg.BeaconInterval
+	c.env.Send(from, wire.AppendPreVoteReply(nil, c.selfID, wire.PreVoteReply{
+		Stamp:        c.Stamp(),
+		PrimaryAlive: alive,
+	}))
+}
+
+// handlePreVoteReply folds one peer's verdict into an open pre-vote. An
+// alive vote abandons the election and resets the silence clock — but only
+// the indirect one, so the veto is never recycled as this replica's own
+// evidence when peers ask it in turn. A reply from a reign ahead of ours
+// additionally triggers a view resync, the same recovery as a beacon version
+// gap.
+func (c *Coordinator) handlePreVoteReply(from wire.NodeID, pr wire.PreVoteReply) {
+	if pr.Stamp.After(c.Stamp()) {
+		c.env.Send(from, wire.AppendViewRequest(nil, c.selfID, c.Stamp()))
+	}
+	if !c.preVoting || !pr.PrimaryAlive {
+		return
+	}
+	c.cancelPreVote()
+	c.lastIndirect = c.env.Now()
+	c.stats.PreVotesVetoed++
+	c.logf("membership: rank %d pre-vote vetoed by rank %d, primary still observed", c.cfg.Rank, c.rankOf(from))
+	c.armElection()
 }
 
 // promote turns a standby into the primary: a new epoch, a version far past

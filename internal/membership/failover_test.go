@@ -152,10 +152,11 @@ func TestFailoverOnPrimaryCrash(t *testing.T) {
 	oldNext := rc.coords[0].nextID
 
 	rc.coords[0].Stop() // crash the primary
-	// Rank 1's election timeout is 3·beacon + 1·beacon = 4 s; allow the
-	// promotion broadcast plus one heartbeat interval for every client to
-	// re-attach.
-	rc.nw.RunFor(15 * time.Second)
+	// Rank 1's election timeout is 3·beacon + 1·beacon = 4 s, plus the 2 s
+	// pre-vote wait (rank 0 is dead and rank 2 shares the silence, so nobody
+	// vetoes); allow the promotion broadcast plus a client heartbeat rotation
+	// for every client to re-attach.
+	rc.nw.RunFor(20 * time.Second)
 
 	if !rc.coords[1].IsPrimary() {
 		t.Fatal("rank 1 did not promote")
@@ -336,6 +337,57 @@ func TestFullViewRequestHerdSuppression(t *testing.T) {
 	// the next request.
 	if rc.clients[0].fvFails != 1 {
 		t.Errorf("fvFails = %d, want 1 (unanswered request keeps backoff)", rc.clients[0].fvFails)
+	}
+}
+
+func TestPreVoteBlocksPromotionUnderOneWayStall(t *testing.T) {
+	// Endpoints: client 0; coordinators 1, 2, 3 (ranks 0, 1, 2). The
+	// primary's beacons toward rank 1 are delayed far past the test horizon —
+	// a stalled path, not a dead primary. Rank 1's election timeout fires,
+	// but its pre-vote reaches rank 2, which still hears beacons and vetoes;
+	// rank 1 must keep re-arming instead of splitting the epoch.
+	rc := newRepCluster(t, 1, 3, churnClientCfg(), fastCoordCfg(t))
+	rc.clients[0].Start()
+	rc.nw.RunFor(8 * time.Second)
+	if !rc.coords[0].IsPrimary() {
+		t.Fatal("rank 0 not primary before the stall")
+	}
+	rc.nw.SetLatencyOneWay(1, 2, 10*time.Minute)
+	rc.nw.RunFor(30 * time.Second)
+
+	if rc.coords[1].IsPrimary() {
+		t.Fatal("starved standby promoted despite a live primary")
+	}
+	if rc.coords[2].IsPrimary() {
+		t.Fatal("rank 2 promoted with a live primary")
+	}
+	if !rc.coords[0].IsPrimary() {
+		t.Fatal("primary deposed by a one-way stall")
+	}
+	if got := rc.coords[1].Stats().PreVotesVetoed; got == 0 {
+		t.Error("no pre-vote veto recorded; election never reached the peers")
+	}
+	if got := rc.coords[1].Stamp().Epoch; got != 1 {
+		t.Errorf("starved standby advanced to epoch %d, want 1", got)
+	}
+
+	// The same configuration must still fail over on a genuine crash: with
+	// the primary stopped, nobody vouches for it and a standby promotes
+	// after its timeout plus the pre-vote wait. (The stall perturbed the
+	// standbys' rank stagger, so which of the two wins is timing-dependent;
+	// what matters is exactly one reign emerges.)
+	rc.coords[0].Stop()
+	rc.nw.RunFor(20 * time.Second)
+	p1, p2 := rc.coords[1].IsPrimary(), rc.coords[2].IsPrimary()
+	if p1 == p2 {
+		t.Fatalf("want exactly one promoted standby after the crash, got rank1=%v rank2=%v", p1, p2)
+	}
+	winner := rc.coords[1]
+	if p2 {
+		winner = rc.coords[2]
+	}
+	if got := winner.Stamp().Epoch; got != 2 {
+		t.Errorf("post-crash epoch = %d, want 2", got)
 	}
 }
 

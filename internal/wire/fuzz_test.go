@@ -213,6 +213,25 @@ func FuzzCoordBeaconRoundTrip(f *testing.F) {
 	})
 }
 
+func FuzzPreVoteRoundTrip(f *testing.F) {
+	f.Add(uint16(2), body(wire.AppendPreVote(nil, 2, wire.PreVote{Stamp: wire.ViewStamp{Epoch: 3, Version: 21}})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParsePreVote, wire.AppendPreVote)
+	})
+}
+
+func FuzzPreVoteReplyRoundTrip(f *testing.F) {
+	f.Add(uint16(1), body(wire.AppendPreVoteReply(nil, 1, wire.PreVoteReply{
+		Stamp: wire.ViewStamp{Epoch: 3, Version: 21}, PrimaryAlive: true,
+	})))
+	// Same flag-byte class as the CoordBeacon asymmetry: 2 must be rejected,
+	// not decoded as true.
+	f.Add(uint16(1), []byte{0, 0, 0, 3, 0, 0, 0, 21, 2})
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParsePreVoteReply, wire.AppendPreVoteReply)
+	})
+}
+
 func FuzzDataRoundTrip(f *testing.F) {
 	f.Add(uint16(2), body(wire.AppendData(nil, 2, wire.Data{
 		Origin: 1, Dst: 6, TTL: wire.DefaultDataTTL, Payload: []byte("ping"),

@@ -323,3 +323,71 @@ func ParseCoordBeacon(body []byte) (CoordBeacon, error) {
 		Primary: body[10] == 1,
 	}, nil
 }
+
+// PreVote is a standby coordinator's question to its replica peers before it
+// promotes itself: "my election timeout fired — do you still observe the
+// primary?". The stamp is the sender's view stamp so peers across a healed
+// partition can tell which reign the question is about. A standby whose
+// beacon silence is merely a one-way delay (primary stalled toward it but
+// alive toward others) learns so from the replies and re-arms instead of
+// splitting the epoch.
+type PreVote struct {
+	Stamp ViewStamp
+}
+
+// AppendPreVote encodes pv with its header.
+func AppendPreVote(b []byte, src NodeID, pv PreVote) []byte {
+	b = AppendHeader(b, TPreVote, src)
+	b = binary.BigEndian.AppendUint32(b, pv.Stamp.Epoch)
+	return binary.BigEndian.AppendUint32(b, pv.Stamp.Version)
+}
+
+// ParsePreVote decodes a PreVote body.
+func ParsePreVote(body []byte) (PreVote, error) {
+	if len(body) != 8 {
+		return PreVote{}, ErrBadLen
+	}
+	return PreVote{Stamp: ViewStamp{
+		Epoch:   binary.BigEndian.Uint32(body),
+		Version: binary.BigEndian.Uint32(body[4:]),
+	}}, nil
+}
+
+// PreVoteReply answers a PreVote. PrimaryAlive is the responder's own
+// evidence: a primary answers true for itself, a standby answers true iff it
+// heard a beacon within its base silence window. The stamp is the responder's
+// view stamp, letting the asker also detect that it fell behind a reign.
+type PreVoteReply struct {
+	Stamp        ViewStamp
+	PrimaryAlive bool
+}
+
+// AppendPreVoteReply encodes pr with its header.
+func AppendPreVoteReply(b []byte, src NodeID, pr PreVoteReply) []byte {
+	b = AppendHeader(b, TPreVoteReply, src)
+	b = binary.BigEndian.AppendUint32(b, pr.Stamp.Epoch)
+	b = binary.BigEndian.AppendUint32(b, pr.Stamp.Version)
+	flag := byte(0)
+	if pr.PrimaryAlive {
+		flag = 1
+	}
+	return append(b, flag)
+}
+
+// ParsePreVoteReply decodes a PreVoteReply body. Like ParseCoordBeacon, the
+// flag byte must be exactly 0 or 1 so decode→encode reproduces the input.
+func ParsePreVoteReply(body []byte) (PreVoteReply, error) {
+	if len(body) != 9 {
+		return PreVoteReply{}, ErrBadLen
+	}
+	if body[8] > 1 {
+		return PreVoteReply{}, fmt.Errorf("%w: alive flag byte %d", ErrBadLen, body[8])
+	}
+	return PreVoteReply{
+		Stamp: ViewStamp{
+			Epoch:   binary.BigEndian.Uint32(body),
+			Version: binary.BigEndian.Uint32(body[4:]),
+		},
+		PrimaryAlive: body[8] == 1,
+	}, nil
+}

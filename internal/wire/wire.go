@@ -80,6 +80,8 @@ const (
 	// Membership plane, replicated-coordinator extension.
 	THeartbeatAck // primary's heartbeat acknowledgment carrying its view stamp
 	TCoordBeacon  // primary liveness/epoch beacon between coordinator replicas
+	TPreVote      // standby asks peers to confirm primary silence before promoting
+	TPreVoteReply // peer's answer: whether it still observes the primary alive
 
 	maxMsgType
 )
@@ -121,6 +123,10 @@ func (t MsgType) String() string {
 		return "heartbeat-ack"
 	case TCoordBeacon:
 		return "coord-beacon"
+	case TPreVote:
+		return "pre-vote"
+	case TPreVoteReply:
+		return "pre-vote-reply"
 	default:
 		return fmt.Sprintf("msgtype(%d)", byte(t))
 	}

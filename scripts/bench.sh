@@ -1,14 +1,17 @@
 #!/bin/sh
-# Runs the perf-trajectory benchmarks — the batched one-hop kernels and the
-# Figure 1 sweep, scalar and batch variants side by side — and writes the
-# parsed results as JSON to the file named in $1 (default BENCH_1.json).
-# The raw `go test -bench` output is echoed so a human can eyeball it.
+# Runs the perf-trajectory benchmarks — the batched one-hop kernels, the
+# Figure 1 sweep (scalar and batch variants side by side), and the
+# single-node recompute trajectory at n ∈ {1000, 2000, 5000} (quorum tick
+# full vs generation-cached steady state, full-mesh pass full vs incremental)
+# — and writes the parsed results as JSON to the file named in $1 (default
+# BENCH_2.json). The raw `go test -bench` output is echoed so a human can
+# eyeball it.
 set -e
-out=${1:-BENCH_1.json}
+out=${1:-BENCH_2.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'Kernel|Fig1BestOneHop|Fig1Scale' -benchmem -count 3 . | tee "$tmp"
+go test -run '^$' -bench 'Kernel|Fig1BestOneHop|Fig1Scale|RecomputeTrajectory' -benchmem -count 3 . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v gover="$(go version | awk '{print $3}')" \
