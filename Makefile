@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all tier1 vet fmt bench lint vuln fuzz
+.PHONY: all tier1 vet fmt bench lint vuln fuzz soak
 
 all: tier1 vet lint
 
@@ -51,3 +51,14 @@ fuzz:
 # trajectory) and records the results in BENCH_2.json.
 bench: tier1
 	./scripts/bench.sh BENCH_2.json
+
+# soak runs hours of virtual time of Poisson churn under the lossy-gossip
+# fault plane (5% loss, duplication, jitter) with a hard live-heap ceiling:
+# a leaking dedup cache or delta log shows up as monotonic heap growth.
+# Override SOAK_MINUTES / SOAK_N / SOAK_HEAP_MB for quicker runs; CI runs a
+# minutes-scale variant under the race detector.
+SOAK_MINUTES ?= 120
+SOAK_N ?= 120
+SOAK_HEAP_MB ?= 512
+soak:
+	$(GO) run ./cmd/experiments soak -n $(SOAK_N) -minutes $(SOAK_MINUTES) -max-heap-mb $(SOAK_HEAP_MB)

@@ -8,9 +8,11 @@
 //	experiments fig1 [-n 359] [-seed S]
 //	experiments fig8|fig10|fig11|fig12|fig13|fig14 [-n 140] [-minutes 136] [-seed S]
 //	experiments fig9 [-max 196] [-seed S]
-//	experiments churn [-n 500] [-scenario poisson|flash|mass|coord-crash|partition|regional]
+//	experiments churn [-n 500] [-scenario poisson|flash|mass|coord-crash|partition|regional|
+//	                  lossy-gossip|gossip-crash|straggler]
 //	                  [-rate 0.05] [-minutes 10] [-coords C] [-partition-secs 60]
-//	                  [-restart-secs 120] [-seed S]
+//	                  [-restart-secs 120] [-loss 0.05] [-dup 0.02] [-jitter-ms 20] [-seed S]
+//	experiments soak [-n 120] [-minutes 120] [-max-heap-mb 512] [-seed S]
 //	experiments failover [-seed S]
 //	experiments multihop [-n 64] [-hops 4]
 //	experiments table-config
@@ -23,7 +25,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -31,6 +35,7 @@ import (
 	"allpairs/internal/core"
 	"allpairs/internal/emul"
 	"allpairs/internal/lowerbound"
+	"allpairs/internal/membership"
 	"allpairs/internal/metrics"
 	"allpairs/internal/overlay"
 	"allpairs/internal/stats"
@@ -50,12 +55,16 @@ func main() {
 	minutes := fs.Int("minutes", 136, "deployment duration (virtual minutes)")
 	maxN := fs.Int("max", 196, "largest overlay size for fig9")
 	hops := fs.Int("hops", 4, "multi-hop bound")
-	scenario := fs.String("scenario", "poisson", "churn scenario: poisson, flash, mass, coord-crash, partition, or regional")
+	scenario := fs.String("scenario", "poisson", "churn scenario: poisson, flash, mass, coord-crash, partition, regional, lossy-gossip, gossip-crash, or straggler")
 	rate := fs.Float64("rate", 0.05, "per-node departure probability per churn interval")
 	burst := fs.Int("burst", 0, "flash-crowd/mass-departure size (default n/5)")
 	coords := fs.Int("coords", 0, "membership coordinator replicas (default 1; 3 for the coordinator fault scenarios)")
 	partitionSecs := fs.Int("partition-secs", 60, "partition duration for -scenario partition")
 	restartSecs := fs.Int("restart-secs", 120, "primary restart delay for -scenario coord-crash")
+	loss := fs.Float64("loss", 0, "member-plane packet loss probability (0 = scenario default; negative = off)")
+	dup := fs.Float64("dup", 0, "member-plane packet duplication probability (0 = scenario default; negative = off)")
+	jitterMS := fs.Int("jitter-ms", 0, "member-plane latency jitter bound, ms (0 = scenario default; negative = off)")
+	maxHeapMB := fs.Int("max-heap-mb", 512, "soak: live-heap ceiling in MiB; exceeding it fails the run")
 	_ = fs.Parse(os.Args[2:])
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -88,7 +97,16 @@ func main() {
 		}
 		churn(*n, *seed, *scenario, *rate, *burst, *coords,
 			time.Duration(*partitionSecs)*time.Second, time.Duration(*restartSecs)*time.Second,
-			time.Duration(*minutes)*time.Minute)
+			time.Duration(*minutes)*time.Minute,
+			*loss, *dup, time.Duration(*jitterMS)*time.Millisecond)
+	case "soak":
+		if !explicit["n"] {
+			*n = 120
+		}
+		if !explicit["minutes"] {
+			*minutes = 120
+		}
+		soak(*n, *seed, time.Duration(*minutes)*time.Minute, *maxHeapMB)
 	case "failover":
 		failover(*seed)
 	case "multihop":
@@ -113,7 +131,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|deployment|churn|failover|multihop|table-config|table-theory|table-capacity|lowerbound|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig1|fig8|fig9|fig10|fig11|fig12|fig13|fig14|deployment|churn|soak|failover|multihop|table-config|table-theory|table-capacity|lowerbound|all> [flags]`)
 }
 
 // ---------------------------------------------------------------------------
@@ -152,7 +170,7 @@ func fig9(maxN int, seed int64) {
 	fmt.Println("# paper @140: RON 34.8 Kbps, quorum 15.3 Kbps")
 }
 
-func churn(n int, seed int64, scenario string, rate float64, burst, coords int, partitionFor, restartAfter, dur time.Duration) {
+func churn(n int, seed int64, scenario string, rate float64, burst, coords int, partitionFor, restartAfter, dur time.Duration, loss, dup float64, jitter time.Duration) {
 	var sc emul.ChurnScenario
 	switch scenario {
 	case "poisson":
@@ -167,6 +185,12 @@ func churn(n int, seed int64, scenario string, rate float64, burst, coords int, 
 		sc = emul.ChurnPartition
 	case "regional":
 		sc = emul.ChurnRegional
+	case "lossy-gossip":
+		sc = emul.ChurnLossyGossip
+	case "gossip-crash":
+		sc = emul.ChurnGossipCrash
+	case "straggler":
+		sc = emul.ChurnStraggler
 	default:
 		fmt.Fprintf(os.Stderr, "unknown churn scenario %q\n", scenario)
 		os.Exit(2)
@@ -175,8 +199,106 @@ func churn(n int, seed int64, scenario string, rate float64, burst, coords int, 
 	res := emul.RunChurn(emul.ChurnOptions{
 		N: n, Seed: seed, Scenario: sc, Duration: dur, Rate: rate, Burst: burst,
 		Coordinators: coords, PartitionFor: partitionFor, CoordRestartAfter: restartAfter,
+		Loss: loss, Dup: dup, Jitter: jitter,
 	})
 	fmt.Print(res.Format())
+}
+
+// soak drives a lossy-gossip Poisson churn fleet for hours of virtual time
+// with a hard live-heap ceiling: a leaking dedup cache, an unbounded delta
+// log, or a timer pileup shows up as monotonic heap growth long before it
+// would trip an ordinary test. Prints one line per virtual 10 minutes and
+// fails (exit 1) if the post-GC live heap ever exceeds maxHeapMB.
+func soak(n int, seed int64, dur time.Duration, maxHeapMB int) {
+	f := emul.NewDynamicFleet(n, emul.DynamicFleetOptions{
+		MaxN:         n + n/2 + 64,
+		Seed:         seed,
+		Coordinators: 3,
+		Loss:         0.05,
+		Dup:          0.02,
+		Jitter:       20 * time.Millisecond,
+		Membership:   membership.ClientConfig{Heartbeat: 30 * time.Second, JoinRetry: 2 * time.Second},
+		Coordinator: membership.CoordinatorConfig{
+			Timeout: 2 * time.Minute,
+			Sweep:   15 * time.Second,
+		},
+	})
+	fmt.Fprintf(os.Stderr, "soaking %d nodes for %v (virtual) under 5%% loss, heap ceiling %d MiB...\n",
+		n, dur, maxHeapMB)
+	fmt.Println("# soak lossy-gossip poisson churn")
+	fmt.Println("# t_min  members  joins  departs  heap_mib")
+	rng := rand.New(rand.NewSource(seed*131 + 17))
+	ceiling := uint64(maxHeapMB) << 20
+	var peak uint64
+	ok := true
+	report := func() {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+		members := 0
+		if prim := f.Primary(); prim != nil {
+			members = prim.MemberCount()
+		}
+		fmt.Printf("%6.0f  %7d  %5d  %7d  %8.1f\n",
+			f.Elapsed().Minutes(), members, f.Joins, f.Leaves+f.Crashes,
+			float64(ms.HeapAlloc)/(1<<20))
+		if ms.HeapAlloc > ceiling {
+			ok = false
+		}
+	}
+	start := f.Elapsed()
+	nextReport := start + 10*time.Minute
+	for f.Elapsed()-start < dur {
+		f.Run(time.Minute)
+		// 5% Poisson churn per virtual minute, half crashes.
+		var leavers []int
+		for _, ep := range f.ActiveEndpoints() {
+			if rng.Float64() < 0.05 {
+				leavers = append(leavers, ep)
+			}
+		}
+		for _, ep := range leavers {
+			f.Depart(ep, rng.Float64() >= 0.5)
+		}
+		for range leavers {
+			f.Spawn()
+		}
+		if f.Elapsed() >= nextReport {
+			report()
+			nextReport += 10 * time.Minute
+		}
+	}
+	// Quiesce: stop churning, let the coordinator expire every crashed
+	// member (up to the 2 min membership timeout plus a sweep), then give
+	// the last view change the scenarios' 90 s convergence bound.
+	f.Run(2*time.Minute + 30*time.Second)
+	convWait := time.Duration(0)
+	for convWait < 90*time.Second && !f.ViewsConverged() {
+		f.Run(5 * time.Second)
+		convWait += 5 * time.Second
+	}
+	report()
+	var agg membership.ClientStats
+	for _, ep := range f.ActiveEndpoints() {
+		agg.Add(f.Node(ep).MembershipStats())
+	}
+	fmt.Printf("# gossip seen=%d dups=%d forwards=%d pulls=%d/%d bridged=%d fallbacks=%d full_view_reqs=%d\n",
+		agg.GossipSeen, agg.GossipDups, agg.GossipForwards,
+		agg.PullsSent, agg.PullsServed, agg.GapsBridged,
+		agg.FullViewFallbacks, agg.FullViewRequests)
+	fmt.Printf("# peak_heap=%.1f MiB ceiling=%d MiB converged=%v conv_wait=%s spawns_dropped=%d\n",
+		float64(peak)/(1<<20), maxHeapMB, f.ViewsConverged(), convWait, f.SpawnsDropped)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "soak FAILED: live heap exceeded %d MiB\n", maxHeapMB)
+		os.Exit(1)
+	}
+	if !f.ViewsConverged() {
+		fmt.Fprintln(os.Stderr, "soak FAILED: fleet did not converge after quiesce")
+		os.Exit(1)
+	}
 }
 
 func deployment(n int, seed int64, dur time.Duration) *emul.DeploymentResult {
@@ -386,9 +508,11 @@ func runAll(seed int64) {
 		printDeploymentFigure(f, dep)
 		fmt.Println()
 	}
-	churn(64, seed, "poisson", 0.05, 0, 0, time.Minute, 2*time.Minute, 6*time.Minute)
+	churn(64, seed, "poisson", 0.05, 0, 0, time.Minute, 2*time.Minute, 6*time.Minute, 0, 0, 0)
 	fmt.Println()
-	churn(64, seed, "partition", 0.05, 0, 0, time.Minute, 2*time.Minute, 6*time.Minute)
+	churn(64, seed, "partition", 0.05, 0, 0, time.Minute, 2*time.Minute, 6*time.Minute, 0, 0, 0)
+	fmt.Println()
+	churn(24, seed, "lossy-gossip", 0.05, 12, 0, time.Minute, 2*time.Minute, 5*time.Minute, 0, 0, 0)
 	fmt.Println()
 	failover(seed)
 	fmt.Println()

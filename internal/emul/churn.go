@@ -43,6 +43,13 @@ type DynamicFleetOptions struct {
 	// Env supplies pairwise latencies, sized ≥ MaxN. Nil means a homogeneous
 	// 40 ms RTT lossless network.
 	Env *traces.Env
+	// Loss, Dup, and Jitter configure the adversarial fault plane on every
+	// member↔member and member↔coordinator link: symmetric per-packet loss
+	// and duplication probabilities plus a latency jitter bound (nonzero
+	// jitter reorders packets). Replica↔replica links stay clean — the
+	// scenarios fault the member plane, not the replication stream.
+	Loss, Dup float64
+	Jitter    time.Duration
 	// Component configurations (zero values take the defaults).
 	Probe       probe.Config
 	Quorum      core.QuorumConfig
@@ -118,9 +125,21 @@ func NewDynamicFleet(n int, opt DynamicFleetOptions) *DynamicFleet {
 	}
 	nc := opt.Coordinators
 	nw := simnet.New(opt.MaxN+nc, opt.Seed)
+	fault := func(a, b int) {
+		if opt.Loss > 0 {
+			nw.SetLoss(a, b, opt.Loss)
+		}
+		if opt.Dup > 0 {
+			nw.SetDuplication(a, b, opt.Dup)
+		}
+		if opt.Jitter > 0 {
+			nw.SetJitter(a, b, opt.Jitter)
+		}
+	}
 	for a := 0; a < opt.MaxN; a++ {
 		for r := 0; r < nc; r++ {
 			nw.SetLatency(a, opt.MaxN+r, 10*time.Millisecond)
+			fault(a, opt.MaxN+r)
 		}
 		for b := a + 1; b < opt.MaxN; b++ {
 			if opt.Env != nil {
@@ -128,6 +147,7 @@ func NewDynamicFleet(n int, opt DynamicFleetOptions) *DynamicFleet {
 			} else {
 				nw.SetLatency(a, b, 20*time.Millisecond)
 			}
+			fault(a, b)
 		}
 	}
 	for r1 := 0; r1 < nc; r1++ {
@@ -416,6 +436,23 @@ const (
 	// ChurnRegional crashes a contiguous block of N/5 endpoints at once — a
 	// correlated regional failure with no replacements.
 	ChurnRegional
+	// ChurnLossyGossip is the flash-crowd join storm replayed over the
+	// adversarial fault plane (5% loss, duplication, jitter by default): the
+	// gossip tree must disseminate the admission deltas and the pull plane
+	// must bridge the drops, converging every member within ConvergeBound
+	// with no full-view request herd.
+	ChurnLossyGossip
+	// ChurnGossipCrash departs a burst of members and fail-stops the primary
+	// coordinator one coalesce interval later — while the resulting delta's
+	// gossip envelopes are still in flight through the tree. The rank-1
+	// standby (holding the delta via replication) must take over and every
+	// survivor converge onto its view, again with no request herd.
+	ChurnGossipCrash
+	// ChurnStraggler blacks out a few members with burst-loss windows while
+	// Poisson churn keeps producing deltas they cannot hear. When the
+	// windows close the stragglers are generations behind and must repair
+	// through peer pulls, not coordinator full views.
+	ChurnStraggler
 )
 
 // String names the scenario.
@@ -431,6 +468,12 @@ func (s ChurnScenario) String() string {
 		return "partition"
 	case ChurnRegional:
 		return "regional"
+	case ChurnLossyGossip:
+		return "lossy-gossip"
+	case ChurnGossipCrash:
+		return "gossip-crash"
+	case ChurnStraggler:
+		return "straggler"
 	default:
 		return "poisson"
 	}
@@ -481,6 +524,18 @@ type ChurnOptions struct {
 	// PartitionFor is the partition duration in ChurnPartition (default
 	// 60 s, the acceptance scenario).
 	PartitionFor time.Duration
+	// Loss, Dup, and Jitter configure the member-plane fault plane (see
+	// DynamicFleetOptions). Zero takes the scenario default: the
+	// adversarial gossip scenarios (lossy-gossip, gossip-crash, straggler)
+	// run at 5% loss, 2% duplication, and 20 ms jitter; every other
+	// scenario runs clean. Negative values force a knob off.
+	Loss, Dup float64
+	Jitter    time.Duration
+	// StarveFor is how long ChurnStraggler's burst-loss windows isolate
+	// their victims (default 45 s); Stragglers is how many nodes are
+	// starved (default 3).
+	StarveFor  time.Duration
+	Stragglers int
 	// Algorithm selects the router (default quorum).
 	Algorithm overlay.Algorithm
 	// Env supplies latencies sized ≥ the computed endpoint capacity; nil
@@ -567,11 +622,38 @@ func (o *ChurnOptions) fill() {
 		o.StretchPairs = 200
 	}
 	if o.Coordinators <= 0 {
-		if o.Scenario == ChurnCoordCrash || o.Scenario == ChurnPartition {
+		if o.Scenario == ChurnCoordCrash || o.Scenario == ChurnPartition || o.Scenario == ChurnGossipCrash {
 			o.Coordinators = 3
 		} else {
 			o.Coordinators = 1
 		}
+	}
+	switch o.Scenario {
+	case ChurnLossyGossip, ChurnGossipCrash, ChurnStraggler:
+		if o.Loss == 0 {
+			o.Loss = 0.05
+		}
+		if o.Dup == 0 {
+			o.Dup = 0.02
+		}
+		if o.Jitter == 0 {
+			o.Jitter = 20 * time.Millisecond
+		}
+	}
+	if o.Loss < 0 {
+		o.Loss = 0
+	}
+	if o.Dup < 0 {
+		o.Dup = 0
+	}
+	if o.Jitter < 0 {
+		o.Jitter = 0
+	}
+	if o.StarveFor <= 0 {
+		o.StarveFor = 45 * time.Second
+	}
+	if o.Stragglers <= 0 {
+		o.Stragglers = 3
 	}
 	if o.CoordRestartAfter <= 0 {
 		o.CoordRestartAfter = 2 * time.Minute
@@ -600,11 +682,11 @@ func (o *ChurnOptions) fill() {
 // ever spawned occupies its own endpoint.
 func (o *ChurnOptions) capacity() int {
 	switch o.Scenario {
-	case ChurnFlashCrowd:
+	case ChurnFlashCrowd, ChurnLossyGossip:
 		return o.N + o.Burst
-	case ChurnMassDeparture, ChurnCoordCrash, ChurnPartition, ChurnRegional:
+	case ChurnMassDeparture, ChurnCoordCrash, ChurnPartition, ChurnRegional, ChurnGossipCrash:
 		return o.N
-	default:
+	default: // poisson and straggler keep replacing departures
 		intervals := int(o.Duration/o.Interval) + 1
 		expected := int(o.Rate * float64(o.N) * float64(intervals))
 		return o.N + 2*expected + 16
@@ -668,6 +750,13 @@ type ChurnResult struct {
 	// Broadcasts/Deltas/FullViews break down its view dissemination.
 	CoordMsgs                     uint64
 	Broadcasts, Deltas, FullViews uint64
+	// Seeds is the gossip envelopes the primaries injected into the
+	// dissemination tree (with gossip on these replace the per-member
+	// Deltas unicasts), and Gossip aggregates every spawned node's
+	// client-side gossip/repair counters — Gossip.FullViewRequests is the
+	// herd the zero-herd acceptance asserts on.
+	Seeds  uint64
+	Gossip membership.ClientStats
 }
 
 // RunChurn executes a churn scenario and returns its metrics. The run is a
@@ -692,6 +781,9 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 		Coordinators: opt.Coordinators,
 		Algorithm:    opt.Algorithm,
 		Env:          env,
+		Loss:         opt.Loss,
+		Dup:          opt.Dup,
+		Jitter:       opt.Jitter,
 		Probe:        opt.Probe,
 		Quorum:       opt.Quorum,
 		FullMesh:     opt.FullMesh,
@@ -708,10 +800,11 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 	nextSample := f.Elapsed() + opt.SampleEvery
 	burstDone := false
 
-	// Coordinator fault schedule: the fault lands one Interval into the
-	// churn phase; convergence is polled every second from the moment the
-	// fault clears.
-	var faultAt, restartAt, healAt, convPoll time.Duration // 0 = disabled
+	// Fault schedule: the fault lands one Interval into the churn phase;
+	// convergence is polled every second from the moment the fault clears
+	// (crashAt is the gossip-crash second stage, windowEndAt the straggler
+	// blackout's close).
+	var faultAt, restartAt, healAt, crashAt, windowEndAt, convPoll time.Duration // 0 = disabled
 	var convFrom time.Duration
 	switch opt.Scenario {
 	case ChurnCoordCrash:
@@ -724,11 +817,16 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 		res.ConvergeBound = 3 * opt.Membership.Heartbeat
 	case ChurnRegional:
 		faultAt = f.Elapsed() + opt.Interval
+	case ChurnLossyGossip, ChurnGossipCrash, ChurnStraggler:
+		faultAt = f.Elapsed() + opt.Interval
+		// The gossip acceptance bound: every survivor converges within 90 s
+		// of the fault clearing, through the epidemic + pull planes alone.
+		res.ConvergeBound = 90 * time.Second
 	}
 
 	for f.Elapsed() < end {
 		next := end
-		for _, t := range []time.Duration{nextChurn, nextSample, faultAt, restartAt, healAt, convPoll} {
+		for _, t := range []time.Duration{nextChurn, nextSample, faultAt, restartAt, healAt, crashAt, windowEndAt, convPoll} {
 			if t > 0 && t < next {
 				next = t
 			}
@@ -755,11 +853,37 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 				f.Net.SetPartition(minority)
 			case ChurnRegional:
 				f.CrashRegion(churnRegionEndpoints(f, opt.N))
+			case ChurnLossyGossip:
+				for i := 0; i < opt.Burst; i++ {
+					f.Spawn()
+				}
+				convFrom = f.Elapsed()
+				convPoll = f.Elapsed() + time.Second
+			case ChurnGossipCrash:
+				// A burst of graceful departures produces one coalesced
+				// delta; the primary dies one coalesce interval later, with
+				// that delta's gossip envelopes still hopping the tree.
+				churnMassDeparture(f, churnRng, opt.Burst, 0)
+				crashAt = f.Elapsed() + opt.Coordinator.Coalesce + 200*time.Millisecond
+			case ChurnStraggler:
+				churnStarve(f, opt)
+				windowEndAt = f.Elapsed() + opt.StarveFor
 			}
 		}
 		if restartAt > 0 && f.Elapsed() >= restartAt {
 			restartAt = 0
 			f.RestartCoordinator(0)
+		}
+		if crashAt > 0 && f.Elapsed() >= crashAt {
+			crashAt = 0
+			f.CrashCoordinator(0)
+			convFrom = f.Elapsed()
+			convPoll = f.Elapsed() + time.Second
+		}
+		if windowEndAt > 0 && f.Elapsed() >= windowEndAt {
+			windowEndAt = 0
+			convFrom = f.Elapsed()
+			convPoll = f.Elapsed() + time.Second
 		}
 		if healAt > 0 && f.Elapsed() >= healAt {
 			healAt = 0
@@ -778,7 +902,7 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 		}
 		if f.Elapsed() >= nextChurn {
 			switch opt.Scenario {
-			case ChurnPoisson:
+			case ChurnPoisson, ChurnStraggler:
 				churnStepPoisson(f, churnRng, opt.Rate, opt.CrashFrac)
 			case ChurnFlashCrowd:
 				if !burstDone {
@@ -811,8 +935,15 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 		cs.Broadcasts += s.Broadcasts
 		cs.DeltasSent += s.DeltasSent
 		cs.FullViewsSent += s.FullViewsSent
+		cs.SeedsSent += s.SeedsSent
 	}
 	res.Broadcasts, res.Deltas, res.FullViews = cs.Broadcasts, cs.DeltasSent, cs.FullViewsSent
+	res.Seeds = cs.SeedsSent
+	for ep := 0; ep < f.next; ep++ {
+		if f.nodes[ep] != nil {
+			res.Gossip.Add(f.nodes[ep].MembershipStats())
+		}
+	}
 	res.MinAvailability = 1
 	var availSum, stretchSum float64
 	var availN, stretchN int
@@ -909,6 +1040,27 @@ func churnRegionEndpoints(f *DynamicFleet, n int) []int {
 		}
 	}
 	return eps
+}
+
+// churnStarve opens burst-loss windows that black out the first
+// opt.Stragglers live endpoints for opt.StarveFor: every link they have —
+// peers and coordinators alike — drops everything, so the victims miss
+// whole delta generations and must repair by pulling once the window
+// closes. Heartbeats are lost too, but StarveFor sits well inside the
+// membership timeout, so no victim is evicted.
+func churnStarve(f *DynamicFleet, opt ChurnOptions) {
+	eps := f.ActiveEndpoints()
+	k := opt.Stragglers
+	if k > len(eps) {
+		k = len(eps)
+	}
+	for _, v := range eps[:k] {
+		for other := 0; other < f.Net.Size(); other++ {
+			if other != v {
+				f.Net.AddBurstLoss(v, other, 0, opt.StarveFor)
+			}
+		}
+	}
 }
 
 // churnMassDeparture removes k random live nodes at once.
@@ -1057,8 +1209,9 @@ func churnOracleOneHop(f *DynamicFleet, env *traces.Env, eps []int, a, b int) wi
 // determinism test pins.
 func (r *ChurnResult) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# churn scenario=%s n=%d seed=%d rate=%.3f interval=%s duration=%s\n",
-		r.Opt.Scenario, r.Opt.N, r.Opt.Seed, r.Opt.Rate, r.Opt.Interval, r.Opt.Duration)
+	fmt.Fprintf(&b, "# churn scenario=%s n=%d seed=%d rate=%.3f interval=%s duration=%s loss=%.3f dup=%.3f jitter=%s\n",
+		r.Opt.Scenario, r.Opt.N, r.Opt.Seed, r.Opt.Rate, r.Opt.Interval, r.Opt.Duration,
+		r.Opt.Loss, r.Opt.Dup, r.Opt.Jitter)
 	fmt.Fprintf(&b, "# t_s  members  settled  views  prim  pairs  routed  excl  avail  stretch  coord_msgs\n")
 	for _, s := range r.Samples {
 		fmt.Fprintf(&b, "%6.0f  %7d  %7d  %5d  %4d  %5d  %6d  %4d  %6.4f  %7.4f  %10d\n",
@@ -1072,16 +1225,20 @@ func (r *ChurnResult) Format() string {
 	}
 	fmt.Fprintf(&b, "# availability min=%.4f mean=%.4f  stretch mean=%.4f\n",
 		r.MinAvailability, r.MeanAvailability, r.MeanStretch)
-	fmt.Fprintf(&b, "# coordinator msgs=%d broadcasts=%d deltas=%d full_views=%d\n",
-		r.CoordMsgs, r.Broadcasts, r.Deltas, r.FullViews)
+	fmt.Fprintf(&b, "# coordinator msgs=%d broadcasts=%d deltas=%d full_views=%d seeds=%d\n",
+		r.CoordMsgs, r.Broadcasts, r.Deltas, r.FullViews, r.Seeds)
+	fmt.Fprintf(&b, "# gossip seen=%d dups=%d forwards=%d pulls_sent=%d pulls_served=%d gaps_bridged=%d fallbacks=%d full_view_reqs=%d\n",
+		r.Gossip.GossipSeen, r.Gossip.GossipDups, r.Gossip.GossipForwards,
+		r.Gossip.PullsSent, r.Gossip.PullsServed, r.Gossip.GapsBridged,
+		r.Gossip.FullViewFallbacks, r.Gossip.FullViewRequests)
 	switch r.Opt.Scenario {
-	case ChurnCoordCrash, ChurnPartition, ChurnRegional:
+	case ChurnCoordCrash, ChurnPartition, ChurnRegional, ChurnGossipCrash:
 		fmt.Fprintf(&b, "# faults coord_crashes=%d coord_restarts=%d partition_size=%d partition_for=%s\n",
 			r.CoordCrashes, r.CoordRestarts, r.PartitionSize, r.Opt.PartitionFor)
-		if r.ConvergeBound > 0 {
-			fmt.Fprintf(&b, "# convergence converged=%v after=%s bound=%s\n",
-				r.Converged, r.ConvergedAfter, r.ConvergeBound)
-		}
+	}
+	if r.ConvergeBound > 0 {
+		fmt.Fprintf(&b, "# convergence converged=%v after=%s bound=%s\n",
+			r.Converged, r.ConvergedAfter, r.ConvergeBound)
 	}
 	return b.String()
 }

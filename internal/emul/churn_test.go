@@ -56,8 +56,8 @@ func TestChurnPoissonAvailability(t *testing.T) {
 	if res.MeanStretch <= 0 || res.MeanStretch > 1.5 {
 		t.Errorf("mean stretch = %.4f, want ≈ 1", res.MeanStretch)
 	}
-	if res.Deltas == 0 {
-		t.Error("churn produced no delta broadcasts")
+	if res.Seeds == 0 {
+		t.Error("churn produced no gossip-seeded deltas")
 	}
 }
 
@@ -187,6 +187,108 @@ func TestChurnRegionalFailure(t *testing.T) {
 	last := res.Samples[len(res.Samples)-1]
 	if last.Availability < 0.95 {
 		t.Errorf("post-failure availability among survivors = %.4f\n%s", last.Availability, res.Format())
+	}
+}
+
+func TestChurnLossyGossipJoinStorm(t *testing.T) {
+	// A flash-crowd join storm over the adversarial fault plane (5% loss,
+	// duplication, jitter): the admission deltas must travel the gossip
+	// tree, drops must be bridged by peer pulls, and every member must
+	// converge within the 90 s acceptance bound — with the primary's
+	// per-flush egress staying O(fanout) and no coordinator full-view
+	// request herd.
+	opt := shortChurnOpts(ChurnLossyGossip)
+	opt.Burst = 10
+	opt.Duration = 5 * time.Minute
+	res := RunChurn(opt)
+	if res.FinalMembers != opt.N+opt.Burst {
+		t.Errorf("final members = %d, want %d", res.FinalMembers, opt.N+opt.Burst)
+	}
+	if !res.Converged {
+		t.Fatalf("members never converged after the lossy join storm\n%s", res.Format())
+	}
+	if res.ConvergedAfter > res.ConvergeBound {
+		t.Errorf("converged after %s, bound %s\n%s", res.ConvergedAfter, res.ConvergeBound, res.Format())
+	}
+	if res.Seeds == 0 || res.Gossip.GossipForwards == 0 {
+		t.Errorf("dissemination never used the gossip tree (seeds=%d forwards=%d)\n%s",
+			res.Seeds, res.Gossip.GossipForwards, res.Format())
+	}
+	// O(fanout) primary egress: each flush seeds at most the skip-over cap,
+	// never the member count.
+	if maxSeeds := res.Broadcasts * uint64(4*membership.DefaultGossipFanout); res.Seeds > maxSeeds {
+		t.Errorf("primary egress not O(fanout): seeds=%d over %d broadcasts (cap %d)\n%s",
+			res.Seeds, res.Broadcasts, maxSeeds, res.Format())
+	}
+	// Herd suppression: a full-view request is legitimate only when a lost
+	// admission view leaves a joiner blind; the population at large must
+	// repair through peers, not stampede the coordinator.
+	if herd := res.Gossip.FullViewRequests; herd > uint64(opt.Burst) {
+		t.Errorf("full-view request herd: %d requests from %d members\n%s",
+			herd, opt.N+opt.Burst, res.Format())
+	}
+}
+
+func TestChurnLossyGossipDeterminism(t *testing.T) {
+	// The adversarial plane draws extra randomness (duplication, jitter,
+	// per-pull backoff); identically-seeded runs must still be
+	// byte-identical end to end.
+	opt := shortChurnOpts(ChurnLossyGossip)
+	opt.Burst = 8
+	a := RunChurn(opt).Format()
+	b := RunChurn(opt).Format()
+	if a != b {
+		t.Fatalf("identical-seed lossy-gossip runs diverged:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}
+
+func TestChurnGossipCrashMidDissemination(t *testing.T) {
+	// The primary fail-stops one coalesce interval after a departure burst,
+	// with that delta's gossip envelopes still hopping the tree over a
+	// lossy plane. The rank-1 standby holds the delta via replication and
+	// must take over; every survivor converges onto its reign within 90 s.
+	opt := shortChurnOpts(ChurnGossipCrash)
+	opt.Burst = 5
+	opt.Duration = 6 * time.Minute
+	res := RunChurn(opt)
+	if res.CoordCrashes != 1 {
+		t.Fatalf("coord crashes = %d, want 1", res.CoordCrashes)
+	}
+	if !res.Converged {
+		t.Fatalf("survivors never converged after the mid-dissemination crash\n%s", res.Format())
+	}
+	if res.ConvergedAfter > res.ConvergeBound {
+		t.Errorf("converged after %s, bound %s\n%s", res.ConvergedAfter, res.ConvergeBound, res.Format())
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if last.Primary != 1 {
+		t.Errorf("final primary rank = %d, want 1 (standby keeps the lead)\n%s", last.Primary, res.Format())
+	}
+	if last.Views != 1 {
+		t.Errorf("final distinct views = %d, want 1\n%s", last.Views, res.Format())
+	}
+}
+
+func TestChurnStragglerPullRepair(t *testing.T) {
+	// Burst-loss windows black out a few members while Poisson churn keeps
+	// versioning the view past them. Once the windows close the stragglers
+	// are generations behind; the anti-entropy pull plane must bridge them
+	// back without leaning on coordinator full views.
+	opt := shortChurnOpts(ChurnStraggler)
+	opt.Duration = 6 * time.Minute
+	res := RunChurn(opt)
+	if !res.Converged {
+		t.Fatalf("stragglers never converged after the blackout\n%s", res.Format())
+	}
+	if res.ConvergedAfter > res.ConvergeBound {
+		t.Errorf("converged after %s, bound %s\n%s", res.ConvergedAfter, res.ConvergeBound, res.Format())
+	}
+	if res.Gossip.PullsSent == 0 || res.Gossip.PullsServed == 0 {
+		t.Errorf("no anti-entropy pulls happened (sent=%d served=%d)\n%s",
+			res.Gossip.PullsSent, res.Gossip.PullsServed, res.Format())
+	}
+	if res.Gossip.GapsBridged == 0 {
+		t.Errorf("no version gap was bridged by a peer\n%s", res.Format())
 	}
 }
 

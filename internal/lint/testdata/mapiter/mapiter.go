@@ -71,6 +71,30 @@ func (c *coord) missingReason() int {
 	return n
 }
 
+// dedupEvict reproduces the gossip dedup-cache eviction shape: ranging a
+// set-valued map to pick a victim makes eviction order depend on Go's map
+// iteration seed, so identically-seeded simulations diverge. The bounded
+// FIFO in membership keeps an insertion-order ring alongside the map for
+// exactly this reason.
+type stamp struct{ epoch, version uint32 }
+
+type dedup struct {
+	seen map[stamp]struct{}
+}
+
+func (d *dedup) evictOne() {
+	for s := range d.seen { // want `range over map d\.seen`
+		delete(d.seen, s)
+		return
+	}
+}
+
+// dedupLookup only tests membership, never ranges: not flagged.
+func (d *dedup) dedupLookup(s stamp) bool {
+	_, ok := d.seen[s]
+	return ok
+}
+
 // nonMap ranges over a slice: never flagged.
 func (c *coord) nonMap(ids []uint64) int {
 	n := 0

@@ -30,7 +30,47 @@ type ClientConfig struct {
 	// burst from turning every version gap into a synchronized full-view
 	// thundering herd (default 250 ms).
 	FullViewBackoff time.Duration
+	// GossipFanout is how many peers this member forwards each gossiped
+	// view delta to (the F of the dissemination tree; default
+	// DefaultGossipFanout). Negative disables gossip participation: the
+	// client neither forwards nor pulls, and every version gap falls
+	// straight back to the coordinator full-view request (the pre-gossip
+	// behavior). Must match the coordinator's fanout for the tree positions
+	// to line up.
+	GossipFanout int
+	// AntiEntropy is the periodic anti-entropy interval: every round the
+	// client pulls from one deterministic-randomly chosen peer, repairing
+	// gaps that no later traffic would ever reveal (default 30 s).
+	AntiEntropy time.Duration
+	// PullBackoff is the base of the jittered exponential backoff between
+	// anti-entropy pull attempts after a detected version gap (default
+	// 200 ms). Attempt i waits in [w/2, w) with w = PullBackoff << i.
+	PullBackoff time.Duration
+	// MaxPullTries is how many peer pulls may fail to bridge a gap before
+	// the client falls back to the coordinator full-view request
+	// (default 3).
+	MaxPullTries int
+	// DedupCache bounds the per-ViewStamp duplicate-suppression cache
+	// (default 128 stamps, FIFO eviction).
+	DedupCache int
+	// DeltaLog bounds the log of applied deltas served to pulling peers
+	// (default 32 deltas).
+	DeltaLog int
 }
+
+// Gossip defaults.
+const (
+	// DefaultGossipFanout is the dissemination tree's branching factor. 3
+	// keeps the primary's per-flush egress constant while reaching n
+	// members in ~log₃(n) hops.
+	DefaultGossipFanout = 3
+	// DefaultGossipHops bounds forwarding depth; the dedup cache, not the
+	// hop budget, is what terminates the epidemic, so this is a pure
+	// safety bound sized far past log₃(2¹⁶).
+	DefaultGossipHops = 16
+	// DefaultAntiEntropy is the periodic pull interval.
+	DefaultAntiEntropy = 30 * time.Second
+)
 
 func (c *ClientConfig) fill() {
 	if c.Heartbeat <= 0 {
@@ -54,7 +94,29 @@ func (c *ClientConfig) fill() {
 	if c.FullViewBackoff <= 0 {
 		c.FullViewBackoff = 250 * time.Millisecond
 	}
+	if c.GossipFanout == 0 {
+		c.GossipFanout = DefaultGossipFanout
+	}
+	if c.AntiEntropy <= 0 {
+		c.AntiEntropy = DefaultAntiEntropy
+	}
+	if c.PullBackoff <= 0 {
+		c.PullBackoff = 200 * time.Millisecond
+	}
+	if c.MaxPullTries <= 0 {
+		c.MaxPullTries = 3
+	}
+	if c.DedupCache <= 0 {
+		c.DedupCache = 128
+	}
+	if c.DeltaLog <= 0 {
+		c.DeltaLog = 32
+	}
 }
+
+// gossipEnabled reports whether this client participates in epidemic
+// dissemination and peer repair.
+func (c *ClientConfig) gossipEnabled() bool { return c.GossipFanout > 0 }
 
 // Client joins the overlay through the coordinator set and tracks view
 // updates, applying incremental deltas and falling back to a full-view
@@ -86,14 +148,77 @@ type Client struct {
 	fvPending bool
 	fvFails   int
 
+	// joinNonce identifies the outstanding join attempt; only a JoinReply
+	// echoing it is accepted, so a duplicated or delayed reply to an
+	// earlier join can never hand a re-joining client an obsolete ID.
+	joinNonce uint32
+
+	// Gossip dissemination state. dedup/dedupQ are the bounded FIFO of
+	// delta stamps already seen (duplicate suppression); deltaLog holds the
+	// consecutive run of applied deltas ending at the current version,
+	// served to pulling peers; want is the newest same-epoch stamp heard of
+	// (gossip, heartbeat acks, pull traffic) — while it is ahead of the
+	// installed view, a repair pull is owed.
+	dedup    map[wire.ViewStamp]struct{}
+	dedupQ   []wire.ViewStamp
+	deltaLog []wire.ViewDelta
+	want     wire.ViewStamp
+
+	// pullPending caps gap-repair pulls at one scheduled per client;
+	// pullTries counts attempts against MaxPullTries before the
+	// coordinator fallback.
+	pullPending bool
+	pullTries   int
+
 	hbTimer   transport.Timer
 	joinTimer transport.Timer
 	fvTimer   transport.Timer
+	pullTimer transport.Timer
+	aeTimer   transport.Timer
 	stopped   bool
+
+	stats ClientStats
 
 	// OnEvicted, if non-nil, fires when the client discovers the coordinator
 	// expired it (a newer view omits its ID) and begins rejoining.
 	OnEvicted func()
+}
+
+// ClientStats counts the client's gossip and repair traffic, the quantities
+// the adversarial churn scenarios assert on.
+type ClientStats struct {
+	// GossipSeen counts gossiped deltas received; GossipDups of those were
+	// duplicates suppressed by the dedup cache; GossipForwards counts
+	// copies forwarded to peers.
+	GossipSeen, GossipDups, GossipForwards uint64
+	// PullsSent counts anti-entropy pulls issued (reactive gap repair and
+	// periodic rounds); PullsServed counts replies sent to peers.
+	PullsSent, PullsServed uint64
+	// GapsBridged counts version gaps closed by peer-served deltas — each
+	// one is a coordinator full-view request that did not happen.
+	GapsBridged uint64
+	// FullViewFallbacks counts gaps the peers could not bridge within
+	// MaxPullTries, falling back to the coordinator.
+	FullViewFallbacks uint64
+	// FullViewRequests counts full-view requests actually sent to the
+	// coordinator — the "herd" the gossip plane exists to suppress.
+	FullViewRequests uint64
+}
+
+// Stats returns a copy of the gossip/repair counters. Call from within
+// env.Do.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// Add accumulates o into s — the churn harness sums a fleet's counters.
+func (s *ClientStats) Add(o ClientStats) {
+	s.GossipSeen += o.GossipSeen
+	s.GossipDups += o.GossipDups
+	s.GossipForwards += o.GossipForwards
+	s.PullsSent += o.PullsSent
+	s.PullsServed += o.PullsServed
+	s.GapsBridged += o.GapsBridged
+	s.FullViewFallbacks += o.FullViewFallbacks
+	s.FullViewRequests += o.FullViewRequests
 }
 
 // NewClient creates a membership client. onView is invoked (inside the Env's
@@ -115,7 +240,7 @@ func (c *Client) Start() {
 // Leave for a graceful exit.
 func (c *Client) Stop() {
 	c.stopped = true
-	for _, t := range []transport.Timer{c.hbTimer, c.joinTimer, c.fvTimer} {
+	for _, t := range []transport.Timer{c.hbTimer, c.joinTimer, c.fvTimer, c.pullTimer, c.aeTimer} {
 		if t != nil {
 			t.Stop()
 		}
@@ -146,7 +271,12 @@ func (c *Client) Leave() {
 }
 
 func (c *Client) sendJoin() {
-	c.env.Send(c.coordinator(), wire.AppendJoin(nil, wire.Join{Addr: c.env.LocalAddr()}))
+	// A fresh nonce per attempt: only the reply to *this* join is accepted,
+	// so a duplicated or jitter-delayed reply to a previous attempt (worst
+	// case: a pre-eviction join, whose stale ID would corrupt the peer
+	// table) is rejected by the nonce check rather than trusted.
+	c.joinNonce = uint32(c.env.Rand().Int63())
+	c.env.Send(c.coordinator(), wire.AppendJoin(nil, wire.Join{Addr: c.env.LocalAddr(), Nonce: c.joinNonce}))
 }
 
 func (c *Client) joinRetry() {
@@ -226,6 +356,7 @@ func (c *Client) sendViewRequest() {
 	}
 	c.fvPending = false
 	c.fvFails++ // reset when a view installs; widens the window until then
+	c.stats.FullViewRequests++
 	have := wire.ViewStamp{}
 	if c.view != nil {
 		have = c.view.Stamp()
@@ -248,7 +379,9 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 	switch h.Type {
 	case wire.TJoinReply:
 		r, err := wire.ParseJoinReply(body)
-		if err != nil {
+		if err != nil || r.Nonce != c.joinNonce {
+			// A reply to some earlier join attempt, duplicated or delayed
+			// by the network: accepting it would adopt an obsolete ID.
 			return
 		}
 		// Record which replica answered: it is the live primary.
@@ -258,10 +391,13 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 			c.env.SetLocalID(r.Assigned)
 			// The heartbeat loop perpetuates itself; arm it only on the
 			// first admission so an eviction/rejoin cycle cannot stack a
-			// second loop.
+			// second loop. The anti-entropy loop likewise.
 			if !c.hbStarted {
 				c.hbStarted = true
 				c.hbTimer = c.env.After(c.cfg.Heartbeat, c.heartbeat)
+				if c.cfg.gossipEnabled() {
+					c.aeTimer = c.env.After(c.aeInterval(), c.antiEntropy)
+				}
 			}
 		}
 	case wire.THeartbeatAck:
@@ -271,8 +407,8 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 		}
 		c.noteCoordinator(h.Src)
 		// The ack both proves the primary live and carries its view stamp: a
-		// stamp ahead of ours (a post-failover reign we missed the broadcast
-		// of) is chased with a full-view request.
+		// stamp ahead of ours (a missed delta, or a post-failover reign we
+		// missed the broadcast of) is chased through the repair path.
 		c.hbGen++
 		c.hbFails = 0
 		if c.hbTimer != nil {
@@ -280,7 +416,7 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 		}
 		c.hbTimer = c.env.After(c.cfg.Heartbeat, c.heartbeat)
 		if a.Stamp.After(c.stamp()) {
-			c.requestFullView()
+			c.noteAhead(a.Stamp)
 		}
 	case wire.TView:
 		v, err := wire.ParseView(body)
@@ -295,27 +431,298 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 			return
 		}
 		c.noteCoordinator(h.Src)
+		// The delta log serves consecutive runs only; a full view breaks
+		// the chain.
+		c.deltaLog = c.deltaLog[:0]
 		c.install(vi)
 	case wire.TViewDelta:
 		d, err := wire.ParseViewDelta(body)
 		if err != nil {
 			return
 		}
-		stamp := wire.ViewStamp{Epoch: d.Epoch, Version: d.Version}
-		if !stamp.After(c.stamp()) && c.view != nil {
-			return // stale or duplicate delta
-		}
-		if c.view == nil || c.view.epoch != d.Epoch || c.view.version != d.BaseVersion {
-			c.requestFullView() // gap: missed an update or an election
+		c.handleDelta(d)
+	case wire.TGossipDelta:
+		g, err := wire.ParseGossipDelta(body)
+		if err != nil || !c.cfg.gossipEnabled() {
 			return
 		}
-		vi, err := c.view.ApplyDelta(d)
-		if err != nil {
-			c.requestFullView()
+		c.stats.GossipSeen++
+		stamp := wire.ViewStamp{Epoch: g.Delta.Epoch, Version: g.Delta.Version}
+		if c.seenGossip(stamp) {
+			c.stats.GossipDups++
+			return // duplicate: already applied (or queued for repair) and forwarded
+		}
+		c.handleDelta(g.Delta)
+		c.forwardGossip(g)
+	case wire.TViewPull:
+		p, err := wire.ParseViewPull(body)
+		if err != nil || !c.cfg.gossipEnabled() || !c.joined || c.view == nil {
 			return
 		}
-		c.install(vi)
+		reply := wire.ViewPullReply{Stamp: c.stamp()}
+		if p.Have.Epoch == c.view.epoch && p.Have.Version < c.view.version {
+			reply.Deltas = c.deltasAfter(p.Have.Epoch, p.Have.Version)
+		}
+		c.stats.PullsServed++
+		c.env.Send(h.Src, wire.AppendViewPullReply(nil, c.env.LocalID(), reply))
+		// Push-pull symmetry: a requester ahead of us is itself evidence of
+		// a gap on our own side.
+		if p.Have.After(c.stamp()) {
+			c.noteAhead(p.Have)
+		}
+	case wire.TViewPullReply:
+		r, err := wire.ParseViewPullReply(body)
+		if err != nil || !c.cfg.gossipEnabled() {
+			return
+		}
+		wasBehind := c.behind()
+		for _, d := range r.Deltas {
+			if c.view == nil {
+				break
+			}
+			if d.Epoch != c.view.epoch || d.BaseVersion != c.view.version {
+				continue // stale entry (duplicated reply); idempotent skip
+			}
+			vi, err := c.view.ApplyDelta(d)
+			if err != nil {
+				break
+			}
+			c.logDelta(d)
+			c.install(vi)
+		}
+		if wasBehind && !c.behind() {
+			c.pullTries = 0
+			c.stats.GapsBridged++
+		}
+		if r.Stamp.After(c.stamp()) {
+			// The run was capped, lost a member mid-apply, or the responder
+			// advanced meanwhile: keep pulling.
+			c.noteAhead(r.Stamp)
+		}
 	}
+}
+
+// handleDelta folds one delta into the view: a no-op for stale stamps
+// (idempotent under duplication), an install when it extends the current
+// version, and a repair trigger on a gap.
+func (c *Client) handleDelta(d wire.ViewDelta) {
+	stamp := wire.ViewStamp{Epoch: d.Epoch, Version: d.Version}
+	if c.view != nil && !stamp.After(c.stamp()) {
+		return // stale or duplicate delta
+	}
+	if c.view == nil || c.view.epoch != d.Epoch || c.view.version != d.BaseVersion {
+		c.noteAhead(stamp) // gap: missed an update or an election
+		return
+	}
+	vi, err := c.view.ApplyDelta(d)
+	if err != nil {
+		c.noteAhead(stamp)
+		return
+	}
+	c.logDelta(d)
+	c.install(vi)
+}
+
+// noteAhead records evidence that a view newer than ours exists and
+// schedules the matching repair: a peer pull for same-epoch version gaps
+// (peers hold the missing increments), or the coordinator full-view request
+// for epoch changes (a delta never spans an election, so peers cannot
+// bridge one) and when gossip is disabled.
+func (c *Client) noteAhead(s wire.ViewStamp) {
+	if s.After(c.want) {
+		c.want = s
+	}
+	if !c.cfg.gossipEnabled() || c.view == nil || s.Epoch != c.view.epoch {
+		c.requestFullView()
+		return
+	}
+	c.schedulePull()
+}
+
+// behind reports whether a newer same-epoch stamp than the installed view
+// is known to exist — the state a repair pull is meant to clear.
+func (c *Client) behind() bool {
+	return c.view != nil && c.want.Epoch == c.view.epoch && c.want.Version > c.view.version
+}
+
+// schedulePull arms a gap-repair pull under jittered exponential backoff,
+// capped at one outstanding per client. Attempt i fires within
+// [w/2, w], w = PullBackoff·2^min(i,6), so a loss burst that opens the same
+// gap across a whole fleet spreads the repair traffic over the window.
+func (c *Client) schedulePull() {
+	if c.pullPending || c.stopped || !c.behind() {
+		return
+	}
+	c.pullPending = true
+	shift := c.pullTries
+	if shift > 6 {
+		shift = 6
+	}
+	window := c.cfg.PullBackoff << shift
+	delay := window/2 + time.Duration(c.env.Rand().Int63n(int64(window/2)+1))
+	c.pullTimer = c.env.After(delay, c.pullFire)
+}
+
+// pullFire issues one repair pull, or — once MaxPullTries peers have failed
+// to bridge the gap — falls back to the coordinator full-view request. The
+// re-armed backoff doubles as the reply deadline: a reply that closes the
+// gap makes the next firing a no-op.
+func (c *Client) pullFire() {
+	c.pullPending = false
+	if c.stopped || !c.behind() {
+		c.pullTries = 0
+		return
+	}
+	if c.pullTries >= c.cfg.MaxPullTries {
+		c.pullTries = 0
+		c.stats.FullViewFallbacks++
+		c.requestFullView()
+		return
+	}
+	c.pullTries++
+	peer := c.pickPeer()
+	if peer == wire.NilNode {
+		c.pullTries = 0
+		c.stats.FullViewFallbacks++
+		c.requestFullView()
+		return
+	}
+	c.stats.PullsSent++
+	c.env.Send(peer, wire.AppendViewPull(nil, c.env.LocalID(), wire.ViewPull{Have: c.stamp()}))
+	c.schedulePull()
+}
+
+// pickPeer returns a uniformly drawn member of the current view other than
+// this node, or NilNode when none exists. The draw comes from the Env's
+// seeded stream, so identically seeded runs pull identical peers.
+func (c *Client) pickPeer() wire.NodeID {
+	if c.view == nil || c.view.N() == 0 {
+		return wire.NilNode
+	}
+	n := c.view.N()
+	self, ok := c.view.SlotOf(c.env.LocalID())
+	if !ok {
+		return c.view.IDAt(c.env.Rand().Intn(n))
+	}
+	if n < 2 {
+		return wire.NilNode
+	}
+	slot := c.env.Rand().Intn(n - 1)
+	if slot >= self {
+		slot++
+	}
+	return c.view.IDAt(slot)
+}
+
+// seenGossip checks-and-marks a delta stamp in the bounded dedup cache,
+// reporting whether it was already present. The cache is what terminates
+// the epidemic: the F-ary tree, link duplication, and re-forwarded copies
+// may all deliver the same stamp, and only the first sighting is applied
+// and forwarded. Eviction is FIFO, so the cache always covers the most
+// recent DedupCache versions — far more than can be in flight.
+func (c *Client) seenGossip(s wire.ViewStamp) bool {
+	if c.dedup == nil {
+		c.dedup = make(map[wire.ViewStamp]struct{}, c.cfg.DedupCache)
+	}
+	if _, ok := c.dedup[s]; ok {
+		return true
+	}
+	c.dedup[s] = struct{}{}
+	c.dedupQ = append(c.dedupQ, s)
+	if len(c.dedupQ) > c.cfg.DedupCache {
+		delete(c.dedup, c.dedupQ[0])
+		c.dedupQ = c.dedupQ[1:]
+	}
+	return false
+}
+
+// forwardGossip relays a first-sighted delta to this member's children in
+// the dissemination tree, spending one hop of the budget. Positions are
+// view slots rotated by the delta version (see gossipTargets), so the
+// forwarding set is a pure function of (view, version) — no coordination,
+// no extra randomness, byte-identical across identically seeded runs.
+func (c *Client) forwardGossip(g wire.GossipDelta) {
+	if g.Hops == 0 || !c.joined || c.view == nil {
+		return
+	}
+	self, ok := c.view.SlotOf(c.env.LocalID())
+	if !ok {
+		return
+	}
+	n := c.view.N()
+	f := c.cfg.GossipFanout
+	r := gossipRotation(g.Delta.Version, f, n)
+	p := ((self-r)%n + n) % n
+	added := addedSet(g.Delta.Adds)
+	targets := gossipTargets(n, p, f, r, func(slot int) bool { return added[c.view.IDAt(slot)] })
+	if len(targets) == 0 {
+		return
+	}
+	out := wire.AppendGossipDelta(nil, c.env.LocalID(), wire.GossipDelta{Hops: g.Hops - 1, Delta: g.Delta})
+	for _, slot := range targets {
+		if id := c.view.IDAt(slot); id != c.env.LocalID() {
+			c.env.Send(id, out)
+			c.stats.GossipForwards++
+		}
+	}
+}
+
+// logDelta records an applied delta for serving to pulling peers. The log
+// holds a consecutive run ending at the current version; full-view installs
+// clear it, so consecutiveness is an invariant, not a search.
+func (c *Client) logDelta(d wire.ViewDelta) {
+	if !c.cfg.gossipEnabled() {
+		return
+	}
+	c.deltaLog = append(c.deltaLog, d)
+	if len(c.deltaLog) > c.cfg.DeltaLog {
+		c.deltaLog = c.deltaLog[len(c.deltaLog)-c.cfg.DeltaLog:]
+	}
+}
+
+// deltasAfter returns the logged consecutive run starting at base version v,
+// capped at wire.MaxPullDeltas, or nil when the log no longer reaches back
+// that far (the requester retries elsewhere or falls back to the
+// coordinator).
+func (c *Client) deltasAfter(epoch, v uint32) []wire.ViewDelta {
+	for i, d := range c.deltaLog {
+		if d.Epoch == epoch && d.BaseVersion == v {
+			run := c.deltaLog[i:]
+			if len(run) > wire.MaxPullDeltas {
+				run = run[:wire.MaxPullDeltas]
+			}
+			return run
+		}
+	}
+	return nil
+}
+
+// aeInterval returns one jittered anti-entropy period in [¾T, 1¼T]: a
+// cohort of members admitted in the same view change must not pull in
+// phase forever.
+func (c *Client) aeInterval() time.Duration {
+	d := c.cfg.AntiEntropy
+	return d*3/4 + time.Duration(c.env.Rand().Int63n(int64(d/2)+1))
+}
+
+// antiEntropy is the periodic repair round: pull from one random peer even
+// without gap evidence, catching losses no later traffic would reveal —
+// the delta before a quiet period, or a whole starved subtree after the
+// primary crashed mid-dissemination.
+func (c *Client) antiEntropy() {
+	if c.stopped {
+		return
+	}
+	c.aeTimer = c.env.After(c.aeInterval(), c.antiEntropy)
+	if !c.joined || c.view == nil {
+		return
+	}
+	peer := c.pickPeer()
+	if peer == wire.NilNode {
+		return
+	}
+	c.stats.PullsSent++
+	c.env.Send(peer, wire.AppendViewPull(nil, c.env.LocalID(), wire.ViewPull{Have: c.stamp()}))
 }
 
 // noteCoordinator points the client at the replica that just proved itself
@@ -337,6 +744,9 @@ func (c *Client) noteCoordinator(id wire.NodeID) {
 func (c *Client) install(vi *ViewInfo) {
 	c.view = vi
 	c.fvFails = 0
+	if !c.behind() {
+		c.pullTries = 0 // caught up; future gaps restart the backoff ladder
+	}
 	if c.fvPending {
 		// The gap this request chased is closed; release the slot.
 		c.fvPending = false

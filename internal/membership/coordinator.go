@@ -60,6 +60,17 @@ type CoordinatorConfig struct {
 	// resolve deterministically to the lowest live rank (default
 	// 3·BeaconInterval + Rank·BeaconInterval).
 	ElectionTimeout time.Duration
+	// GossipFanout is the dissemination tree fanout F: each flushed delta is
+	// seeded to F members, who forward it down the tree instead of the
+	// primary unicasting to all n (default DefaultGossipFanout; negative
+	// disables gossip and restores the broadcast fan-out). Must match the
+	// members' ClientConfig.GossipFanout — the tree shape is computed
+	// independently on both sides from the view alone.
+	GossipFanout int
+	// GossipHops bounds a gossiped delta's forwarding depth as a safety
+	// backstop; the dedup cache is what actually terminates the epidemic
+	// (default DefaultGossipHops).
+	GossipHops int
 	// PreVoteWait is how long a standby whose election timeout expired
 	// solicits peer confirmation of the primary's silence before promoting
 	// (default 2·BeaconInterval). Beacon loss on one path — a stalled link,
@@ -99,7 +110,16 @@ func (c *CoordinatorConfig) fill() {
 	if c.PreVoteWait <= 0 {
 		c.PreVoteWait = 2 * c.BeaconInterval
 	}
+	if c.GossipFanout == 0 {
+		c.GossipFanout = DefaultGossipFanout
+	}
+	if c.GossipHops <= 0 || c.GossipHops > 255 {
+		c.GossipHops = DefaultGossipHops
+	}
 }
+
+// gossipEnabled reports whether flushed deltas ride the dissemination tree.
+func (c *CoordinatorConfig) gossipEnabled() bool { return c.GossipFanout > 0 }
 
 type memberState struct {
 	addr     netip.AddrPort
@@ -165,6 +185,10 @@ type CoordinatorStats struct {
 	// heartbeats). Replication to standbys is included.
 	DeltasSent    uint64
 	FullViewsSent uint64
+	// SeedsSent counts gossip-delta envelopes seeded into the dissemination
+	// tree; with gossip on it replaces the per-member DeltasSent fan-out and
+	// stays O(fanout) per flush regardless of view size.
+	SeedsSent uint64
 	// HeartbeatAcks counts heartbeats acknowledged as primary.
 	HeartbeatAcks uint64
 	// Promotions and Demotions count this replica's role changes.
@@ -649,7 +673,7 @@ func (c *Coordinator) handleJoin(j wire.Join) {
 	// produced. This makes client join retries harmless.
 	if id, ok := c.byAddr[j.Addr]; ok {
 		c.members[id].lastSeen = now
-		c.reply(id)
+		c.reply(id, j.Nonce)
 		return
 	}
 	id := c.nextID
@@ -658,12 +682,15 @@ func (c *Coordinator) handleJoin(j wire.Join) {
 	c.byAddr[j.Addr] = id
 	c.env.SetPeer(id, j.Addr)
 	c.logf("membership: admitted %v as node %d", j.Addr, id)
-	c.reply(id)
+	c.reply(id, j.Nonce)
 	c.scheduleFlush()
 }
 
-func (c *Coordinator) reply(id wire.NodeID) {
-	c.env.Send(id, wire.AppendJoinReply(nil, c.selfID, wire.JoinReply{Assigned: id}))
+// reply answers a join, echoing the request nonce so the client can discard
+// replies to joins it no longer cares about (a duplicated or delayed reply
+// to an earlier join attempt must not hand a re-joining client a stale ID).
+func (c *Coordinator) reply(id wire.NodeID, nonce uint32) {
+	c.env.Send(id, wire.AppendJoinReply(nil, c.selfID, wire.JoinReply{Assigned: id, Nonce: nonce}))
 }
 
 func (c *Coordinator) remove(id wire.NodeID, why string) {
@@ -703,12 +730,15 @@ func (c *Coordinator) scheduleFlush() {
 }
 
 // flush broadcasts the changes accumulated during the coalesce window: one
-// version bump, a delta to every surviving member, and a full view to every
+// version bump, a delta to the surviving members, and a full view to every
 // member added in the window (they hold no base to apply a delta to). If the
 // delta would not be smaller than the full view, everyone gets the full
-// view. Standby replicas receive the same delta (or full view), which is how
-// the member table is replicated. Sends walk the sorted member list, so the
-// broadcast order is deterministic under the simulator.
+// view. With gossip enabled the delta is not unicast to each survivor:
+// the primary wraps it in a gossip envelope and seeds only the tree roots,
+// keeping its egress O(fanout) per flush while the members epidemic the rest.
+// Standby replicas always receive the raw delta (or full view) directly —
+// replication must not depend on the member epidemic. Sends walk the sorted
+// member list, so the broadcast order is deterministic under the simulator.
 func (c *Coordinator) flush() {
 	c.flushPending = false
 	if c.stopped || c.role != rolePrimary {
@@ -724,27 +754,38 @@ func (c *Coordinator) flush() {
 	c.stats.Broadcasts++
 	full := wire.AppendView(nil, c.selfID, wire.View{Epoch: c.epoch, Version: c.version, Members: cur})
 	useDelta := wire.ViewDeltaSize(len(adds), len(removes)) < wire.ViewSize(len(cur))
+	d := wire.ViewDelta{
+		Epoch:       c.epoch,
+		BaseVersion: base,
+		Version:     c.version,
+		Adds:        adds,
+		Removes:     removes,
+	}
 	var delta []byte
 	if useDelta {
-		delta = wire.AppendViewDelta(nil, c.selfID, wire.ViewDelta{
-			Epoch:       c.epoch,
-			BaseVersion: base,
-			Version:     c.version,
-			Adds:        adds,
-			Removes:     removes,
-		})
+		delta = wire.AppendViewDelta(nil, c.selfID, d)
 	}
 	added := make(map[wire.NodeID]bool, len(adds))
 	for _, m := range adds {
 		added[m.ID] = true
 	}
-	for _, m := range cur {
-		if useDelta && !added[m.ID] {
-			c.env.Send(m.ID, delta)
-			c.stats.DeltasSent++
-		} else {
-			c.env.Send(m.ID, full)
-			c.stats.FullViewsSent++
+	if useDelta && c.cfg.gossipEnabled() {
+		c.seedGossip(cur, d, added)
+		for _, m := range cur {
+			if added[m.ID] {
+				c.env.Send(m.ID, full)
+				c.stats.FullViewsSent++
+			}
+		}
+	} else {
+		for _, m := range cur {
+			if useDelta && !added[m.ID] {
+				c.env.Send(m.ID, delta)
+				c.stats.DeltasSent++
+			} else {
+				c.env.Send(m.ID, full)
+				c.stats.FullViewsSent++
+			}
 		}
 	}
 	for _, id := range c.peers() {
@@ -758,6 +799,26 @@ func (c *Coordinator) flush() {
 	}
 	c.lastView = cur
 	c.logf("membership: view %d/%d (%d members, +%d −%d)", c.epoch, c.version, len(cur), len(adds), len(removes))
+}
+
+// seedGossip injects a flushed delta into the dissemination tree: the
+// primary sends one gossip envelope to each root position, skipping over
+// slots held by just-added members (they are getting the full view and have
+// no delta to forward). cur is the post-delta view sorted by ID, so slot i
+// is cur[i].
+func (c *Coordinator) seedGossip(cur []wire.Member, d wire.ViewDelta, added map[wire.NodeID]bool) {
+	n := len(cur)
+	f := c.cfg.GossipFanout
+	r := gossipRotation(d.Version, f, n)
+	targets := gossipTargets(n, -1, f, r, func(slot int) bool { return added[cur[slot].ID] })
+	env := wire.AppendGossipDelta(nil, c.selfID, wire.GossipDelta{
+		Hops:  uint8(c.cfg.GossipHops),
+		Delta: d,
+	})
+	for _, slot := range targets {
+		c.env.Send(cur[slot].ID, env)
+		c.stats.SeedsSent++
+	}
 }
 
 // diffMembers returns the members present in cur but not in prev, and the

@@ -63,7 +63,7 @@ type simCluster struct {
 	views   []*ViewInfo
 }
 
-func newSimCluster(t *testing.T, k int, cfg ClientConfig, ccfg CoordinatorConfig) *simCluster {
+func newSimCluster(t testing.TB, k int, cfg ClientConfig, ccfg CoordinatorConfig) *simCluster {
 	t.Helper()
 	nw := simnet.New(k+1, 7)
 	reg := transport.NewRegistry()
@@ -314,11 +314,20 @@ func TestDeltaApplicationOverWire(t *testing.T) {
 	if v0 == nil || v0.N() != 2 {
 		t.Fatalf("initial view = %+v", v0)
 	}
-	deltasBefore := sc.coord.Stats().DeltasSent
+	before := sc.coord.Stats()
 	sc.clients[2].Start()
 	sc.nw.RunFor(5 * time.Second)
-	if got := sc.coord.Stats().DeltasSent - deltasBefore; got != 2 {
-		t.Errorf("deltas sent for the third join = %d, want 2", got)
+	after := sc.coord.Stats()
+	// With gossip on the incumbents get the delta as tree-seeded envelopes,
+	// never as a primary unicast and never as a full view.
+	if got := after.SeedsSent - before.SeedsSent; got != 2 {
+		t.Errorf("gossip seeds sent for the third join = %d, want 2", got)
+	}
+	if got := after.DeltasSent - before.DeltasSent; got != 0 {
+		t.Errorf("unicast deltas sent for the third join = %d, want 0", got)
+	}
+	if got := after.FullViewsSent - before.FullViewsSent; got != 1 {
+		t.Errorf("full views sent for the third join = %d, want 1 (joiner only)", got)
 	}
 	for i := 0; i < 3; i++ {
 		v := sc.views[i]

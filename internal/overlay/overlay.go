@@ -259,7 +259,8 @@ func (n *Node) handlePacket(from wire.NodeID, payload []byte) {
 		if q, ok := n.router.(*core.Quorum); ok {
 			q.HandleLinkStateAck(h, body)
 		}
-	case wire.TJoinReply, wire.TView, wire.TViewDelta, wire.THeartbeatAck:
+	case wire.TJoinReply, wire.TView, wire.TViewDelta, wire.THeartbeatAck,
+		wire.TGossipDelta, wire.TViewPull, wire.TViewPullReply:
 		if n.mc != nil {
 			n.mc.HandlePacket(h, body)
 		}
@@ -282,6 +283,15 @@ func (n *Node) Router() core.Router { return n.router }
 
 // Prober exposes the link monitor for instrumentation.
 func (n *Node) Prober() *probe.Prober { return n.prober }
+
+// MembershipStats returns the membership client's gossip/repair counters
+// (zero value before Start). Call from within env.Do.
+func (n *Node) MembershipStats() membership.ClientStats {
+	if n.mc == nil {
+		return membership.ClientStats{}
+	}
+	return n.mc.Stats()
+}
 
 // BestHop returns the current best one-hop route to the given node. It must
 // be called from within env.Do (or between simulator steps).

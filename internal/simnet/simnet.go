@@ -27,11 +27,21 @@ type Handler func(from int, payload []byte)
 
 // link holds the directed-link configuration between two endpoints.
 // Latency is one-way; Loss is the per-packet drop probability; Down marks an
-// injected hard failure.
+// injected hard failure. Dup is the per-packet duplication probability and
+// jitter the upper bound of the uniformly random extra latency added to each
+// delivery — the adversarial fault plane the gossip scenarios run on.
 type link struct {
 	latency time.Duration
 	loss    float64
+	dup     float64
+	jitter  time.Duration
 	down    bool
+}
+
+// burstWindow is one scheduled burst-loss interval on a directed link:
+// every packet sent in [from, to) is dropped.
+type burstWindow struct {
+	from, to time.Duration
 }
 
 // event is a scheduled callback. A cancelled timer keeps its heap slot with
@@ -94,6 +104,11 @@ type Network struct {
 	// "rest of the network" for endpoints not named in SetPartition.
 	group []int
 
+	// bursts holds the scheduled burst-loss windows per directed link. nil
+	// until the first AddBurstLoss, so the hot send path pays nothing when
+	// the fault plane is idle.
+	bursts map[[2]int][]burstWindow
+
 	// OnSend, if non-nil, observes every attempted transmission (including
 	// ones that will be dropped); used for outgoing bandwidth accounting.
 	OnSend func(from, to int, payload []byte)
@@ -101,11 +116,19 @@ type Network struct {
 	// the receiving handler runs; used for incoming bandwidth accounting.
 	OnDeliver func(from, to int, payload []byte)
 	// OnDrop, if non-nil, observes packets lost to link loss, link failure,
-	// or node failure.
+	// burst-loss windows, or node failure.
 	OnDrop func(from, to int, payload []byte)
+	// OnDup, if non-nil, observes the extra copy created by link duplication
+	// at send time (the original is reported through OnSend as usual).
+	OnDup func(from, to int, payload []byte)
+	// OnReorder, if non-nil, observes packets that drew nonzero jitter —
+	// the deliveries that can overtake or be overtaken by their neighbors.
+	OnReorder func(from, to int, payload []byte, extra time.Duration)
 
-	delivered uint64
-	dropped   uint64
+	delivered  uint64
+	dropped    uint64
+	duplicated uint64
+	reordered  uint64
 }
 
 // New creates a network of n endpoints with every link up, zero latency and
@@ -143,6 +166,13 @@ func (nw *Network) Delivered() uint64 { return nw.delivered }
 // Dropped returns the count of dropped packets.
 func (nw *Network) Dropped() uint64 { return nw.dropped }
 
+// Duplicated returns the count of extra packet copies created by link
+// duplication.
+func (nw *Network) Duplicated() uint64 { return nw.duplicated }
+
+// Reordered returns the count of packets that drew nonzero delivery jitter.
+func (nw *Network) Reordered() uint64 { return nw.reordered }
+
 // Pending returns the number of scheduled events (including cancelled
 // timers not yet reaped).
 func (nw *Network) Pending() int { return len(nw.events) }
@@ -170,6 +200,71 @@ func (nw *Network) Latency(a, b int) time.Duration { return nw.links[a][b].laten
 func (nw *Network) SetLoss(a, b int, p float64) {
 	nw.links[a][b].loss = p
 	nw.links[b][a].loss = p
+}
+
+// SetDuplication sets the symmetric per-packet duplication probability
+// between a and b: a duplicated packet is delivered twice, each copy drawing
+// its own jitter, so the copies may arrive out of order.
+func (nw *Network) SetDuplication(a, b int, p float64) {
+	nw.links[a][b].dup = p
+	nw.links[b][a].dup = p
+}
+
+// SetJitter sets the symmetric delivery jitter bound between a and b: every
+// delivered packet adds a uniformly random extra latency in [0, d), which is
+// what reorders packets relative to their send order.
+func (nw *Network) SetJitter(a, b int, d time.Duration) {
+	nw.links[a][b].jitter = d
+	nw.links[b][a].jitter = d
+}
+
+// AddBurstLoss schedules a symmetric burst-loss window on the a–b link:
+// every packet sent between `in` from now and `in+dur` from now is dropped,
+// modelling a congestion burst or a routing flap. Windows accumulate;
+// expired ones are pruned lazily. Scheduling is an explicit, caller-driven
+// act, so a fixed schedule is deterministic by construction and a randomized
+// one is exactly as deterministic as its caller's seed.
+func (nw *Network) AddBurstLoss(a, b int, in, dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	if in < 0 {
+		in = 0
+	}
+	if nw.bursts == nil {
+		nw.bursts = make(map[[2]int][]burstWindow)
+	}
+	w := burstWindow{from: nw.now + in, to: nw.now + in + dur}
+	nw.bursts[[2]int{a, b}] = append(nw.bursts[[2]int{a, b}], w)
+	nw.bursts[[2]int{b, a}] = append(nw.bursts[[2]int{b, a}], w)
+}
+
+// inBurst reports whether the directed a→b link is inside an active
+// burst-loss window, pruning windows that have already closed.
+func (nw *Network) inBurst(a, b int) bool {
+	if nw.bursts == nil {
+		return false
+	}
+	key := [2]int{a, b}
+	ws := nw.bursts[key]
+	i := 0
+	for i < len(ws) && ws[i].to <= nw.now {
+		i++
+	}
+	if i > 0 {
+		ws = ws[i:]
+		if len(ws) == 0 {
+			delete(nw.bursts, key)
+		} else {
+			nw.bursts[key] = ws
+		}
+	}
+	for _, w := range ws {
+		if nw.now >= w.from && nw.now < w.to {
+			return true
+		}
+	}
+	return false
 }
 
 // SetLinkDown marks the link between a and b as failed (or restores it).
@@ -246,8 +341,10 @@ func (nw *Network) After(d time.Duration, fn func()) *Timer {
 
 // Send transmits payload from endpoint `from` to endpoint `to`. Delivery
 // happens after the link's one-way latency unless the packet is dropped by
-// link loss, link failure, or node failure. Loss and failure are evaluated
-// at send time. Sending to self delivers after zero latency.
+// link loss, a burst-loss window, link failure, or node failure. Loss,
+// failure, duplication, and jitter are evaluated at send time, in a fixed
+// order, so the random stream — and with it the whole simulation — stays a
+// pure function of the seed. Sending to self delivers after zero latency.
 func (nw *Network) Send(from, to int, payload []byte) {
 	if from < 0 || from >= len(nw.links) || to < 0 || to >= len(nw.links) {
 		panic(fmt.Sprintf("simnet: send %d->%d out of range [0,%d)", from, to, len(nw.links)))
@@ -257,6 +354,7 @@ func (nw *Network) Send(from, to int, payload []byte) {
 	}
 	l := &nw.links[from][to]
 	if nw.nodeDown[from] || nw.nodeDown[to] || l.down || nw.Partitioned(from, to) ||
+		nw.inBurst(from, to) ||
 		(l.loss > 0 && nw.rng.Float64() < l.loss) {
 		nw.dropped++
 		if nw.OnDrop != nil {
@@ -264,22 +362,42 @@ func (nw *Network) Send(from, to int, payload []byte) {
 		}
 		return
 	}
-	nw.After(l.latency, func() {
-		if nw.nodeDown[to] { // receiver died while the packet was in flight
-			nw.dropped++
-			if nw.OnDrop != nil {
-				nw.OnDrop(from, to, payload)
+	copies := 1
+	if l.dup > 0 && nw.rng.Float64() < l.dup {
+		copies = 2
+		nw.duplicated++
+		if nw.OnDup != nil {
+			nw.OnDup(from, to, payload)
+		}
+	}
+	for c := 0; c < copies; c++ {
+		d := l.latency
+		if l.jitter > 0 {
+			if extra := time.Duration(nw.rng.Int63n(int64(l.jitter))); extra > 0 {
+				d += extra
+				nw.reordered++
+				if nw.OnReorder != nil {
+					nw.OnReorder(from, to, payload, extra)
+				}
 			}
-			return
 		}
-		nw.delivered++
-		if nw.OnDeliver != nil {
-			nw.OnDeliver(from, to, payload)
-		}
-		if h := nw.handlers[to]; h != nil {
-			h(from, payload)
-		}
-	})
+		nw.After(d, func() {
+			if nw.nodeDown[to] { // receiver died while the packet was in flight
+				nw.dropped++
+				if nw.OnDrop != nil {
+					nw.OnDrop(from, to, payload)
+				}
+				return
+			}
+			nw.delivered++
+			if nw.OnDeliver != nil {
+				nw.OnDeliver(from, to, payload)
+			}
+			if h := nw.handlers[to]; h != nil {
+				h(from, payload)
+			}
+		})
+	}
 }
 
 // Step executes the earliest pending event and reports whether one ran.

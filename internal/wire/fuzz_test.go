@@ -136,7 +136,8 @@ func FuzzRecommendationRoundTrip(f *testing.F) {
 
 func FuzzJoinRoundTrip(f *testing.F) {
 	f.Add(body(wire.AppendJoin(nil, wire.Join{
-		Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 1}), 4400),
+		Addr:  netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 1}), 4400),
+		Nonce: 0xCAFEF00D,
 	})))
 	// AppendJoin hardcodes NilNode as the source (the joiner has no ID yet),
 	// so the comparison is body-level.
@@ -153,7 +154,7 @@ func FuzzJoinRoundTrip(f *testing.F) {
 }
 
 func FuzzJoinReplyRoundTrip(f *testing.F) {
-	f.Add(uint16(1), body(wire.AppendJoinReply(nil, 1, wire.JoinReply{Assigned: 12})))
+	f.Add(uint16(1), body(wire.AppendJoinReply(nil, 1, wire.JoinReply{Assigned: 12, Nonce: 7})))
 	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
 		roundTrip(t, src, b, wire.ParseJoinReply, wire.AppendJoinReply)
 	})
@@ -229,6 +230,49 @@ func FuzzPreVoteReplyRoundTrip(f *testing.F) {
 	f.Add(uint16(1), []byte{0, 0, 0, 3, 0, 0, 0, 21, 2})
 	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
 		roundTrip(t, src, b, wire.ParsePreVoteReply, wire.AppendPreVoteReply)
+	})
+}
+
+func FuzzGossipDeltaRoundTrip(f *testing.F) {
+	f.Add(uint16(5), body(wire.AppendGossipDelta(nil, 5, wire.GossipDelta{
+		Hops: 2,
+		Delta: wire.ViewDelta{
+			Epoch: 1, BaseVersion: 3, Version: 4,
+			Adds:    []wire.Member{{ID: 9, Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), 9000)}},
+			Removes: []wire.NodeID{2},
+		},
+	})))
+	f.Add(uint16(0), []byte{0})
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseGossipDelta, wire.AppendGossipDelta)
+	})
+}
+
+func FuzzViewPullRoundTrip(f *testing.F) {
+	f.Add(uint16(3), body(wire.AppendViewPull(nil, 3, wire.ViewPull{
+		Have: wire.ViewStamp{Epoch: 2, Version: 17},
+	})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseViewPull, wire.AppendViewPull)
+	})
+}
+
+func FuzzViewPullReplyRoundTrip(f *testing.F) {
+	f.Add(uint16(4), body(wire.AppendViewPullReply(nil, 4, wire.ViewPullReply{
+		Stamp: wire.ViewStamp{Epoch: 2, Version: 19},
+		Deltas: []wire.ViewDelta{
+			{Epoch: 2, BaseVersion: 17, Version: 18,
+				Adds: []wire.Member{{ID: 6, Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 6}), 4406)}}},
+			{Epoch: 2, BaseVersion: 18, Version: 19, Removes: []wire.NodeID{1}},
+		},
+	})))
+	// Empty reply (responder can't bridge) plus a malformed length prefix.
+	f.Add(uint16(4), body(wire.AppendViewPullReply(nil, 4, wire.ViewPullReply{
+		Stamp: wire.ViewStamp{Epoch: 1, Version: 2},
+	})))
+	f.Add(uint16(0), []byte{0, 0, 0, 1, 0, 0, 0, 2, 1, 0, 3, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseViewPullReply, wire.AppendViewPullReply)
 	})
 }
 

@@ -44,8 +44,13 @@ func parseMember(b []byte) Member {
 
 // Join asks the membership coordinator to admit the sender. Addr is the
 // joiner's UDP endpoint as it wishes to be advertised to other members.
+// Nonce is a caller-chosen attempt identifier echoed back in the JoinReply:
+// it lets a re-joining client reject a stale reply to an *earlier* join that
+// a lossy network duplicated or delayed, which would otherwise hand it an
+// obsolete identity.
 type Join struct {
-	Addr netip.AddrPort
+	Addr  netip.AddrPort
+	Nonce uint32
 }
 
 // AppendJoin encodes j with its header. Join messages use NilNode as the
@@ -54,37 +59,47 @@ func AppendJoin(b []byte, j Join) []byte {
 	b = AppendHeader(b, TJoin, NilNode)
 	a4 := as4(j.Addr.Addr())
 	b = append(b, a4[:]...)
-	return binary.BigEndian.AppendUint16(b, j.Addr.Port())
+	b = binary.BigEndian.AppendUint16(b, j.Addr.Port())
+	return binary.BigEndian.AppendUint32(b, j.Nonce)
 }
 
 // ParseJoin decodes a Join body.
 func ParseJoin(body []byte) (Join, error) {
-	if len(body) != 6 {
+	if len(body) != 10 {
 		return Join{}, ErrBadLen
 	}
 	var a4 [4]byte
 	copy(a4[:], body[:4])
-	return Join{Addr: netip.AddrPortFrom(netip.AddrFrom4(a4), binary.BigEndian.Uint16(body[4:6]))}, nil
+	return Join{
+		Addr:  netip.AddrPortFrom(netip.AddrFrom4(a4), binary.BigEndian.Uint16(body[4:6])),
+		Nonce: binary.BigEndian.Uint32(body[6:10]),
+	}, nil
 }
 
-// JoinReply tells a joiner its assigned node ID. The full view follows in a
-// separate View message (also broadcast to existing members).
+// JoinReply tells a joiner its assigned node ID, echoing the join's nonce.
+// The full view follows in a separate View message (also broadcast to
+// existing members).
 type JoinReply struct {
 	Assigned NodeID
+	Nonce    uint32
 }
 
 // AppendJoinReply encodes r with its header.
 func AppendJoinReply(b []byte, src NodeID, r JoinReply) []byte {
 	b = AppendHeader(b, TJoinReply, src)
-	return binary.BigEndian.AppendUint16(b, uint16(r.Assigned))
+	b = binary.BigEndian.AppendUint16(b, uint16(r.Assigned))
+	return binary.BigEndian.AppendUint32(b, r.Nonce)
 }
 
 // ParseJoinReply decodes a JoinReply body.
 func ParseJoinReply(body []byte) (JoinReply, error) {
-	if len(body) != 2 {
+	if len(body) != 6 {
 		return JoinReply{}, ErrBadLen
 	}
-	return JoinReply{Assigned: NodeID(binary.BigEndian.Uint16(body))}, nil
+	return JoinReply{
+		Assigned: NodeID(binary.BigEndian.Uint16(body)),
+		Nonce:    binary.BigEndian.Uint32(body[2:6]),
+	}, nil
 }
 
 // ViewStamp orders membership views across coordinator reigns: Epoch counts
@@ -164,9 +179,10 @@ type ViewDelta struct {
 	Removes     []NodeID
 }
 
-// AppendViewDelta encodes d with its header.
-func AppendViewDelta(b []byte, src NodeID, d ViewDelta) []byte {
-	b = AppendHeader(b, TViewDelta, src)
+// appendViewDeltaBody encodes d's body without a header. Shared between the
+// primary's TViewDelta broadcast, the gossip forwarding envelope, and the
+// anti-entropy pull reply so every carrier of a delta is byte-identical.
+func appendViewDeltaBody(b []byte, d ViewDelta) []byte {
 	b = binary.BigEndian.AppendUint32(b, d.Epoch)
 	b = binary.BigEndian.AppendUint32(b, d.BaseVersion)
 	b = binary.BigEndian.AppendUint32(b, d.Version)
@@ -181,8 +197,9 @@ func AppendViewDelta(b []byte, src NodeID, d ViewDelta) []byte {
 	return b
 }
 
-// ParseViewDelta decodes a ViewDelta body.
-func ParseViewDelta(body []byte) (ViewDelta, error) {
+// parseViewDeltaBody decodes a headerless delta body; the body must be
+// exactly the encoded delta, nothing more.
+func parseViewDeltaBody(body []byte) (ViewDelta, error) {
 	const fixed = 4 + 4 + 4 + 2 + 2
 	if len(body) < fixed {
 		return ViewDelta{}, ErrShort
@@ -208,6 +225,17 @@ func ParseViewDelta(body []byte) (ViewDelta, error) {
 		d.Removes[i] = NodeID(binary.BigEndian.Uint16(body[i*2:]))
 	}
 	return d, nil
+}
+
+// AppendViewDelta encodes d with its header.
+func AppendViewDelta(b []byte, src NodeID, d ViewDelta) []byte {
+	b = AppendHeader(b, TViewDelta, src)
+	return appendViewDeltaBody(b, d)
+}
+
+// ParseViewDelta decodes a ViewDelta body.
+func ParseViewDelta(body []byte) (ViewDelta, error) {
+	return parseViewDeltaBody(body)
 }
 
 // ViewDeltaSize returns the encoded payload size of a delta with the given
@@ -390,4 +418,140 @@ func ParsePreVoteReply(body []byte) (PreVoteReply, error) {
 		},
 		PrimaryAlive: body[8] == 1,
 	}, nil
+}
+
+// GossipDelta is a ViewDelta travelling the epidemic dissemination tree:
+// the primary seeds it to an O(fanout) set of members, and each member
+// forwards it to its own deterministic peer set while Hops is positive.
+// Receivers deduplicate on the delta's (Epoch, Version) stamp, so duplicated
+// or re-forwarded copies are absorbed rather than re-applied.
+type GossipDelta struct {
+	Hops  uint8 // remaining forwarding budget, decremented per hop
+	Delta ViewDelta
+}
+
+// AppendGossipDelta encodes g with its header.
+func AppendGossipDelta(b []byte, src NodeID, g GossipDelta) []byte {
+	b = AppendHeader(b, TGossipDelta, src)
+	b = append(b, g.Hops)
+	return appendViewDeltaBody(b, g.Delta)
+}
+
+// ParseGossipDelta decodes a GossipDelta body.
+func ParseGossipDelta(body []byte) (GossipDelta, error) {
+	if len(body) < 1 {
+		return GossipDelta{}, ErrShort
+	}
+	d, err := parseViewDeltaBody(body[1:])
+	if err != nil {
+		return GossipDelta{}, err
+	}
+	return GossipDelta{Hops: body[0], Delta: d}, nil
+}
+
+// GossipDeltaSize returns the encoded payload size of a gossiped delta with
+// the given change counts, excluding per-packet overhead.
+func GossipDeltaSize(adds, removes int) int { return ViewDeltaSize(adds, removes) + 1 }
+
+// ViewPull is the anti-entropy request: a member that detected a version gap
+// (or whose periodic anti-entropy round fired) asks a peer for the deltas
+// after its current stamp. The peer answers with a ViewPullReply; a peer
+// holding an older stamp than Have learns it is itself behind and schedules
+// its own pull — the push-pull symmetry that makes anti-entropy converge.
+type ViewPull struct {
+	Have ViewStamp
+}
+
+// AppendViewPull encodes p with its header.
+func AppendViewPull(b []byte, src NodeID, p ViewPull) []byte {
+	b = AppendHeader(b, TViewPull, src)
+	b = binary.BigEndian.AppendUint32(b, p.Have.Epoch)
+	return binary.BigEndian.AppendUint32(b, p.Have.Version)
+}
+
+// ParseViewPull decodes a ViewPull body.
+func ParseViewPull(body []byte) (ViewPull, error) {
+	if len(body) != 8 {
+		return ViewPull{}, ErrBadLen
+	}
+	return ViewPull{Have: ViewStamp{
+		Epoch:   binary.BigEndian.Uint32(body),
+		Version: binary.BigEndian.Uint32(body[4:]),
+	}}, nil
+}
+
+// MaxPullDeltas caps the deltas one ViewPullReply carries; a requester
+// further behind than this converges over successive pulls (or falls back to
+// a full view once its retry budget runs out).
+const MaxPullDeltas = 16
+
+// ViewPullReply answers a ViewPull. Stamp is the responder's own view stamp;
+// Deltas holds the consecutive increments starting right after the
+// requester's stamp, oldest first. An empty Deltas means the responder could
+// not bridge the gap (its delta log no longer reaches back that far, or the
+// requester is on another epoch) — the requester retries elsewhere and
+// eventually falls back to the coordinator full-view request.
+type ViewPullReply struct {
+	Stamp  ViewStamp
+	Deltas []ViewDelta
+}
+
+// AppendViewPullReply encodes r with its header. Each delta body is
+// length-prefixed so the receiver can validate the framing without trusting
+// the count byte.
+func AppendViewPullReply(b []byte, src NodeID, r ViewPullReply) []byte {
+	if len(r.Deltas) > MaxPullDeltas {
+		panic(fmt.Sprintf("wire: %d deltas in pull reply, max %d", len(r.Deltas), MaxPullDeltas))
+	}
+	b = AppendHeader(b, TViewPullReply, src)
+	b = binary.BigEndian.AppendUint32(b, r.Stamp.Epoch)
+	b = binary.BigEndian.AppendUint32(b, r.Stamp.Version)
+	b = append(b, byte(len(r.Deltas)))
+	for _, d := range r.Deltas {
+		start := len(b)
+		b = append(b, 0, 0) // length placeholder
+		b = appendViewDeltaBody(b, d)
+		binary.BigEndian.PutUint16(b[start:], uint16(len(b)-start-2))
+	}
+	return b
+}
+
+// ParseViewPullReply decodes a ViewPullReply body.
+func ParseViewPullReply(body []byte) (ViewPullReply, error) {
+	const fixed = 4 + 4 + 1
+	if len(body) < fixed {
+		return ViewPullReply{}, ErrShort
+	}
+	r := ViewPullReply{Stamp: ViewStamp{
+		Epoch:   binary.BigEndian.Uint32(body),
+		Version: binary.BigEndian.Uint32(body[4:]),
+	}}
+	n := int(body[8])
+	if n > MaxPullDeltas {
+		return ViewPullReply{}, fmt.Errorf("%w: %d deltas, max %d", ErrBadLen, n, MaxPullDeltas)
+	}
+	body = body[fixed:]
+	if n > 0 {
+		r.Deltas = make([]ViewDelta, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		if len(body) < 2 {
+			return ViewPullReply{}, ErrShort
+		}
+		dl := int(binary.BigEndian.Uint16(body))
+		body = body[2:]
+		if len(body) < dl {
+			return ViewPullReply{}, ErrShort
+		}
+		d, err := parseViewDeltaBody(body[:dl])
+		if err != nil {
+			return ViewPullReply{}, err
+		}
+		r.Deltas = append(r.Deltas, d)
+		body = body[dl:]
+	}
+	if len(body) != 0 {
+		return ViewPullReply{}, fmt.Errorf("%w: %d trailing bytes", ErrBadLen, len(body))
+	}
+	return r, nil
 }

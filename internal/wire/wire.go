@@ -83,6 +83,11 @@ const (
 	TPreVote      // standby asks peers to confirm primary silence before promoting
 	TPreVoteReply // peer's answer: whether it still observes the primary alive
 
+	// Membership plane, gossip dissemination extension.
+	TGossipDelta   // epidemically forwarded ViewDelta carrying a hop budget
+	TViewPull      // anti-entropy: member asks a peer for the deltas it missed
+	TViewPullReply // the peer's answer: consecutive deltas, or empty if it can't bridge
+
 	maxMsgType
 )
 
@@ -127,6 +132,12 @@ func (t MsgType) String() string {
 		return "pre-vote"
 	case TPreVoteReply:
 		return "pre-vote-reply"
+	case TGossipDelta:
+		return "gossip-delta"
+	case TViewPull:
+		return "view-pull"
+	case TViewPullReply:
+		return "view-pull-reply"
 	default:
 		return fmt.Sprintf("msgtype(%d)", byte(t))
 	}
