@@ -48,9 +48,11 @@ fuzz:
 
 # bench runs tier-1 plus the perf-trajectory benchmarks (the batched one-hop
 # kernels, the Figure 1 sweep, and the n ∈ {1000, 2000, 5000} recompute
-# trajectory) and records the results in BENCH_2.json.
+# trajectory into BENCH_2.json; view dissemination into BENCH_3.json; stable
+# slot extension vs wholesale remap and the sharded full pass into
+# BENCH_4.json).
 bench: tier1
-	./scripts/bench.sh BENCH_2.json
+	./scripts/bench.sh BENCH_2.json BENCH_3.json BENCH_4.json
 
 # soak runs hours of virtual time of Poisson churn under the lossy-gossip
 # fault plane (5% loss, duplication, jitter) with a hard live-heap ceiling:

@@ -659,6 +659,200 @@ func BenchmarkRecomputeTrajectory(b *testing.B) {
 	}
 }
 
+// benchSlottedView returns a slot-addressed view over slots slots: every slot
+// is occupied by ID slot+1 except those listed in dead (tombstones). Slot 0
+// (ID 1) is the benchmarked node itself.
+func benchSlottedView(b *testing.B, version uint32, slots int, dead ...int) *membership.ViewInfo {
+	b.Helper()
+	tomb := make(map[int]bool, len(dead))
+	for _, s := range dead {
+		tomb[s] = true
+	}
+	var ms []wire.Member
+	for s := 0; s < slots; s++ {
+		if !tomb[s] {
+			ms = append(ms, wire.Member{ID: wire.NodeID(s + 1), Slot: uint16(s)})
+		}
+	}
+	v, err := membership.NewViewInfo(wire.View{Epoch: 1, Version: version, Slots: uint16(slots), Members: ms})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+// BenchmarkViewRemap records the per-membership-change cost behind
+// BENCH_4.json: what one join/leave costs a node whose link-state table is
+// fully populated. "remap" is the legacy dense-view path — sorted-ID slots,
+// so admitting a low ID shifts every member and the whole table, route
+// state, and caches are rebuilt (O(rows·n) at minimum); "stable" is the
+// slot-addressed path, where the same join fills one tombstone and the same
+// leave cuts one slot's column (O(rows + n)). Each iteration performs a
+// join+leave round trip so state returns to its starting shape.
+func BenchmarkViewRemap(b *testing.B) {
+	for _, n := range []int{500, 2000, 5000} {
+		// Dense: view A holds IDs 1,3,4,...,n+1 (every slot shifts when ID 2
+		// is admitted); view B = A ∪ {2}. The node is ID 1 at slot 0 in both.
+		denseView := func(version uint32, withTwo bool) *membership.ViewInfo {
+			ids := make([]wire.NodeID, 0, n+1)
+			ids = append(ids, 1)
+			if withTwo {
+				ids = append(ids, 2)
+			}
+			for i := 0; i < n-1; i++ {
+				ids = append(ids, wire.NodeID(3+i))
+			}
+			ms := make([]wire.Member, len(ids))
+			for i, id := range ids {
+				ms[i] = wire.Member{ID: id}
+			}
+			v, err := membership.NewViewInfo(wire.View{Epoch: 1, Version: version, Members: ms})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return v
+		}
+		fillQuorum := func(view *membership.ViewInfo) (*core.Quorum, *transport.SimEnv) {
+			env := benchEnv()
+			env.SetLocalID(1)
+			q, err := core.NewQuorum(env, core.QuorumConfig{}, view, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			self := benchRow(view.Slots(), 0, 0)
+			q.SelfRow = func() []wire.LinkEntry { return self }
+			q.LinkAlive = func(int) bool { return true }
+			g, err := grid.NewMasked(view.Slots(), view.OccupiedMask())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, c := range g.Clients(0) {
+				q.Table().Put(c, lsdb.Row{Seq: 1, When: env.Now(), Entries: benchRow(view.Slots(), c, 0)})
+			}
+			return q, env
+		}
+		b.Run(fmt.Sprintf("quorum/n=%d/remap", n), func(b *testing.B) {
+			va, vb := denseView(1, false), denseView(2, true)
+			q, _ := fillQuorum(va)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := q.SetView(vb, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := q.SetView(va, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if st := q.Stats(); st.ViewRemaps != uint64(2*b.N) {
+				b.Fatalf("remap bench took %d remaps, want %d", st.ViewRemaps, 2*b.N)
+			}
+		})
+		b.Run(fmt.Sprintf("quorum/n=%d/stable", n), func(b *testing.B) {
+			// n+1 slots: alternately occupy and tombstone the last one — the
+			// same join+leave, expressed in slot space.
+			vLeft := benchSlottedView(b, 1, n+1, n)
+			vJoin := benchSlottedView(b, 2, n+1)
+			q, _ := fillQuorum(vLeft)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := q.SetView(vJoin, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := q.SetView(vLeft, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if st := q.Stats(); st.ViewExtends != uint64(2*b.N) || st.ViewRemaps != 0 {
+				b.Fatalf("stable bench: extends=%d remaps=%d, want %d/0", st.ViewExtends, st.ViewRemaps, 2*b.N)
+			}
+		})
+		fillMesh := func(view *membership.ViewInfo) *core.FullMesh {
+			env := benchEnv()
+			env.SetLocalID(1)
+			f := core.NewFullMesh(env, core.FullMeshConfig{}, view, 0)
+			self := benchRow(view.Slots(), 0, 0)
+			f.SelfRow = func() []wire.LinkEntry { return self }
+			for s := 1; s < view.Slots(); s++ {
+				if !view.Occupied(s) {
+					continue
+				}
+				f.Table().Put(s, lsdb.Row{Seq: 1, When: env.Now(), Entries: benchRow(view.Slots(), s, 0)})
+			}
+			return f
+		}
+		b.Run(fmt.Sprintf("fullmesh/n=%d/remap", n), func(b *testing.B) {
+			va, vb := denseView(1, false), denseView(2, true)
+			f := fillMesh(va)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.SetView(vb, 0)
+				f.SetView(va, 0)
+			}
+			b.StopTimer()
+			if _, remaps := f.ViewChangeStats(); remaps != uint64(2*b.N) {
+				b.Fatalf("remap bench took %d remaps, want %d", remaps, 2*b.N)
+			}
+		})
+		b.Run(fmt.Sprintf("fullmesh/n=%d/stable", n), func(b *testing.B) {
+			vLeft := benchSlottedView(b, 1, n+1, n)
+			vJoin := benchSlottedView(b, 2, n+1)
+			f := fillMesh(vLeft)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.SetView(vJoin, 0)
+				f.SetView(vLeft, 0)
+			}
+			b.StopTimer()
+			if extends, remaps := f.ViewChangeStats(); extends != uint64(2*b.N) || remaps != 0 {
+				b.Fatalf("stable bench: extends=%d remaps=%d, want %d/0", extends, remaps, 2*b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedFullPass times the full-mesh from-scratch recompute at
+// n = 2000 across worker counts, verifying the sharded pass byte-identical to
+// the serial one before timing. On an m-core host the pass should approach
+// m× the serial throughput (the shards write disjoint destination spans, so
+// there is no coordination beyond the fork/join).
+func BenchmarkShardedFullPass(b *testing.B) {
+	const n = 2000
+	build := func(workers int) *core.FullMesh {
+		env := benchEnv()
+		f := core.NewFullMesh(env, core.FullMeshConfig{DisableIncremental: true, Workers: workers}, benchView(n), 0)
+		self := benchRow(n, 0, 0)
+		f.SelfRow = func() []wire.LinkEntry { return self }
+		for s := 1; s < n; s++ {
+			f.Table().Put(s, lsdb.Row{Seq: 1, When: env.Now(), Entries: benchRow(n, s, 0)})
+		}
+		return f
+	}
+	serial := build(1)
+	serial.Tick()
+	want := serial.Routes()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("fullmesh/n=%d/workers=%d", n, w), func(b *testing.B) {
+			f := build(w)
+			f.Tick()
+			got := f.Routes()
+			if len(got) != len(want) {
+				b.Fatalf("route table length %d, want %d", len(got), len(want))
+			}
+			for d := range want {
+				if got[d] != want[d] {
+					b.Fatalf("workers=%d diverged from serial at dst %d: %+v vs %+v", w, d, got[d], want[d])
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Tick()
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 
 func median(vals []float64) float64 { return percentile(vals, 0.5) }

@@ -85,6 +85,8 @@ type FullMesh struct {
 		fullPasses     uint64 // recomputes that ran the full kernel pass
 		incPasses      uint64 // recomputes served by the incremental path
 		dstsRecomputed uint64 // destinations re-evaluated by incremental passes
+		viewExtends    uint64 // stable-extension view installs (state kept)
+		viewRemaps     uint64 // wholesale-remap view installs
 	}
 }
 
@@ -96,26 +98,95 @@ func NewFullMesh(env transport.Env, cfg FullMeshConfig, view *membership.ViewInf
 	return f
 }
 
-// SetView installs a new membership view. As in the quorum router, state
-// keyed by surviving node IDs carries over: stored link-state rows are
-// remapped to the new slot order and route entries survive when both their
-// destination and hop did, so a membership change does not blank the route
-// table for a full routing interval.
+// SetView installs a new membership view. A slot-stable extension — the
+// only change a slot-addressed coordinator produces — grows the table and
+// route array in place, retires exactly the slots whose occupant departed,
+// and keeps the incremental snapshots valid: unaffected rows keep their
+// bytes and generations, so the next recompute stays incremental and
+// re-evaluates only what the departure or arrival actually touched
+// (RetireSlot's generation bumps surface the retired slots as dirty). A view
+// change that moves surviving members falls back to the wholesale remap:
+// stored link-state rows are remapped to the new slot order and route
+// entries survive when both their destination and hop did, but the remapped
+// table restarts generations, so every snapshot is void and the next
+// recompute runs a full pass.
 func (f *FullMesh) SetView(view *membership.ViewInfo, self int) {
 	oldView := f.view
+	n := view.Slots()
+	stable := oldView != nil && self == f.self && self < oldView.Slots() &&
+		oldView.IDAt(self) == view.IDAt(self) &&
+		membership.StableExtension(oldView, view)
 	f.view = view
 	f.self = self
-	if oldView != nil {
+	switch {
+	case stable:
+		f.stats.viewExtends++
+		f.table.Grow(n)
+		for len(f.routes) < n {
+			f.routes = append(f.routes, RouteEntry{})
+		}
+		var retired []int
+		for s := 0; s < oldView.Slots(); s++ {
+			if oldView.Occupied(s) && view.IDAt(s) != oldView.IDAt(s) {
+				retired = append(retired, s)
+				f.table.RetireSlot(s)
+			}
+		}
+		if len(retired) > 0 {
+			isRetired := func(s int) bool {
+				for _, r := range retired {
+					if r == s {
+						return true
+					}
+				}
+				return false
+			}
+			for dst := range f.routes {
+				e := &f.routes[dst]
+				if e.Source == SourceNone {
+					continue
+				}
+				if isRetired(dst) || (e.Hop >= 0 && isRetired(e.Hop)) {
+					f.routes[dst] = RouteEntry{}
+				}
+			}
+		}
+		// Grow the incremental snapshots in place: a new slot's provable
+		// previous-pass result is "unreachable" (its direct seed and every
+		// intermediate's column toward it read InfCost until announcements
+		// land), so seeding {-1, Inf} keeps lastOut exactly what a full pass
+		// at the old width plus Inf-padding would have produced.
+		for len(f.lastOut) < n {
+			f.lastOut = append(f.lastOut, lsdb.HopCost{Hop: -1, Cost: wire.InfCost})
+		}
+		for len(f.prevGen) < n {
+			f.prevGen = append(f.prevGen, 0)
+		}
+		for len(f.prevFresh) < n {
+			f.prevFresh = append(f.prevFresh, false)
+		}
+		for len(f.prevSelf) < n && len(f.prevSelf) > 0 {
+			f.prevSelf = append(f.prevSelf, wire.InfCost)
+		}
+	case oldView != nil:
+		f.stats.viewRemaps++
 		m := membership.SlotMap(oldView, view)
-		f.table = f.table.Remap(m, view.N())
-		f.routes = remapRoutes(f.routes, m, view.N(), self)
-	} else {
-		f.table = lsdb.NewTable(view.N())
-		f.routes = make([]RouteEntry, view.N())
+		f.table = f.table.Remap(m, n)
+		f.routes = remapRoutes(f.routes, m, n, self)
+		// Remap returns a fresh table whose row generations restart, so every
+		// incremental snapshot is void: the next recompute runs a full pass.
+		f.lastValid = false
+	default:
+		f.table = lsdb.NewTable(n)
+		f.routes = make([]RouteEntry, n)
+		f.lastValid = false
 	}
-	// Remap returns a fresh table whose row generations restart, so every
-	// incremental snapshot is void: the next recompute runs a full pass.
-	f.lastValid = false
+}
+
+// ViewChangeStats reports how view installs have executed: stable extensions
+// (per-slot state preserved) versus wholesale remaps.
+func (f *FullMesh) ViewChangeStats() (extends, remaps uint64) {
+	return f.stats.viewExtends, f.stats.viewRemaps
 }
 
 // Interval implements Router.
@@ -143,8 +214,8 @@ func (f *FullMesh) Tick() {
 		Seq:         f.seq,
 		Entries:     f.SelfRow(),
 	})
-	for s := 0; s < f.view.N(); s++ {
-		if s == f.self {
+	for s := 0; s < f.view.Slots(); s++ {
+		if s == f.self || !f.view.Occupied(s) {
 			continue
 		}
 		f.env.Send(f.view.IDAt(s), msg)
@@ -181,7 +252,7 @@ const shardMinDsts = 256
 // workers by destination span.
 func (f *FullMesh) recompute() {
 	now := f.env.Now()
-	n := f.view.N()
+	n := f.view.Slots()
 	f.costsBuf = lsdb.UnpackCosts(f.costsBuf[:0], f.SelfRow())
 	f.sizeRecomputeState(n)
 	if f.cfg.DisableIncremental || !f.lastValid || len(f.costsBuf) != n || len(f.prevSelf) != n {
@@ -206,18 +277,22 @@ func (f *FullMesh) recompute() {
 }
 
 // sizeRecomputeState (re)sizes the incremental buffers for an n-slot view.
+// SetView's stable path grows the snapshot buffers itself (preserving their
+// contents), so a width mismatch here can only follow a non-stable install
+// — the snapshots are void and get re-seeded for the full pass that must
+// come next.
 func (f *FullMesh) sizeRecomputeState(n int) {
-	if cap(f.lastOut) < n {
+	if len(f.lastOut) != n {
 		f.lastOut = make([]lsdb.HopCost, n)
 		f.prevGen = make([]uint32, n)
 		f.prevFresh = make([]bool, n)
+		f.lastValid = false
+	}
+	if cap(f.dirtySet) < n {
 		f.dirtySet = make([]bool, n)
 		f.affSet = make([]bool, n)
 		f.affOut = make([]lsdb.HopCost, n)
 	}
-	f.lastOut = f.lastOut[:n]
-	f.prevGen = f.prevGen[:n]
-	f.prevFresh = f.prevFresh[:n]
 	f.dirtySet = f.dirtySet[:n]
 	f.affSet = f.affSet[:n]
 	f.affOut = f.affOut[:n]

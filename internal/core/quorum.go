@@ -110,6 +110,12 @@ type QuorumStats struct {
 	// cache instead. Their ratio is the incremental path's hit rate.
 	PairsComputed uint64
 	PairsCached   uint64
+	// ViewExtends counts view installs taken by the stable-extension fast
+	// path (per-slot state preserved in place); ViewRemaps counts installs
+	// that fell back to the wholesale remap. The initial install counts as
+	// neither.
+	ViewExtends uint64
+	ViewRemaps  uint64
 }
 
 // failoverState tracks §4.1 recovery for one destination.
@@ -127,8 +133,13 @@ type Quorum struct {
 	cfg  QuorumConfig
 	view *membership.ViewInfo
 	g    *grid.Grid
-	self int
-	seq  uint32
+	// dense caches the unmasked grid for the current slot count; successive
+	// views over the same slot space Remask it instead of rebuilding, so a
+	// stable extension's grid cost is proportional to the tombstone blast
+	// radius, not to n·√n.
+	dense *grid.Grid
+	self  int
+	seq   uint32
 
 	table    *lsdb.Table     // rows received from rendezvous clients
 	atable   *lsdb.AsymTable // directional rows (asymmetric mode)
@@ -209,24 +220,117 @@ func NewQuorum(env transport.Env, cfg QuorumConfig, view *membership.ViewInfo, s
 	return q, nil
 }
 
-// SetView installs a new membership view. State keyed by surviving node IDs
-// carries over: received link-state rows are remapped to the new slot order
-// (lsdb.Table.Remap), route entries whose destination and hop both survived
-// are kept, and remote-rendezvous silence tracking follows the rendezvous to
-// its new slot — so a single join or leave no longer erases every route in
-// the overlay. Per-view episode state (failover recruitments, pending
-// reliable-mode acks) resets with the grid; cumulative stats survive.
+// SetView installs a new membership view. The grid spans the view's slot
+// space (tombstones masked out), so slot-stable view changes — the only kind
+// a slot-addressed coordinator produces — take the stable-extension fast
+// path: tables grow in place, slots whose occupant departed are retired
+// individually, and everything about unaffected members (stored rows,
+// generation counters, cached pair results, route entries) is left
+// bit-for-bit untouched. A view change that moves surviving members falls
+// back to the wholesale remap: received link-state rows are remapped to the
+// new slot order (lsdb.Table.Remap), route entries whose destination and hop
+// both survived are kept, and remote-rendezvous silence tracking follows the
+// rendezvous to its new slot. Per-view episode state (failover recruitments,
+// pending reliable-mode acks) resets with the grid either way; cumulative
+// stats survive.
 func (q *Quorum) SetView(view *membership.ViewInfo, self int) error {
-	g, err := grid.New(view.N())
+	if q.dense == nil || q.dense.N() != view.Slots() {
+		dense, err := grid.New(view.Slots())
+		if err != nil {
+			return err
+		}
+		q.dense = dense
+	}
+	g, err := q.dense.Remask(view.OccupiedMask())
 	if err != nil {
 		return err
 	}
 	oldView := q.view
-	n := view.N()
+	n := view.Slots()
+	stable := oldView != nil && self == q.self && self < oldView.Slots() &&
+		oldView.IDAt(self) == view.IDAt(self) &&
+		membership.StableExtension(oldView, view)
 	q.view = view
 	q.g = g
 	q.self = self
-	if oldView != nil {
+	switch {
+	case stable:
+		q.stats.ViewExtends++
+		// Retire exactly the slots whose old occupant is gone (departed, or
+		// already replaced by a quarantine-expired reuse).
+		retired := make([]bool, n)
+		anyRetired := false
+		for s := 0; s < oldView.Slots(); s++ {
+			if oldView.Occupied(s) && view.IDAt(s) != oldView.IDAt(s) {
+				retired[s] = true
+				anyRetired = true
+			}
+		}
+		q.table.Grow(n)
+		if q.cfg.Asymmetric {
+			q.atable.Grow(n)
+		}
+		for len(q.routes) < n {
+			q.routes = append(q.routes, RouteEntry{})
+		}
+		for len(q.lastGen) < n {
+			q.lastGen = append(q.lastGen, 0)
+		}
+		if anyRetired {
+			for s, gone := range retired {
+				if !gone {
+					continue
+				}
+				q.table.RetireSlot(s)
+				if q.cfg.Asymmetric {
+					q.atable.RetireSlot(s)
+				}
+				delete(q.lastRecAbout, s)
+				delete(q.failovers, s)
+				delete(q.selfPairCache, s)
+			}
+			for dst := range q.routes {
+				e := &q.routes[dst]
+				if e.Source == SourceNone {
+					continue
+				}
+				if retired[dst] || (e.Hop >= 0 && e.Hop < n && retired[e.Hop]) {
+					q.routes[dst] = RouteEntry{}
+					continue
+				}
+				if e.From >= 0 && e.From < n && retired[e.From] {
+					e.From = -1
+				}
+			}
+			//lint:orderinvariant each failover episode is scrubbed independently of visit order
+			for _, fo := range q.failovers {
+				if fo.server >= 0 && fo.server < n && retired[fo.server] {
+					fo.server = -1
+				}
+			}
+		}
+		//lint:orderinvariant each rendezvous's silence array is grown and patched independently of visit order
+		for k, about := range q.lastRecAbout {
+			for len(about) < n {
+				about = append(about, time.Time{})
+			}
+			if anyRetired {
+				for s, gone := range retired {
+					if gone {
+						about[s] = time.Time{}
+					}
+				}
+			}
+			q.lastRecAbout[k] = about
+		}
+		// Cached pair values involving retired slots self-invalidate: retiring
+		// bumped those slots' generations, so the next revalidation misses.
+		// Everything else stays warm — the point of stable slots.
+		for len(q.prevSelf) < n && len(q.prevSelf) > 0 {
+			q.prevSelf = append(q.prevSelf, wire.InfCost)
+		}
+	case oldView != nil:
+		q.stats.ViewRemaps++
 		m := membership.SlotMap(oldView, view)
 		q.table = q.table.Remap(m, n)
 		if q.cfg.Asymmetric {
@@ -248,29 +352,34 @@ func (q *Quorum) SetView(view *membership.ViewInfo, self int) error {
 			lastRec[m[k]] = na
 		}
 		q.lastRecAbout = lastRec
-	} else {
+		// Remapped tables restart row generations, so every cached pair value
+		// and generation snapshot is void.
+		q.pairCache = make(map[uint32]pairVal)
+		q.selfPairCache = make(map[int]selfPairVal)
+		q.lastGen = make([]uint32, n)
+		q.prevSelf = q.prevSelf[:0]
+		q.failovers = make(map[int]*failoverState)
+	default:
 		q.table = lsdb.NewTable(n)
 		if q.cfg.Asymmetric {
 			q.atable = lsdb.NewAsymTable(n)
 		}
 		q.routes = make([]RouteEntry, n)
 		q.lastRecAbout = make(map[int][]time.Time)
+		q.pairCache = make(map[uint32]pairVal)
+		q.selfPairCache = make(map[int]selfPairVal)
+		q.lastGen = make([]uint32, n)
+		q.prevSelf = q.prevSelf[:0]
+		q.failovers = make(map[int]*failoverState)
 	}
 	q.servers = g.Servers(self)
 	q.defaults = make([][]int, n)
 	for dst := 0; dst < n; dst++ {
-		if dst != self {
+		if dst != self && view.Occupied(dst) {
 			q.defaults[dst] = g.Common(self, dst)
 		}
 	}
-	q.failovers = make(map[int]*failoverState)
 	q.pendingAcks = make(map[int]uint32)
-	// Remapped tables restart row generations, so every cached pair value and
-	// generation snapshot is void.
-	q.pairCache = make(map[uint32]pairVal)
-	q.selfPairCache = make(map[int]selfPairVal)
-	q.lastGen = make([]uint32, n)
-	q.prevSelf = q.prevSelf[:0]
 	q.started = q.env.Now()
 	return nil
 }
@@ -742,7 +851,7 @@ func (q *Quorum) HandleRecommendation(h wire.Header, body []byte) {
 	now := q.env.Now()
 	about := q.lastRecAbout[from]
 	if about == nil {
-		about = make([]time.Time, q.view.N())
+		about = make([]time.Time, q.view.Slots())
 		q.lastRecAbout[from] = about
 	}
 	for _, e := range rec.Entries {
@@ -872,7 +981,7 @@ func (q *Quorum) destinationSeemsAlive(dst int, now time.Time) bool {
 	if q.LinkAlive(dst) {
 		return true
 	}
-	for s := 0; s < q.view.N(); s++ {
+	for s := 0; s < q.view.Slots(); s++ {
 		if s == dst {
 			continue
 		}
@@ -897,8 +1006,8 @@ func (q *Quorum) detectFailures() {
 	now := q.env.Now()
 	doubles := 0
 	dead := 0
-	for dst := 0; dst < q.view.N(); dst++ {
-		if dst == q.self {
+	for dst := 0; dst < q.view.Slots(); dst++ {
+		if dst == q.self || !q.view.Occupied(dst) {
 			continue
 		}
 		defaults := q.defaults[dst]

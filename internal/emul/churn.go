@@ -754,9 +754,12 @@ type ChurnResult struct {
 	// dissemination tree (with gossip on these replace the per-member
 	// Deltas unicasts), and Gossip aggregates every spawned node's
 	// client-side gossip/repair counters — Gossip.FullViewRequests is the
-	// herd the zero-herd acceptance asserts on.
-	Seeds  uint64
-	Gossip membership.ClientStats
+	// herd the zero-herd acceptance asserts on. ViewChunks counts the chunk
+	// datagrams of snapshots too large for one packet (> ViewChunkMembers
+	// members); it stays zero in small fleets.
+	Seeds      uint64
+	ViewChunks uint64
+	Gossip     membership.ClientStats
 }
 
 // RunChurn executes a churn scenario and returns its metrics. The run is a
@@ -936,9 +939,11 @@ func RunChurn(opt ChurnOptions) *ChurnResult {
 		cs.DeltasSent += s.DeltasSent
 		cs.FullViewsSent += s.FullViewsSent
 		cs.SeedsSent += s.SeedsSent
+		cs.ViewChunksSent += s.ViewChunksSent
 	}
 	res.Broadcasts, res.Deltas, res.FullViews = cs.Broadcasts, cs.DeltasSent, cs.FullViewsSent
 	res.Seeds = cs.SeedsSent
+	res.ViewChunks = cs.ViewChunksSent
 	for ep := 0; ep < f.next; ep++ {
 		if f.nodes[ep] != nil {
 			res.Gossip.Add(f.nodes[ep].MembershipStats())
@@ -998,7 +1003,11 @@ func churnPartitionGroup(f *DynamicFleet) []int {
 		prim = f.Coord
 	}
 	members := prim.Members()
-	g, err := grid.New(len(members))
+	occupied := make([]bool, len(members))
+	for s := range members {
+		occupied[s] = members[s].ID != wire.NilNode
+	}
+	g, err := grid.NewMasked(len(members), occupied)
 	if err != nil {
 		return nil
 	}
@@ -1012,7 +1021,7 @@ func churnPartitionGroup(f *DynamicFleet) []int {
 	var eps []int
 	for col := 0; col < g.Cols(); col++ {
 		slot, ok := g.SlotAt(row, col)
-		if !ok || slot >= len(members) {
+		if !ok || slot >= len(members) || members[slot].ID == wire.NilNode {
 			continue
 		}
 		if ep, found := idToEp[members[slot].ID]; found {
@@ -1225,8 +1234,8 @@ func (r *ChurnResult) Format() string {
 	}
 	fmt.Fprintf(&b, "# availability min=%.4f mean=%.4f  stretch mean=%.4f\n",
 		r.MinAvailability, r.MeanAvailability, r.MeanStretch)
-	fmt.Fprintf(&b, "# coordinator msgs=%d broadcasts=%d deltas=%d full_views=%d seeds=%d\n",
-		r.CoordMsgs, r.Broadcasts, r.Deltas, r.FullViews, r.Seeds)
+	fmt.Fprintf(&b, "# coordinator msgs=%d broadcasts=%d deltas=%d full_views=%d seeds=%d view_chunks=%d\n",
+		r.CoordMsgs, r.Broadcasts, r.Deltas, r.FullViews, r.Seeds, r.ViewChunks)
 	fmt.Fprintf(&b, "# gossip seen=%d dups=%d forwards=%d pulls_sent=%d pulls_served=%d gaps_bridged=%d fallbacks=%d full_view_reqs=%d\n",
 		r.Gossip.GossipSeen, r.Gossip.GossipDups, r.Gossip.GossipForwards,
 		r.Gossip.PullsSent, r.Gossip.PullsServed, r.Gossip.GapsBridged,

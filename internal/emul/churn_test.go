@@ -229,6 +229,36 @@ func TestChurnLossyGossipJoinStorm(t *testing.T) {
 	}
 }
 
+func TestChurnLossyJoinStormChunkedSnapshots(t *testing.T) {
+	// The same flash-crowd storm at a fleet size past ViewChunkMembers (64):
+	// every joiner's admission snapshot and every pull-repair fallback now
+	// exceeds one datagram and must travel as reassembled chunks. Loss,
+	// duplication, and jitter apply to the chunks individually — a dropped
+	// piece voids the whole snapshot and is repaired by the client's
+	// existing retry — and convergence must still land inside the bound.
+	if testing.Short() {
+		t.Skip("large lossy churn run")
+	}
+	opt := shortChurnOpts(ChurnLossyGossip)
+	opt.N = 60
+	opt.Burst = 10
+	opt.Duration = 5 * time.Minute
+	res := RunChurn(opt)
+	if res.FinalMembers != opt.N+opt.Burst {
+		t.Errorf("final members = %d, want %d", res.FinalMembers, opt.N+opt.Burst)
+	}
+	if !res.Converged {
+		t.Fatalf("members never converged after the chunked join storm\n%s", res.Format())
+	}
+	if res.ConvergedAfter > res.ConvergeBound {
+		t.Errorf("converged after %s, bound %s\n%s", res.ConvergedAfter, res.ConvergeBound, res.Format())
+	}
+	if res.ViewChunks == 0 {
+		t.Errorf("no chunked snapshots at %d members (> ViewChunkMembers=%d)\n%s",
+			opt.N+opt.Burst, wire.ViewChunkMembers, res.Format())
+	}
+}
+
 func TestChurnLossyGossipDeterminism(t *testing.T) {
 	// The adversarial plane draws extra randomness (duplication, jitter,
 	// per-pull backoff); identically-seeded runs must still be

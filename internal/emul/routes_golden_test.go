@@ -168,6 +168,30 @@ func TestIncrementalMatchesScratchUnderChurn(t *testing.T) {
 			if scratchTook {
 				t.Error("DisableIncremental fleet took the incremental path")
 			}
+
+			// Slot-addressed views: every join, crash, and leave above must
+			// have reached survivors as a stable extension — zero wholesale
+			// remaps anywhere in the fleet, with at least one node actually
+			// exercising the in-place path.
+			var extends, remaps uint64
+			for _, ep := range inc.ActiveEndpoints() {
+				switch r := inc.Node(ep).Router().(type) {
+				case *core.Quorum:
+					st := r.Stats()
+					extends += st.ViewExtends
+					remaps += st.ViewRemaps
+				case *core.FullMesh:
+					e, rm := r.ViewChangeStats()
+					extends += e
+					remaps += rm
+				}
+			}
+			if remaps != 0 {
+				t.Errorf("churn triggered %d wholesale view remaps, want 0 (stable slots)", remaps)
+			}
+			if extends == 0 {
+				t.Error("no node took the stable-extension view path across join/crash/leave")
+			}
 		})
 	}
 }

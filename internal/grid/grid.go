@@ -35,6 +35,10 @@ type Grid struct {
 	cols    int
 	lastRow int // number of occupied slots in the final row
 
+	// occupied is the per-slot liveness mask of a masked grid (NewMasked),
+	// or nil for the dense construction where every slot holds a node.
+	occupied []bool
+
 	// servers[i] is the sorted rendezvous server set of slot i (its row and
 	// column, plus blank-compensation extras; never includes i itself).
 	servers [][]int
@@ -78,6 +82,216 @@ func New(n int) (*Grid, error) {
 		g.servers[i] = g.buildServers(i)
 	}
 	return g, nil
+}
+
+// NewMasked constructs the grid quorum over an n-slot space in which only
+// the slots with occupied[s] == true hold live nodes; the rest are
+// tombstones left behind by departed members. A nil mask (or one with every
+// slot true) yields exactly New(n), so dense views pay nothing.
+//
+// The layout (rows, columns, blank compensation) is computed over the full
+// n-slot space — slot positions never move when the mask changes, which is
+// what makes one join or leave an O(1) perturbation. Tombstoned rendezvous
+// servers are patched by deputy substitution: a dead server that a node
+// relied on to reach a column is replaced by that column's first occupied
+// slot, and one relied on to reach a row by that row's first occupied slot.
+// The substitute lands inside the column (row) that the other endpoint of
+// every affected pair already serves, so any occupied pair whose corner died
+// still shares at least one rendezvous. The relation is symmetrized, so
+// R_i = C_i continues to hold. Tombstoned slots have empty server sets.
+func NewMasked(n int, occupied []bool) (*Grid, error) {
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	return g.Remask(occupied)
+}
+
+// Remask derives a masked grid from a dense one without rebuilding it: only
+// the slots a tombstone can have perturbed — the dead slot's row, column,
+// blank-compensation partners, and line deputies — get fresh server sets;
+// every other slot shares the dense grid's slice. With d tombstones the cost
+// is O(d·n) instead of the dense construction's O(n·√n), which is what keeps
+// a single join or leave O(1) per member at the grid layer too. The receiver
+// must be dense (Remask of a Remask would compound substitutions); a nil or
+// all-true mask returns the receiver unchanged.
+func (g *Grid) Remask(occupied []bool) (*Grid, error) {
+	if g.occupied != nil {
+		return nil, fmt.Errorf("grid: Remask requires a dense grid")
+	}
+	if occupied == nil {
+		return g, nil
+	}
+	if len(occupied) != g.n {
+		return nil, fmt.Errorf("grid: mask length %d != %d slots", len(occupied), g.n)
+	}
+	var dead []int
+	for s, o := range occupied {
+		if !o {
+			dead = append(dead, s)
+		}
+	}
+	if len(dead) == 0 {
+		return g, nil
+	}
+	// Deputies: the first occupied slot of each column and row, or -1 when a
+	// whole line is tombstoned (then the §4.2 link-state fallback carries any
+	// residual pair at runtime).
+	colDep := make([]int, g.cols)
+	for c := range colDep {
+		colDep[c] = -1
+		for r := 0; r < g.rows; r++ {
+			if s, ok := g.SlotAt(r, c); ok && occupied[s] {
+				colDep[c] = s
+				break
+			}
+		}
+	}
+	rowDep := make([]int, g.rows)
+	for r := range rowDep {
+		rowDep[r] = -1
+		for c := 0; c < g.cols; c++ {
+			if s, ok := g.SlotAt(r, c); ok && occupied[s] {
+				rowDep[r] = s
+				break
+			}
+		}
+	}
+	// Touched slots: the only ones whose server sets can differ from the
+	// dense grid's. Every substitution an occupied slot performs targets the
+	// deputy of a dead slot's line, and every slot performing one sits in a
+	// dead slot's row/column or is its compensation partner — so rebuilding
+	// exactly these (with the symmetrizing pass below restricted to them)
+	// reproduces the full construction.
+	touched := make([]bool, g.n)
+	mark := func(s int) {
+		if s >= 0 {
+			touched[s] = true
+		}
+	}
+	for _, d := range dead {
+		r, c := g.Position(d)
+		mark(d)
+		for cc := 0; cc < g.cols; cc++ {
+			if s, ok := g.SlotAt(r, cc); ok {
+				mark(s)
+			}
+		}
+		for rr := 0; rr < g.rows; rr++ {
+			if s, ok := g.SlotAt(rr, c); ok {
+				mark(s)
+			}
+		}
+		mark(colDep[c])
+		mark(rowDep[r])
+		if k := g.lastRow; k < g.cols {
+			if r == g.rows-1 {
+				for j := k; j < g.cols; j++ {
+					if s, ok := g.SlotAt(c, j); ok {
+						mark(s)
+					}
+				}
+			}
+			if c >= k && r < k {
+				if s, ok := g.SlotAt(g.rows-1, r); ok {
+					mark(s)
+				}
+			}
+		}
+	}
+	sets := make([][]int, g.n)
+	add := func(a, b int) {
+		if b < 0 || a == b || !occupied[b] {
+			return
+		}
+		if touched[a] {
+			sets[a] = append(sets[a], b)
+		}
+		if touched[b] {
+			sets[b] = append(sets[b], a)
+		}
+	}
+	for x := 0; x < g.n; x++ {
+		if !touched[x] || !occupied[x] {
+			continue
+		}
+		r, c := g.Position(x)
+		// Row mates reach their column: a dead mate is replaced by that
+		// column's deputy.
+		for cc := 0; cc < g.cols; cc++ {
+			if s, ok := g.SlotAt(r, cc); ok && s != x {
+				if occupied[s] {
+					add(x, s)
+				} else {
+					add(x, colDep[cc])
+				}
+			}
+		}
+		// Column mates reach their row: a dead mate is replaced by that
+		// row's deputy.
+		for rr := 0; rr < g.rows; rr++ {
+			if s, ok := g.SlotAt(rr, c); ok && s != x {
+				if occupied[s] {
+					add(x, s)
+				} else {
+					add(x, rowDep[rr])
+				}
+			}
+		}
+		// Blank compensation, with the same substitution rules: the tail
+		// extras reach their column, the bottom-row extra reaches its row.
+		if k := g.lastRow; k < g.cols {
+			if r == g.rows-1 {
+				for j := k; j < g.cols; j++ {
+					if s, ok := g.SlotAt(c, j); ok {
+						if occupied[s] {
+							add(x, s)
+						} else {
+							add(x, colDep[j])
+						}
+					}
+				}
+			}
+			if c >= k && r < k {
+				if s, ok := g.SlotAt(g.rows-1, r); ok {
+					if occupied[s] {
+						add(x, s)
+					} else {
+						add(x, rowDep[g.rows-1])
+					}
+				}
+			}
+		}
+	}
+	servers := make([][]int, g.n)
+	for s := 0; s < g.n; s++ {
+		switch {
+		case !occupied[s]:
+			// tombstone: empty server set
+		case touched[s]:
+			list := sets[s]
+			sort.Ints(list)
+			out := list[:0]
+			prev := -1
+			for _, v := range list {
+				if v != prev {
+					out = append(out, v)
+					prev = v
+				}
+			}
+			servers[s] = out
+		default:
+			servers[s] = g.servers[s]
+		}
+	}
+	return &Grid{
+		n:        g.n,
+		rows:     g.rows,
+		cols:     g.cols,
+		lastRow:  g.lastRow,
+		occupied: append([]bool(nil), occupied...),
+		servers:  servers,
+	}, nil
 }
 
 // buildServers computes the rendezvous server set for one slot.
@@ -137,6 +351,15 @@ func (g *Grid) LastRowLen() int { return g.lastRow }
 
 // IsComplete reports whether the grid has no blank slots.
 func (g *Grid) IsComplete() bool { return g.lastRow == g.cols }
+
+// OccupiedSlot reports whether a slot holds a live node. For a dense grid
+// (New, or NewMasked with a nil/full mask) every slot is occupied.
+func (g *Grid) OccupiedSlot(slot int) bool {
+	if slot < 0 || slot >= g.n {
+		panic(fmt.Sprintf("grid: slot %d out of range [0,%d)", slot, g.n))
+	}
+	return g.occupied == nil || g.occupied[slot]
+}
 
 // Position returns the (row, col) of a slot. It panics if slot is out of
 // range, which always indicates a programming error in the caller.
@@ -238,31 +461,61 @@ func (g *Grid) MaxLoad() int {
 // VerifyInvariants exhaustively checks the construction's guarantees and
 // returns a descriptive error on the first violation. Intended for tests and
 // the experiments harness; cost is O(n²·√n).
+//
+// For a masked grid the checks cover the occupied slots: the rendezvous
+// relation must stay symmetric, never name a tombstone, and every occupied
+// pair must share at least one rendezvous (deputy substitution cannot
+// promise two); the load bound is relaxed in proportion to the tombstone
+// count, since a deputy inherits the pairs of the slots it stands in for.
 func (g *Grid) VerifyInvariants() error {
-	// Symmetry: j ∈ Servers(i) ⟺ i ∈ Servers(j).
+	dead := 0
 	for i := 0; i < g.n; i++ {
+		if !g.OccupiedSlot(i) {
+			dead++
+		}
+	}
+	// Symmetry: j ∈ Servers(i) ⟺ i ∈ Servers(j); tombstones serve no one.
+	for i := 0; i < g.n; i++ {
+		if !g.OccupiedSlot(i) {
+			if len(g.servers[i]) != 0 {
+				return fmt.Errorf("grid: tombstoned slot %d has %d servers", i, len(g.servers[i]))
+			}
+			continue
+		}
 		for _, j := range g.servers[i] {
+			if !g.OccupiedSlot(j) {
+				return fmt.Errorf("grid: slot %d names tombstoned server %d", i, j)
+			}
 			if !g.IsServerOf(i, j) {
 				return fmt.Errorf("grid: asymmetric rendezvous relation %d->%d", i, j)
 			}
 		}
 	}
-	// Pair coverage: every pair shares a rendezvous; for n ≥ 4, two.
+	// Pair coverage: every occupied pair shares a rendezvous; a dense grid
+	// with n ≥ 4 shares two.
 	for i := 0; i < g.n; i++ {
+		if !g.OccupiedSlot(i) {
+			continue
+		}
 		for j := i + 1; j < g.n; j++ {
+			if !g.OccupiedSlot(j) {
+				continue
+			}
 			c := g.Common(i, j)
 			if len(c) == 0 {
 				return fmt.Errorf("grid: pair (%d,%d) has no common rendezvous", i, j)
 			}
-			if g.n >= 4 && len(c) < 2 {
+			if dead == 0 && g.n >= 4 && len(c) < 2 {
 				return fmt.Errorf("grid: pair (%d,%d) has only %d common rendezvous", i, j, len(c))
 			}
 		}
 	}
 	// Load bound: |R_i| ≤ 2·⌈√n⌉ (paper: at most 2√n clients and servers).
-	bound := 2 * int(math.Ceil(math.Sqrt(float64(g.n))))
+	// Each tombstone can push its row's and column's pairs onto a deputy, so
+	// the masked bound grows by one line per tombstone.
+	bound := (2 + dead) * int(math.Ceil(math.Sqrt(float64(g.n))))
 	if m := g.MaxLoad(); m > bound {
-		return fmt.Errorf("grid: max rendezvous load %d exceeds 2·⌈√n⌉ = %d", m, bound)
+		return fmt.Errorf("grid: max rendezvous load %d exceeds (2+dead)·⌈√n⌉ = %d", m, bound)
 	}
 	return nil
 }

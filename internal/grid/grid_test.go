@@ -2,6 +2,7 @@ package grid
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -272,4 +273,274 @@ func TestMaxLoad(t *testing.T) {
 	if g.MaxLoad() < 2 {
 		t.Errorf("MaxLoad = %d suspiciously small", g.MaxLoad())
 	}
+}
+
+func TestNewMaskedFullMaskMatchesDense(t *testing.T) {
+	// A nil or all-true mask must yield the dense construction verbatim —
+	// slot positions, server sets, everything.
+	for _, n := range []int{1, 2, 5, 17, 30, 100} {
+		dense, _ := New(n)
+		full := make([]bool, n)
+		for i := range full {
+			full[i] = true
+		}
+		for _, mask := range [][]bool{nil, full} {
+			g, err := NewMasked(n, mask)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			for s := 0; s < n; s++ {
+				if !equalInts(g.Servers(s), dense.Servers(s)) {
+					t.Fatalf("n=%d slot %d: masked %v != dense %v",
+						n, s, g.Servers(s), dense.Servers(s))
+				}
+			}
+		}
+	}
+}
+
+func TestNewMaskedInvariantsUnderTombstones(t *testing.T) {
+	// Kill slots in varied patterns (single holes, a whole row's worth,
+	// scattered) and check symmetry, tombstone exclusion, and pair coverage.
+	for _, n := range []int{5, 12, 20, 30, 50, 101} {
+		for _, deadSlots := range [][]int{
+			{0},
+			{n / 2},
+			{n - 1},
+			{1, 2, 3},
+			{0, n / 3, 2 * n / 3, n - 1},
+		} {
+			occupied := make([]bool, n)
+			for i := range occupied {
+				occupied[i] = true
+			}
+			for _, s := range deadSlots {
+				occupied[s] = false
+			}
+			g, err := NewMasked(n, occupied)
+			if err != nil {
+				t.Fatalf("n=%d dead=%v: %v", n, deadSlots, err)
+			}
+			if err := g.VerifyInvariants(); err != nil {
+				t.Errorf("n=%d dead=%v: %v", n, deadSlots, err)
+			}
+		}
+	}
+}
+
+func TestNewMaskedSingleDeathPerturbsOneLine(t *testing.T) {
+	// Tombstoning one slot must change the server sets only of slots that
+	// had a rendezvous relation with it (its row, column, and compensation
+	// partners) — everyone else's set is byte-identical. This is the O(√n)
+	// blast radius that makes stable slots worth having.
+	n := 100
+	dense, _ := New(n)
+	deadSlot := 37
+	occupied := make([]bool, n)
+	for i := range occupied {
+		occupied[i] = true
+	}
+	occupied[deadSlot] = false
+	g, err := NewMasked(n, occupied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := map[int]bool{deadSlot: true}
+	for _, s := range dense.Servers(deadSlot) {
+		affected[s] = true
+	}
+	changed := 0
+	for s := 0; s < n; s++ {
+		if equalInts(g.Servers(s), dense.Servers(s)) {
+			continue
+		}
+		changed++
+		if !affected[s] {
+			t.Errorf("slot %d changed servers without a rendezvous relation to %d:\n dense %v\nmasked %v",
+				s, deadSlot, dense.Servers(s), g.Servers(s))
+		}
+	}
+	if changed == 0 {
+		t.Fatal("death changed nothing")
+	}
+	if bound := 4*int(math.Ceil(math.Sqrt(float64(n)))) + 1; changed > bound {
+		t.Errorf("death of one slot changed %d server sets, want ≤ %d", changed, bound)
+	}
+}
+
+// referenceMasked is a naive oracle for the masked construction: it rebuilds
+// every occupied slot's server set from scratch with map-based symmetrized
+// insertion, exactly the rules Remask applies only to touched slots. Any slot
+// Remask wrongly leaves on its dense fast path shows up as a mismatch here.
+func referenceMasked(t *testing.T, n int, occupied []bool) [][]int {
+	t.Helper()
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colDep := make([]int, g.cols)
+	for c := range colDep {
+		colDep[c] = -1
+		for r := 0; r < g.rows; r++ {
+			if s, ok := g.SlotAt(r, c); ok && occupied[s] {
+				colDep[c] = s
+				break
+			}
+		}
+	}
+	rowDep := make([]int, g.rows)
+	for r := range rowDep {
+		rowDep[r] = -1
+		for c := 0; c < g.cols; c++ {
+			if s, ok := g.SlotAt(r, c); ok && occupied[s] {
+				rowDep[r] = s
+				break
+			}
+		}
+	}
+	sets := make([]map[int]struct{}, n)
+	for i := range sets {
+		if occupied[i] {
+			sets[i] = make(map[int]struct{})
+		}
+	}
+	add := func(a, b int) {
+		if b < 0 || a == b || !occupied[b] {
+			return
+		}
+		sets[a][b] = struct{}{}
+		sets[b][a] = struct{}{}
+	}
+	for x := 0; x < n; x++ {
+		if !occupied[x] {
+			continue
+		}
+		r, c := g.Position(x)
+		for cc := 0; cc < g.cols; cc++ {
+			if s, ok := g.SlotAt(r, cc); ok && s != x {
+				if occupied[s] {
+					add(x, s)
+				} else {
+					add(x, colDep[cc])
+				}
+			}
+		}
+		for rr := 0; rr < g.rows; rr++ {
+			if s, ok := g.SlotAt(rr, c); ok && s != x {
+				if occupied[s] {
+					add(x, s)
+				} else {
+					add(x, rowDep[rr])
+				}
+			}
+		}
+		if k := g.lastRow; k < g.cols {
+			if r == g.rows-1 {
+				for j := k; j < g.cols; j++ {
+					if s, ok := g.SlotAt(c, j); ok {
+						if occupied[s] {
+							add(x, s)
+						} else {
+							add(x, colDep[j])
+						}
+					}
+				}
+			}
+			if c >= k && r < k {
+				if s, ok := g.SlotAt(g.rows-1, r); ok {
+					if occupied[s] {
+						add(x, s)
+					} else {
+						add(x, rowDep[g.rows-1])
+					}
+				}
+			}
+		}
+	}
+	servers := make([][]int, n)
+	for i, set := range sets {
+		if set == nil {
+			continue
+		}
+		out := make([]int, 0, len(set))
+		for s := range set {
+			out = append(out, s)
+		}
+		sort.Ints(out)
+		servers[i] = out
+	}
+	return servers
+}
+
+func TestRemaskMatchesFullRebuild(t *testing.T) {
+	// Remask only recomputes slots in the blast radius of a tombstone and
+	// aliases the dense set everywhere else; this must be indistinguishable
+	// from rebuilding every slot. Masks cover single holes, dense clusters,
+	// whole leading lines, alternating stripes, and near-total death.
+	for _, n := range []int{2, 3, 5, 7, 12, 17, 20, 30, 50, 101, 144} {
+		masks := [][]int{
+			{0},
+			{n - 1},
+			{n / 2},
+			{0, 1, 2},
+			{0, n / 3, 2 * n / 3, n - 1},
+		}
+		var stripe, most []int
+		for s := 0; s < n; s += 2 {
+			stripe = append(stripe, s)
+		}
+		for s := 1; s < n; s++ {
+			most = append(most, s)
+		}
+		masks = append(masks, stripe, most)
+		for _, deadSlots := range masks {
+			occupied := make([]bool, n)
+			for i := range occupied {
+				occupied[i] = true
+			}
+			for _, s := range deadSlots {
+				if s < n {
+					occupied[s] = false
+				}
+			}
+			g, err := NewMasked(n, occupied)
+			if err != nil {
+				t.Fatalf("n=%d dead=%v: %v", n, deadSlots, err)
+			}
+			want := referenceMasked(t, n, occupied)
+			for s := 0; s < n; s++ {
+				if !equalInts(g.Servers(s), want[s]) {
+					t.Fatalf("n=%d dead=%v slot %d: incremental %v != full rebuild %v",
+						n, deadSlots, s, g.Servers(s), want[s])
+				}
+			}
+		}
+	}
+}
+
+func TestRemaskRequiresDenseReceiver(t *testing.T) {
+	occupied := make([]bool, 20)
+	for i := range occupied {
+		occupied[i] = true
+	}
+	occupied[3] = false
+	g, err := NewMasked(20, occupied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Remask(occupied); err == nil {
+		t.Fatal("Remask of a masked grid succeeded; substitutions would compound")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

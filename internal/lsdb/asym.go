@@ -108,6 +108,44 @@ func (t *AsymTable) Gen(slot int) uint32 {
 	return t.outM.gen[slot] + t.inM.gen[slot]
 }
 
+// Grow extends the table to newN slots in place — the directional
+// counterpart of Table.Grow, with the same generation-preservation
+// guarantee for every pre-existing slot.
+func (t *AsymTable) Grow(newN int) {
+	if newN <= t.n {
+		return
+	}
+	pad := newN - t.n
+	t.rows = append(t.rows, make([]AsymRow, pad)...)
+	t.have = append(t.have, make([]bool, pad)...)
+	t.outM.grow(newN)
+	t.inM.grow(newN)
+	t.n = newN
+}
+
+// RetireSlot erases a departed member from both directions — the
+// directional counterpart of Table.RetireSlot, advancing generations only
+// for the rows whose contents change.
+func (t *AsymTable) RetireSlot(slot int) {
+	if slot < 0 || slot >= t.n {
+		return
+	}
+	t.rows[slot] = AsymRow{}
+	t.have[slot] = false
+	t.outM.clearRow(slot)
+	t.inM.clearRow(slot)
+	for h := range t.rows {
+		if h == slot || !t.have[h] {
+			continue
+		}
+		if e := t.rows[h].Entries; slot < len(e) {
+			e[slot] = wire.AsymEntry{Status: wire.StatusDead}
+		}
+	}
+	t.outM.clearColumn(slot)
+	t.inM.clearColumn(slot)
+}
+
 // Remap returns a table for a view of newN slots, carrying rows of surviving
 // members across a membership change — the directional counterpart of
 // Table.Remap, with the same oldToNew slot-mapping contract.

@@ -117,6 +117,47 @@ func (t *Table) FreshSlots(dst []int, now time.Time, maxAge time.Duration) []int
 	return dst
 }
 
+// Grow extends the table to newN slots in place — the stable-extension
+// counterpart of Remap for view changes that only append slots. Every stored
+// row keeps its bytes, metadata, and generation counter (the whole point:
+// consumers' generation snapshots stay valid), and the new slots read as
+// absent until their occupants announce. Stored raw rows keep their original
+// length — Row.Cost reads past-the-end slots as InfCost — and Put continues
+// to reject announcements whose length disagrees with the current view, so
+// members still on the old view are simply dropped until they catch up.
+func (t *Table) Grow(newN int) {
+	if newN <= t.n {
+		return
+	}
+	t.rows = append(t.rows, make([]Row, newN-t.n)...)
+	t.mat.grow(newN)
+	t.n = newN
+}
+
+// RetireSlot erases a departed member from the table without disturbing
+// anyone else: the slot's stored row is dropped and every other stored row's
+// entry about it is forced dead (raw and matrix both). Generations advance
+// for exactly the rows whose scannable contents change — the retired slot
+// and rows that held a live cost toward it — so snapshots of unaffected rows
+// stay valid. The slot itself becomes an ordinary empty slot, ready for a
+// quarantine-expired reuse to announce into.
+func (t *Table) RetireSlot(slot int) {
+	if slot < 0 || slot >= t.n {
+		return
+	}
+	t.rows[slot] = Row{}
+	t.mat.clearRow(slot)
+	for h := range t.rows {
+		if h == slot || !t.mat.have[h] {
+			continue
+		}
+		if e := t.rows[h].Entries; slot < len(e) {
+			e[slot] = wire.LinkEntry{Status: wire.StatusDead}
+		}
+	}
+	t.mat.clearColumn(slot)
+}
+
 // Remap returns a table for a view of newN slots, carrying over the rows of
 // members that survived a membership change. oldToNew maps each old slot to
 // its new slot (-1 for departed members, see membership.SlotMap). Carried

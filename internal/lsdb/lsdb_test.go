@@ -443,3 +443,124 @@ func TestCostMatrixLazyRows(t *testing.T) {
 		t.Errorf("dropped row reads %d, want InfCost", got)
 	}
 }
+
+func TestTableGrowPreservesRowsAndGenerations(t *testing.T) {
+	tb := NewTable(3)
+	tb.Put(0, Row{Seq: 1, When: t0, Entries: aliveRow(0, 10, 20)})
+	tb.Put(2, Row{Seq: 4, When: t0, Entries: aliveRow(7, 8, 0)})
+	gens := []uint32{tb.Gen(0), tb.Gen(1), tb.Gen(2)}
+	rowBefore := append([]wire.Cost(nil), tb.Matrix().Row(0)...)
+
+	tb.Grow(5)
+	if tb.N() != 5 || tb.Matrix().N() != 5 {
+		t.Fatalf("N = %d / %d, want 5", tb.N(), tb.Matrix().N())
+	}
+	for s, g := range gens {
+		if tb.Gen(s) != g {
+			t.Errorf("Grow advanced gen of slot %d: %d -> %d", s, g, tb.Gen(s))
+		}
+	}
+	// Old contents byte-identical, tail reads InfCost.
+	got := tb.Matrix().Row(0)
+	for i, c := range rowBefore {
+		if got[i] != c {
+			t.Errorf("Row(0)[%d] = %d, want %d", i, got[i], c)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if got[i] != wire.InfCost {
+			t.Errorf("Row(0)[%d] = %d, want InfCost", i, got[i])
+		}
+		if tb.Get(i) != nil || tb.Matrix().Have(i) {
+			t.Errorf("new slot %d not empty", i)
+		}
+	}
+	// Old-length announcements are rejected; new-length accepted.
+	if tb.Put(1, Row{Seq: 1, When: t0, Entries: aliveRow(1, 0, 1)}) {
+		t.Error("Put accepted a 3-entry row in a 5-slot table")
+	}
+	if !tb.Put(1, Row{Seq: 1, When: t0, Entries: aliveRow(1, 0, 1, 9, 9)}) {
+		t.Error("Put rejected a valid 5-entry row")
+	}
+	// A grow must not shrink.
+	tb.Grow(4)
+	if tb.N() != 5 {
+		t.Errorf("Grow(4) shrank table to %d", tb.N())
+	}
+}
+
+func TestTableRetireSlotTouchesOnlyAffectedRows(t *testing.T) {
+	tb := NewTable(4)
+	tb.Put(0, Row{Seq: 1, When: t0, Entries: aliveRow(0, 10, 20, 30)})
+	// Row 1 already reads slot 2 as dead: retiring 2 must not touch it.
+	ents := aliveRow(5, 0, 0, 6)
+	ents[2] = wire.LinkEntry{Status: wire.StatusDead}
+	tb.Put(1, Row{Seq: 1, When: t0, Entries: ents})
+	tb.Put(2, Row{Seq: 3, When: t0, Entries: aliveRow(20, 1, 0, 2)})
+	g0, g1, g3 := tb.Gen(0), tb.Gen(1), tb.Gen(3)
+
+	tb.RetireSlot(2)
+	if tb.Get(2) != nil || tb.Matrix().Have(2) {
+		t.Error("retired slot still has a row")
+	}
+	if tb.Gen(0) != g0+1 {
+		t.Errorf("row 0 held a live cost to 2, gen %d -> %d, want +1", g0, tb.Gen(0))
+	}
+	if c := tb.Matrix().Row(0)[2]; c != wire.InfCost {
+		t.Errorf("Row(0)[2] = %d after retire", c)
+	}
+	if c := tb.Get(0).Cost(2); c != wire.InfCost {
+		t.Errorf("raw row 0 still reads cost %d to retired slot", c)
+	}
+	if tb.Gen(1) != g1 {
+		t.Errorf("row 1 already read slot 2 dead, gen moved %d -> %d", g1, tb.Gen(1))
+	}
+	if tb.Gen(3) != g3 {
+		t.Errorf("absent row 3 gen moved %d -> %d", g3, tb.Gen(3))
+	}
+	// The slot is reusable: a fresh occupant's announcement lands normally,
+	// unimpeded by the departed member's higher sequence number.
+	if !tb.Put(2, Row{Seq: 1, When: t0.Add(time.Hour), Entries: aliveRow(9, 9, 0, 9)}) {
+		t.Error("Put into retired slot rejected")
+	}
+}
+
+func TestAsymTableGrowAndRetire(t *testing.T) {
+	tb := NewAsymTable(3)
+	tb.Put(0, AsymRow{Seq: 1, When: t0, Entries: asymAliveRow([][2]int{{0, 0}, {10, 12}, {20, 22}})})
+	tb.Put(1, AsymRow{Seq: 1, When: t0, Entries: asymAliveRow([][2]int{{10, 12}, {0, 0}, {5, 6}})})
+	g0, g1 := tb.Gen(0), tb.Gen(1)
+
+	tb.Grow(4)
+	if tb.N() != 4 {
+		t.Fatalf("N = %d", tb.N())
+	}
+	if tb.Gen(0) != g0 || tb.Gen(1) != g1 {
+		t.Error("Grow advanced generations")
+	}
+	if c := tb.OutRow(0)[3]; c != wire.InfCost {
+		t.Errorf("OutRow(0)[3] = %d", c)
+	}
+
+	tb.RetireSlot(1)
+	if tb.Get(1) != nil {
+		t.Error("retired slot still has a row")
+	}
+	if tb.Gen(0) == g0 {
+		t.Error("row 0 held live costs to slot 1, gen must advance")
+	}
+	if c := tb.OutRow(0)[1]; c != wire.InfCost {
+		t.Errorf("OutRow(0)[1] = %d after retire", c)
+	}
+	if c := tb.InRow(0)[1]; c != wire.InfCost {
+		t.Errorf("InRow(0)[1] = %d after retire", c)
+	}
+}
+
+func asymAliveRow(costs [][2]int) []wire.AsymEntry {
+	r := make([]wire.AsymEntry, len(costs))
+	for i, c := range costs {
+		r[i] = wire.AsymEntry{Out: uint16(c[0]), In: uint16(c[1]), Status: wire.MakeStatus(true, 0)}
+	}
+	return r
+}

@@ -161,6 +161,55 @@ func (m *CostMatrix) setCosts(slot int, costs []wire.Cost, seq uint32, when time
 	m.when[slot] = when
 }
 
+// grow extends the matrix to newN slots in place. Held rows are padded with
+// InfCost — exactly what the absent tail already reads as — so no slot's
+// generation advances: every pre-existing slot's scannable contents are
+// bit-identical to what they were before the grow. New slots start empty.
+func (m *CostMatrix) grow(newN int) {
+	if newN <= m.n {
+		return
+	}
+	pad := newN - m.n
+	for s, row := range m.rows {
+		if row == nil {
+			continue
+		}
+		for i := 0; i < pad; i++ {
+			row = append(row, wire.InfCost)
+		}
+		m.rows[s] = row
+	}
+	m.rows = append(m.rows, make([][]wire.Cost, pad)...)
+	m.inf = make([]wire.Cost, newN)
+	for i := range m.inf {
+		m.inf[i] = wire.InfCost
+	}
+	m.have = append(m.have, make([]bool, pad)...)
+	m.when = append(m.when, make([]time.Time, pad)...)
+	m.seq = append(m.seq, make([]uint32, pad)...)
+	m.gen = append(m.gen, make([]uint32, pad)...)
+	if cap(m.keyBuf) < newN {
+		m.keyBuf = make([]uint64, newN)
+	}
+	m.n = newN
+}
+
+// clearColumn marks a departed slot unreachable in every held row: column
+// slot reads InfCost everywhere. The generation advances for exactly the
+// rows whose contents change, so rows that already held InfCost there — and
+// every row untouched by the departure — keep their snapshots valid.
+func (m *CostMatrix) clearColumn(slot int) {
+	for h, row := range m.rows {
+		if row == nil || h == slot {
+			continue
+		}
+		if slot < len(row) && row[slot] != wire.InfCost {
+			row[slot] = wire.InfCost
+			m.gen[h]++
+		}
+	}
+}
+
 // clearRow drops slot's row storage and metadata; the slot reads as
 // all-InfCost again. The generation advances — a drop changes the contents a
 // kernel would scan — but only for slots that actually held a row, so

@@ -170,6 +170,17 @@ type Client struct {
 	pullPending bool
 	pullTries   int
 
+	// Chunked full-view reassembly: one snapshot at a time, keyed by stamp.
+	// A chunk from a newer stamp discards the partial set; a lost chunk is
+	// repaired by the existing full-view retry (the request fires again and
+	// the coordinator re-serves the then-current snapshot).
+	chunkStamp wire.ViewStamp
+	chunkParts [][]wire.Member
+	chunkHave  []bool
+	chunkGot   int
+	chunkSlots uint16
+	chunkTotal uint16
+
 	hbTimer   transport.Timer
 	joinTimer transport.Timer
 	fvTimer   transport.Timer
@@ -423,18 +434,13 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 		if err != nil {
 			return
 		}
-		if !v.Stamp().After(c.stamp()) && c.view != nil {
-			return // stale or duplicate view
-		}
-		vi, err := NewViewInfo(v)
+		c.handleFullView(h.Src, v)
+	case wire.TViewChunk:
+		vc, err := wire.ParseViewChunk(body)
 		if err != nil {
 			return
 		}
-		c.noteCoordinator(h.Src)
-		// The delta log serves consecutive runs only; a full view breaks
-		// the chain.
-		c.deltaLog = c.deltaLog[:0]
-		c.install(vi)
+		c.handleViewChunk(h.Src, vc)
 	case wire.TViewDelta:
 		d, err := wire.ParseViewDelta(body)
 		if err != nil {
@@ -500,6 +506,72 @@ func (c *Client) HandlePacket(h wire.Header, body []byte) {
 			c.noteAhead(r.Stamp)
 		}
 	}
+}
+
+// handleFullView installs a complete view snapshot (a plain TView, or the
+// product of chunk reassembly).
+func (c *Client) handleFullView(src wire.NodeID, v wire.View) {
+	if !v.Stamp().After(c.stamp()) && c.view != nil {
+		return // stale or duplicate view
+	}
+	vi, err := NewViewInfo(v)
+	if err != nil {
+		return
+	}
+	c.noteCoordinator(src)
+	// The delta log serves consecutive runs only; a full view breaks
+	// the chain.
+	c.deltaLog = c.deltaLog[:0]
+	c.install(vi)
+}
+
+// handleViewChunk folds one snapshot piece into the reassembly buffer,
+// installing the view when the last piece lands. Only one snapshot is
+// assembled at a time: a chunk bearing a different stamp (or inconsistent
+// framing) restarts assembly, so a newer snapshot always wins over a
+// half-received older one.
+func (c *Client) handleViewChunk(src wire.NodeID, vc wire.ViewChunk) {
+	if c.view != nil && !vc.Stamp.After(c.stamp()) {
+		return // stale snapshot
+	}
+	if vc.Stamp != c.chunkStamp || int(vc.Count) != len(c.chunkParts) ||
+		vc.TotalSlots != c.chunkSlots || vc.TotalMembers != c.chunkTotal {
+		c.chunkStamp = vc.Stamp
+		c.chunkParts = make([][]wire.Member, vc.Count)
+		c.chunkHave = make([]bool, vc.Count)
+		c.chunkGot = 0
+		c.chunkSlots = vc.TotalSlots
+		c.chunkTotal = vc.TotalMembers
+	}
+	if c.chunkHave[vc.Index] {
+		return // duplicate piece
+	}
+	c.chunkHave[vc.Index] = true
+	c.chunkParts[vc.Index] = vc.Members
+	c.chunkGot++
+	if c.chunkGot < len(c.chunkParts) {
+		return
+	}
+	total := 0
+	for _, p := range c.chunkParts {
+		total += len(p)
+	}
+	members := make([]wire.Member, 0, total)
+	for _, p := range c.chunkParts {
+		members = append(members, p...)
+	}
+	stamp, slots, want := c.chunkStamp, c.chunkSlots, int(c.chunkTotal)
+	c.chunkStamp = wire.ViewStamp{}
+	c.chunkParts, c.chunkHave, c.chunkGot = nil, nil, 0
+	if total != want {
+		return // inconsistent snapshot; the retry path re-requests
+	}
+	c.handleFullView(src, wire.View{
+		Epoch:   stamp.Epoch,
+		Version: stamp.Version,
+		Slots:   slots,
+		Members: members,
+	})
 }
 
 // handleDelta folds one delta into the view: a no-op for stale stamps
@@ -593,25 +665,29 @@ func (c *Client) pullFire() {
 }
 
 // pickPeer returns a uniformly drawn member of the current view other than
-// this node, or NilNode when none exists. The draw comes from the Env's
-// seeded stream, so identically seeded runs pull identical peers.
+// this node, or NilNode when none exists. The draw ranges over the occupied
+// member list, never tombstoned slots, and comes from the Env's seeded
+// stream, so identically seeded runs pull identical peers.
 func (c *Client) pickPeer() wire.NodeID {
 	if c.view == nil || c.view.N() == 0 {
 		return wire.NilNode
 	}
-	n := c.view.N()
-	self, ok := c.view.SlotOf(c.env.LocalID())
-	if !ok {
-		return c.view.IDAt(c.env.Rand().Intn(n))
+	ms := c.view.Members()
+	n := len(ms)
+	id := c.env.LocalID()
+	if _, ok := c.view.SlotOf(id); !ok {
+		return ms[c.env.Rand().Intn(n)].ID
 	}
 	if n < 2 {
 		return wire.NilNode
 	}
-	slot := c.env.Rand().Intn(n - 1)
-	if slot >= self {
-		slot++
+	// Uniform over the n−1 others: draw from [0, n−1) and remap a self hit
+	// to the last member (which the truncated range never reaches itself).
+	i := c.env.Rand().Intn(n - 1)
+	if ms[i].ID == id {
+		i = n - 1
 	}
-	return c.view.IDAt(slot)
+	return ms[i].ID
 }
 
 // seenGossip checks-and-marks a delta stamp in the bounded dedup cache,
@@ -649,12 +725,14 @@ func (c *Client) forwardGossip(g wire.GossipDelta) {
 	if !ok {
 		return
 	}
-	n := c.view.N()
+	n := c.view.Slots()
 	f := c.cfg.GossipFanout
 	r := gossipRotation(g.Delta.Version, f, n)
 	p := ((self-r)%n + n) % n
 	added := addedSet(g.Delta.Adds)
-	targets := gossipTargets(n, p, f, r, func(slot int) bool { return added[c.view.IDAt(slot)] })
+	targets := gossipTargets(n, p, f, r, func(slot int) bool {
+		return !c.view.Occupied(slot) || added[c.view.IDAt(slot)]
+	})
 	if len(targets) == 0 {
 		return
 	}

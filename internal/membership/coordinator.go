@@ -124,6 +124,16 @@ func (c *CoordinatorConfig) gossipEnabled() bool { return c.GossipFanout > 0 }
 type memberState struct {
 	addr     netip.AddrPort
 	lastSeen time.Time
+	slot     int
+}
+
+// freeSlot is one quarantined tombstone in the primary's slot allocator: the
+// slot index and when its last occupant was removed. A tombstone becomes
+// reusable only after a full membership Timeout, so no stale row, probe, or
+// recommendation referring to the old occupant can outlive the quarantine.
+type freeSlot struct {
+	slot    int
+	freedAt time.Time
 }
 
 // Coordinator is one replica of the membership service. A replica set is a
@@ -146,10 +156,21 @@ type Coordinator struct {
 	members map[wire.NodeID]*memberState
 	byAddr  map[netip.AddrPort]wire.NodeID
 
-	// lastView is the membership as of the last broadcast (sorted by ID) at
-	// stamp (epoch, version); deltas are computed against it. On a standby it
-	// is the replica of the primary's broadcasts, and the member table a
-	// promotion rebuilds. flushPending marks a scheduled coalesce flush.
+	// Slot allocator (primary only). slotCount is the size of the slot
+	// space — it never shrinks within a reign. freeSlots holds the
+	// quarantined tombstones sorted by slot; a join reuses the lowest
+	// tombstone past quarantine, else extends the slot space. Only the
+	// primary allocates; a promotion rebuilds the freelist from the view
+	// replica with the quarantine restarted (the new primary cannot know how
+	// long ago a tombstone was freed, so it assumes the worst).
+	slotCount int
+	freeSlots []freeSlot
+
+	// lastView is the membership as of the last broadcast, indexed by slot
+	// (tombstoned slots hold wire.NilNode) at stamp (epoch, version); deltas
+	// are computed against it. On a standby it is the replica of the
+	// primary's broadcasts, and the member table a promotion rebuilds.
+	// flushPending marks a scheduled coalesce flush.
 	lastView     []wire.Member
 	flushPending bool
 
@@ -189,6 +210,10 @@ type CoordinatorStats struct {
 	// tree; with gossip on it replaces the per-member DeltasSent fan-out and
 	// stays O(fanout) per flush regardless of view size.
 	SeedsSent uint64
+	// ViewChunksSent counts the chunk datagrams of full-view snapshots too
+	// large for one piece (each chunked snapshot still counts once in
+	// FullViewsSent).
+	ViewChunksSent uint64
 	// HeartbeatAcks counts heartbeats acknowledged as primary.
 	HeartbeatAcks uint64
 	// Promotions and Demotions count this replica's role changes.
@@ -278,7 +303,13 @@ func (c *Coordinator) MemberCount() int {
 	if c.role == rolePrimary {
 		return len(c.members)
 	}
-	return len(c.lastView)
+	n := 0
+	for _, m := range c.lastView {
+		if m.ID != wire.NilNode {
+			n++
+		}
+	}
+	return n
 }
 
 // Version returns the current view version. Call from within env.Do.
@@ -293,8 +324,9 @@ func (c *Coordinator) Stamp() wire.ViewStamp {
 // within env.Do.
 func (c *Coordinator) IsPrimary() bool { return c.role == rolePrimary && !c.stopped }
 
-// Members returns a copy of the last broadcast view's member list, sorted by
-// ID (so the index of each member is its view slot). Call from within env.Do.
+// Members returns a copy of the last broadcast view's slot array: the index
+// of each entry is its view slot, and tombstoned slots hold wire.NilNode.
+// Call from within env.Do.
 func (c *Coordinator) Members() []wire.Member {
 	return append([]wire.Member(nil), c.lastView...)
 }
@@ -450,11 +482,17 @@ func (c *Coordinator) adoptReplica(v wire.View) {
 	if !v.Stamp().After(c.Stamp()) {
 		return
 	}
+	slots, err := slotArray(v)
+	if err != nil {
+		return
+	}
 	c.epoch = v.Epoch
 	c.version = v.Version
-	c.lastView = sortedMembers(v.Members)
+	c.lastView = slots
 	for _, m := range c.lastView {
-		c.env.SetPeer(m.ID, m.Addr)
+		if m.ID != wire.NilNode {
+			c.env.SetPeer(m.ID, m.Addr)
+		}
 	}
 }
 
@@ -468,7 +506,7 @@ func (c *Coordinator) applyReplicaDelta(from wire.NodeID, d wire.ViewDelta) {
 		c.env.Send(from, wire.AppendViewRequest(nil, c.selfID, c.Stamp()))
 		return
 	}
-	next, err := applyMembersDelta(c.lastView, d)
+	next, err := applySlotsDelta(c.lastView, d)
 	if err != nil {
 		c.env.Send(from, wire.AppendViewRequest(nil, c.selfID, c.Stamp()))
 		return
@@ -548,11 +586,17 @@ func (c *Coordinator) preVoteDecide() {
 
 // handlePreVote answers a peer's pre-vote with this replica's own evidence of
 // the primary: a primary vouches for itself, a standby vouches iff it heard a
-// beacon within the base (unstaggered) silence window. Answered in either
-// role so a stalled-but-alive primary can veto its own deposition.
+// beacon within 1.5 beacon intervals — one full period plus slack for
+// delivery jitter, so only the most recent beacon counts as evidence.
+// Vouching on the base 3-beacon silence window let stale evidence stall a
+// legitimate election: a primary that stalls just under the election
+// timeout, squeezes out one beacon, and dies leaves a peer vouching on that
+// beacon for two more intervals, vetoing the candidate into a second full
+// election cycle. Answered in either role so a stalled-but-alive primary
+// can veto its own deposition.
 func (c *Coordinator) handlePreVote(from wire.NodeID) {
 	alive := c.role == rolePrimary ||
-		c.env.Now().Sub(c.lastPrimaryBeat) <= 3*c.cfg.BeaconInterval
+		c.env.Now().Sub(c.lastPrimaryBeat) <= c.cfg.BeaconInterval*3/2
 	c.env.Send(from, wire.AppendPreVoteReply(nil, c.selfID, wire.PreVoteReply{
 		Stamp:        c.Stamp(),
 		PrimaryAlive: alive,
@@ -592,8 +636,17 @@ func (c *Coordinator) promote() {
 	c.nextID += idSkip
 	c.members = make(map[wire.NodeID]*memberState, len(c.lastView))
 	c.byAddr = make(map[netip.AddrPort]wire.NodeID, len(c.lastView))
-	for _, m := range c.lastView {
-		c.members[m.ID] = &memberState{addr: m.Addr, lastSeen: now}
+	c.slotCount = len(c.lastView)
+	c.freeSlots = c.freeSlots[:0]
+	for s, m := range c.lastView {
+		if m.ID == wire.NilNode {
+			// The replica log does not say when this tombstone was freed, so
+			// its quarantine restarts from the promotion: better to strand a
+			// slot for one extra timeout than to reuse it early.
+			c.freeSlots = append(c.freeSlots, freeSlot{slot: s, freedAt: now})
+			continue
+		}
+		c.members[m.ID] = &memberState{addr: m.Addr, lastSeen: now, slot: s}
 		c.byAddr[m.Addr] = m.ID
 		c.env.SetPeer(m.ID, m.Addr)
 	}
@@ -614,6 +667,7 @@ func (c *Coordinator) demote(winner wire.NodeID, b wire.CoordBeacon) {
 	}
 	c.members = make(map[wire.NodeID]*memberState)
 	c.byAddr = make(map[netip.AddrPort]wire.NodeID)
+	c.freeSlots = nil
 	c.flushPending = false
 	if c.flushTimer != nil {
 		c.flushTimer.Stop()
@@ -650,16 +704,78 @@ func (c *Coordinator) sendBeacons() {
 
 // broadcastFullView pushes the current view to every member and replica —
 // the promotion/absorption path, where waiting out delta coalescing would
-// cost convergence time.
+// cost convergence time. Member copies are chunked past ViewChunkMembers;
+// replicas always get the single-datagram replication form.
 func (c *Coordinator) broadcastFullView() {
-	full := wire.AppendView(nil, c.selfID, wire.View{Epoch: c.epoch, Version: c.version, Members: c.lastView})
+	packets := c.viewPackets(c.lastView)
 	for _, m := range c.lastView {
-		c.env.Send(m.ID, full)
-		c.stats.FullViewsSent++
+		if m.ID == wire.NilNode {
+			continue
+		}
+		c.sendPackets(m.ID, packets)
 	}
+	full := c.replicaView(c.lastView)
 	for _, id := range c.peers() {
 		c.env.Send(id, full)
 		c.stats.FullViewsSent++
+	}
+}
+
+// wireView assembles the wire form of a slot array at the current stamp.
+func (c *Coordinator) wireView(slots []wire.Member) wire.View {
+	return wire.View{
+		Epoch:   c.epoch,
+		Version: c.version,
+		Slots:   uint16(len(slots)),
+		Members: occupiedMembers(slots),
+	}
+}
+
+// replicaView encodes the single-datagram TView used on the replication
+// plane (standbys are few and never behind a joiner's constrained path, so
+// chunking would only complicate the replica log).
+func (c *Coordinator) replicaView(slots []wire.Member) []byte {
+	return wire.AppendView(nil, c.selfID, c.wireView(slots))
+}
+
+// viewPackets encodes a full-view snapshot for a member: one TView when it
+// fits ViewChunkMembers, else a TViewChunk sequence of bounded pieces — the
+// MaxPullDeltas discipline applied to snapshots, so a mass-admission storm
+// costs the primary bounded datagrams instead of O(n)-sized bursts.
+func (c *Coordinator) viewPackets(slots []wire.Member) [][]byte {
+	v := c.wireView(slots)
+	if len(v.Members) <= wire.ViewChunkMembers {
+		return [][]byte{wire.AppendView(nil, c.selfID, v)}
+	}
+	count := (len(v.Members) + wire.ViewChunkMembers - 1) / wire.ViewChunkMembers
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * wire.ViewChunkMembers
+		hi := lo + wire.ViewChunkMembers
+		if hi > len(v.Members) {
+			hi = len(v.Members)
+		}
+		out = append(out, wire.AppendViewChunk(nil, c.selfID, wire.ViewChunk{
+			Stamp:        v.Stamp(),
+			TotalSlots:   v.Slots,
+			TotalMembers: uint16(len(v.Members)),
+			Index:        uint16(i),
+			Count:        uint16(count),
+			Members:      v.Members[lo:hi],
+		}))
+	}
+	return out
+}
+
+// sendPackets delivers one full-view snapshot (plain or chunked) to a node,
+// keeping the snapshot/chunk accounting in one place.
+func (c *Coordinator) sendPackets(id wire.NodeID, packets [][]byte) {
+	for _, p := range packets {
+		c.env.Send(id, p)
+	}
+	c.stats.FullViewsSent++
+	if len(packets) > 1 {
+		c.stats.ViewChunksSent += uint64(len(packets))
 	}
 }
 
@@ -678,12 +794,37 @@ func (c *Coordinator) handleJoin(j wire.Join) {
 	}
 	id := c.nextID
 	c.nextID++
-	c.members[id] = &memberState{addr: j.Addr, lastSeen: now}
+	slot := c.allocSlot(now)
+	c.members[id] = &memberState{addr: j.Addr, lastSeen: now, slot: slot}
 	c.byAddr[j.Addr] = id
 	c.env.SetPeer(id, j.Addr)
-	c.logf("membership: admitted %v as node %d", j.Addr, id)
+	c.logf("membership: admitted %v as node %d (slot %d)", j.Addr, id, slot)
 	c.reply(id, j.Nonce)
 	c.scheduleFlush()
+}
+
+// allocSlot returns the lowest quarantine-expired tombstone, or extends the
+// slot space when none is reusable yet. Only the primary calls this — slot
+// assignment is a lease decision exactly like ID assignment.
+func (c *Coordinator) allocSlot(now time.Time) int {
+	for i, f := range c.freeSlots {
+		if now.Sub(f.freedAt) >= c.cfg.Timeout {
+			c.freeSlots = append(c.freeSlots[:i], c.freeSlots[i+1:]...)
+			return f.slot
+		}
+	}
+	s := c.slotCount
+	c.slotCount++
+	return s
+}
+
+// freeSlot quarantines a departed member's slot, keeping the freelist sorted
+// by slot so reuse is deterministic (lowest eligible slot first).
+func (c *Coordinator) freeSlot(s int) {
+	at := sort.Search(len(c.freeSlots), func(i int) bool { return c.freeSlots[i].slot >= s })
+	c.freeSlots = append(c.freeSlots, freeSlot{})
+	copy(c.freeSlots[at+1:], c.freeSlots[at:])
+	c.freeSlots[at] = freeSlot{slot: s, freedAt: c.env.Now()}
 }
 
 // reply answers a join, echoing the request nonce so the client can discard
@@ -697,27 +838,30 @@ func (c *Coordinator) remove(id wire.NodeID, why string) {
 	m := c.members[id]
 	delete(c.members, id)
 	delete(c.byAddr, m.addr)
-	c.logf("membership: removed node %d (%s)", id, why)
+	c.freeSlot(m.slot)
+	c.logf("membership: removed node %d (%s), slot %d quarantined", id, why, m.slot)
 }
 
-// view returns the current membership sorted by ID. The map iteration is the
-// collect-then-sort shape the mapiter lint pass proves order-invariant —
-// nothing is emitted until after the sort.
+// view returns the current membership as a slot-indexed array (tombstoned
+// slots hold wire.NilNode). Each member writes only its own distinct slot,
+// so the map iteration order cannot affect the result.
 func (c *Coordinator) view() []wire.Member {
-	ms := make([]wire.Member, 0, len(c.members))
-	for id, m := range c.members {
-		ms = append(ms, wire.Member{ID: id, Addr: m.addr})
+	slots := make([]wire.Member, c.slotCount)
+	for i := range slots {
+		slots[i].ID = wire.NilNode
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
-	return ms
+	//lint:orderinvariant each member writes only its own distinct slot index
+	for id, m := range c.members {
+		slots[m.slot] = wire.Member{ID: id, Slot: uint16(m.slot), Addr: m.addr}
+	}
+	return slots
 }
 
 // sendFullView serves the last broadcast view to one node (gap recovery and
 // evicted-node heartbeats). Pending coalesced changes are not leaked early:
 // the receiver sees exactly the stamp everyone else holds.
 func (c *Coordinator) sendFullView(id wire.NodeID) {
-	c.env.Send(id, wire.AppendView(nil, c.selfID, wire.View{Epoch: c.epoch, Version: c.version, Members: c.lastView}))
-	c.stats.FullViewsSent++
+	c.sendPackets(id, c.viewPackets(c.lastView))
 }
 
 // scheduleFlush arms the coalesce timer unless one is already pending.
@@ -745,15 +889,14 @@ func (c *Coordinator) flush() {
 		return
 	}
 	cur := c.view()
-	adds, removes := diffMembers(c.lastView, cur)
+	adds, removes := diffSlots(c.lastView, cur)
 	if len(adds) == 0 && len(removes) == 0 {
 		return // churn cancelled out within the window; no new version
 	}
 	base := c.version
 	c.version++
 	c.stats.Broadcasts++
-	full := wire.AppendView(nil, c.selfID, wire.View{Epoch: c.epoch, Version: c.version, Members: cur})
-	useDelta := wire.ViewDeltaSize(len(adds), len(removes)) < wire.ViewSize(len(cur))
+	useDelta := wire.ViewDeltaSize(len(adds), len(removes)) < wire.ViewSize(countOccupied(cur))
 	d := wire.ViewDelta{
 		Epoch:       c.epoch,
 		BaseVersion: base,
@@ -769,48 +912,55 @@ func (c *Coordinator) flush() {
 	for _, m := range adds {
 		added[m.ID] = true
 	}
+	packets := c.viewPackets(cur)
 	if useDelta && c.cfg.gossipEnabled() {
 		c.seedGossip(cur, d, added)
 		for _, m := range cur {
-			if added[m.ID] {
-				c.env.Send(m.ID, full)
-				c.stats.FullViewsSent++
+			if m.ID != wire.NilNode && added[m.ID] {
+				c.sendPackets(m.ID, packets)
 			}
 		}
 	} else {
 		for _, m := range cur {
+			if m.ID == wire.NilNode {
+				continue
+			}
 			if useDelta && !added[m.ID] {
 				c.env.Send(m.ID, delta)
 				c.stats.DeltasSent++
 			} else {
-				c.env.Send(m.ID, full)
-				c.stats.FullViewsSent++
+				c.sendPackets(m.ID, packets)
 			}
 		}
 	}
+	replicaFull := c.replicaView(cur)
 	for _, id := range c.peers() {
 		if useDelta {
 			c.env.Send(id, delta)
 			c.stats.DeltasSent++
 		} else {
-			c.env.Send(id, full)
+			c.env.Send(id, replicaFull)
 			c.stats.FullViewsSent++
 		}
 	}
 	c.lastView = cur
-	c.logf("membership: view %d/%d (%d members, +%d −%d)", c.epoch, c.version, len(cur), len(adds), len(removes))
+	c.logf("membership: view %d/%d (%d members in %d slots, +%d −%d)",
+		c.epoch, c.version, countOccupied(cur), len(cur), len(adds), len(removes))
 }
 
 // seedGossip injects a flushed delta into the dissemination tree: the
 // primary sends one gossip envelope to each root position, skipping over
-// slots held by just-added members (they are getting the full view and have
-// no delta to forward). cur is the post-delta view sorted by ID, so slot i
-// is cur[i].
+// tombstoned slots and slots held by just-added members (the added are
+// getting the full view and have no delta to forward; tombstones hold
+// nobody). cur is the post-delta slot array, so tree position q maps
+// straight into it.
 func (c *Coordinator) seedGossip(cur []wire.Member, d wire.ViewDelta, added map[wire.NodeID]bool) {
 	n := len(cur)
 	f := c.cfg.GossipFanout
 	r := gossipRotation(d.Version, f, n)
-	targets := gossipTargets(n, -1, f, r, func(slot int) bool { return added[cur[slot].ID] })
+	targets := gossipTargets(n, -1, f, r, func(slot int) bool {
+		return cur[slot].ID == wire.NilNode || added[cur[slot].ID]
+	})
 	env := wire.AppendGossipDelta(nil, c.selfID, wire.GossipDelta{
 		Hops:  uint8(c.cfg.GossipHops),
 		Delta: d,
@@ -821,67 +971,105 @@ func (c *Coordinator) seedGossip(cur []wire.Member, d wire.ViewDelta, added map[
 	}
 }
 
-// diffMembers returns the members present in cur but not in prev, and the
-// IDs present in prev but not in cur. Both inputs are sorted by ID.
-func diffMembers(prev, cur []wire.Member) (adds []wire.Member, removes []wire.NodeID) {
-	i, j := 0, 0
-	for i < len(prev) && j < len(cur) {
-		switch {
-		case prev[i].ID == cur[j].ID:
-			i++
-			j++
-		case prev[i].ID < cur[j].ID:
-			removes = append(removes, prev[i].ID)
-			i++
-		default:
-			adds = append(adds, cur[j])
-			j++
+// diffSlots returns the members occupying slots of cur that prev did not
+// have, and the IDs of prev occupants gone from cur. Both inputs are
+// slot-indexed; cur is never shorter than prev because the slot space only
+// grows within a reign. A slot whose occupant changed outright (tombstoned
+// and reused across the same coalesce window cannot happen — quarantine is
+// far longer — but a healed replica diff can see it) yields a remove plus an
+// add, which delta application handles because removes apply first.
+func diffSlots(prev, cur []wire.Member) (adds []wire.Member, removes []wire.NodeID) {
+	for s := range cur {
+		p := wire.NilNode
+		if s < len(prev) {
+			p = prev[s].ID
 		}
-	}
-	for ; i < len(prev); i++ {
-		removes = append(removes, prev[i].ID)
-	}
-	for ; j < len(cur); j++ {
-		adds = append(adds, cur[j])
+		q := cur[s].ID
+		switch {
+		case p == q:
+		case p == wire.NilNode:
+			adds = append(adds, cur[s])
+		case q == wire.NilNode:
+			removes = append(removes, p)
+		default:
+			removes = append(removes, p)
+			adds = append(adds, cur[s])
+		}
 	}
 	return adds, removes
 }
 
-// sortedMembers returns a copy of ms sorted by ID.
-func sortedMembers(ms []wire.Member) []wire.Member {
-	out := append([]wire.Member(nil), ms...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+// countOccupied counts the non-tombstone slots of a slot array.
+func countOccupied(slots []wire.Member) int {
+	n := 0
+	for _, m := range slots {
+		if m.ID != wire.NilNode {
+			n++
+		}
+	}
+	return n
 }
 
-// applyMembersDelta applies a wire delta to a sorted member list, returning
-// a new sorted list. It fails on a removal of an unknown ID or an addition
-// of an existing one, which signals a replication gap.
-func applyMembersDelta(ms []wire.Member, d wire.ViewDelta) ([]wire.Member, error) {
-	have := make(map[wire.NodeID]bool, len(ms))
-	for _, m := range ms {
-		have[m.ID] = true
-	}
-	removed := make(map[wire.NodeID]bool, len(d.Removes))
-	for _, id := range d.Removes {
-		if !have[id] {
-			return nil, wire.ErrBadLen
-		}
-		removed[id] = true
-	}
-	out := make([]wire.Member, 0, len(ms)+len(d.Adds)-len(d.Removes))
-	for _, m := range ms {
-		if !removed[m.ID] {
+// occupiedMembers filters a slot array down to its occupants (slot order).
+func occupiedMembers(slots []wire.Member) []wire.Member {
+	out := make([]wire.Member, 0, len(slots))
+	for _, m := range slots {
+		if m.ID != wire.NilNode {
 			out = append(out, m)
 		}
 	}
-	for _, m := range d.Adds {
-		if have[m.ID] {
+	return out
+}
+
+// slotArray expands a wire view into its slot-indexed member array,
+// tombstones as wire.NilNode. Legacy dense views (Slots == 0) occupy slots
+// in sorted ID order.
+func slotArray(v wire.View) ([]wire.Member, error) {
+	vi, err := NewViewInfo(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]wire.Member, vi.Slots())
+	for s := range out {
+		out[s] = vi.slots[s]
+		out[s].Slot = uint16(s)
+	}
+	return out, nil
+}
+
+// applySlotsDelta applies a wire delta to a slot-indexed member array,
+// returning a new array. It fails on a removal of an unknown ID or an
+// addition to an occupied slot, which signals a replication gap.
+func applySlotsDelta(slots []wire.Member, d wire.ViewDelta) ([]wire.Member, error) {
+	out := append([]wire.Member(nil), slots...)
+	at := make(map[wire.NodeID]int, len(out))
+	for s, m := range out {
+		if m.ID != wire.NilNode {
+			at[m.ID] = s
+		}
+	}
+	for _, id := range d.Removes {
+		s, ok := at[id]
+		if !ok {
 			return nil, wire.ErrBadLen
 		}
-		out = append(out, m)
+		delete(at, id)
+		out[s] = wire.Member{ID: wire.NilNode, Slot: uint16(s)}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	for _, m := range d.Adds {
+		if _, dup := at[m.ID]; dup {
+			return nil, wire.ErrBadLen
+		}
+		s := int(m.Slot)
+		for len(out) <= s {
+			out = append(out, wire.Member{ID: wire.NilNode, Slot: uint16(len(out))})
+		}
+		if out[s].ID != wire.NilNode {
+			return nil, wire.ErrBadLen
+		}
+		at[m.ID] = s
+		out[s] = m
+	}
 	return out, nil
 }
 

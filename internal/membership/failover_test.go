@@ -391,6 +391,42 @@ func TestPreVoteBlocksPromotionUnderOneWayStall(t *testing.T) {
 	}
 }
 
+func TestStaleVouchDoesNotStallPromotion(t *testing.T) {
+	// Endpoints: client 0; coordinators 1, 2, 3 (ranks 0, 1, 2). The primary
+	// first stalls one-way toward rank 1, then crashes ~2.5 s later. When
+	// rank 1's election timeout fires, rank 2's freshest beacon is about two
+	// beacon intervals old — recent-looking evidence of a primary that is in
+	// fact dead. Under the old 3·beacon vouching window rank 2 vouched on
+	// that stale beacon and vetoed rank 1 into a second full election cycle
+	// (a one-way-stall variant of PERF.md's "stalled just under the election
+	// timeout" class); with the 1.5·beacon window the vouch is refused and
+	// promotion completes in a single pre-vote round.
+	rc := newRepCluster(t, 1, 3, churnClientCfg(), fastCoordCfg(t))
+	rc.clients[0].Start()
+	rc.nw.RunFor(8 * time.Second)
+	if !rc.coords[0].IsPrimary() {
+		t.Fatal("rank 0 not primary before the stall")
+	}
+	rc.nw.SetLatencyOneWay(1, 2, 10*time.Minute)
+	rc.nw.RunFor(2500 * time.Millisecond)
+	rc.coords[0].Stop() // crash: rank 2 is left holding a fresh-but-stale beacon
+
+	// Rank 1's election fires ≤ 4 s after its last direct beacon (≤ 1.5 s
+	// before the crash), and the pre-vote verdict lands within PreVoteWait
+	// (2 s). 7 s is enough for exactly one election + pre-vote round; the
+	// stale-vouch veto cycle needed a second ~6 s round.
+	rc.nw.RunFor(7 * time.Second)
+	if !rc.coords[1].IsPrimary() {
+		t.Fatal("rank 1 not promoted after one pre-vote round; stale vouch stalled the election")
+	}
+	if rc.coords[2].IsPrimary() {
+		t.Fatal("rank 2 promoted over the lower-ranked candidate")
+	}
+	if got := rc.coords[1].Stamp().Epoch; got != 2 {
+		t.Errorf("promoted standby epoch = %d, want 2", got)
+	}
+}
+
 func TestClientJoinFailsOverToStandbyLessPrimary(t *testing.T) {
 	// All joins initially target a dead rank 0; the retry loop must rotate
 	// to the live rank 1 once it promotes.

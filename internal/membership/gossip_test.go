@@ -102,8 +102,9 @@ func TestGossipDuplicateDeltaSuppressed(t *testing.T) {
 		BaseVersion: v.VersionNum(),
 		Version:     v.VersionNum() + 1,
 		// The new member's addr points at an existing endpoint so forwarded
-		// copies stay inside the simulated network.
-		Adds: []wire.Member{{ID: 77, Addr: sc.envs[1].LocalAddr()}},
+		// copies stay inside the simulated network; slot 3 extends the
+		// 3-member slot space the way the coordinator would.
+		Adds: []wire.Member{{ID: 77, Slot: 3, Addr: sc.envs[1].LocalAddr()}},
 	}
 	pkt := wire.AppendGossipDelta(nil, CoordinatorID, wire.GossipDelta{Hops: 4, Delta: d})
 	h, body, err := wire.ParseHeader(pkt)
@@ -152,13 +153,13 @@ func TestReorderedGossipBridgesThroughPull(t *testing.T) {
 		Epoch:       v.Stamp().Epoch,
 		BaseVersion: v.VersionNum(),
 		Version:     v.VersionNum() + 1,
-		Adds:        []wire.Member{{ID: 70, Addr: sc.envs[1].LocalAddr()}},
+		Adds:        []wire.Member{{ID: 70, Slot: 3, Addr: sc.envs[1].LocalAddr()}},
 	}
 	d2 := wire.ViewDelta{
 		Epoch:       v.Stamp().Epoch,
 		BaseVersion: d1.Version,
 		Version:     d1.Version + 1,
-		Adds:        []wire.Member{{ID: 71, Addr: sc.envs[2].LocalAddr()}},
+		Adds:        []wire.Member{{ID: 71, Slot: 4, Addr: sc.envs[2].LocalAddr()}},
 	}
 	deliver := func(cl *Client, d wire.ViewDelta) {
 		pkt := wire.AppendGossipDelta(nil, CoordinatorID, wire.GossipDelta{Hops: 4, Delta: d})

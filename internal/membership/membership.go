@@ -4,7 +4,10 @@
 //
 // The correctness of the quorum routing computation depends only on view
 // consistency: nodes holding the same view version build identical grids,
-// because the grid is populated row-major from the sorted member ID list.
+// because the grid is populated from the view's slot assignment. Slot-
+// addressed views pin each member to a stable slot for its lifetime and
+// tombstone departures (legacy dense views derive slots from the sorted
+// member ID order), so one join or leave perturbs O(1) grid relationships.
 // Transient failures are handled by the overlay's failover machinery, not by
 // membership churn, so the coordinator uses the paper's long (30-minute)
 // membership timeout.
@@ -54,19 +57,51 @@ const (
 	DefaultCoalesce = time.Second
 )
 
-// ViewInfo is the client-side digest of a membership view: the sorted member
-// list and the slot mapping used to populate the routing grid. Slot i holds
-// the i-th smallest member ID (row-major fill from a sorted list, §5).
+// ViewInfo is the client-side digest of a membership view: the slot-indexed
+// member assignment used to populate the routing grid, plus the occupied
+// member list and the ID → slot map.
+//
+// Two slot disciplines exist. A slot-addressed view (wire.View.Slots > 0)
+// assigns each member the slot it keeps for its lifetime; departed slots are
+// tombstones (ID == wire.NilNode) that stay in place until the coordinator's
+// quarantine reuses them, so one join or leave moves O(1) assignments. A
+// legacy dense view (Slots == 0, static deployments and tests) derives slots
+// from the sorted member ID order — row-major fill from a sorted list, the
+// paper's §5 form.
 type ViewInfo struct {
 	epoch   uint32
 	version uint32
-	members []wire.Member       // sorted by ID
+	slotted bool
+	slots   []wire.Member       // slot-indexed; tombstones hold ID == wire.NilNode
+	members []wire.Member       // occupied members (slot order; == slots when dense)
 	slotOf  map[wire.NodeID]int // ID → slot
 }
 
-// NewViewInfo builds a ViewInfo from a raw wire view. Members are sorted by
-// ID; duplicate IDs are rejected.
+// NewViewInfo builds a ViewInfo from a raw wire view. A view with a nonzero
+// Slots field is slot-addressed: member slots are taken from the wire and
+// duplicate slots or IDs (or slots out of range) are rejected. Otherwise
+// members are sorted by ID into dense slots; duplicate IDs are rejected.
 func NewViewInfo(v wire.View) (*ViewInfo, error) {
+	if v.Slots > 0 {
+		slots := make([]wire.Member, v.Slots)
+		for i := range slots {
+			slots[i].ID = wire.NilNode
+		}
+		for _, m := range v.Members {
+			if m.ID == wire.NilNode {
+				return nil, fmt.Errorf("membership: nil member ID in view %d", v.Version)
+			}
+			s := int(m.Slot)
+			if s >= len(slots) {
+				return nil, fmt.Errorf("membership: member %d slot %d outside %d-slot view %d", m.ID, s, v.Slots, v.Version)
+			}
+			if slots[s].ID != wire.NilNode {
+				return nil, fmt.Errorf("membership: duplicate slot %d in view %d", s, v.Version)
+			}
+			slots[s] = m
+		}
+		return newSlottedView(v.Epoch, v.Version, slots)
+	}
 	ms := append([]wire.Member(nil), v.Members...)
 	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
 	slotOf := make(map[wire.NodeID]int, len(ms))
@@ -76,7 +111,25 @@ func NewViewInfo(v wire.View) (*ViewInfo, error) {
 		}
 		slotOf[m.ID] = i
 	}
-	return &ViewInfo{epoch: v.Epoch, version: v.Version, members: ms, slotOf: slotOf}, nil
+	return &ViewInfo{epoch: v.Epoch, version: v.Version, slots: ms, members: ms, slotOf: slotOf}, nil
+}
+
+// newSlottedView builds a slot-addressed ViewInfo from a slot-indexed member
+// array (tombstones hold wire.NilNode). Duplicate member IDs are rejected.
+func newSlottedView(epoch, version uint32, slots []wire.Member) (*ViewInfo, error) {
+	slotOf := make(map[wire.NodeID]int, len(slots))
+	members := make([]wire.Member, 0, len(slots))
+	for s, m := range slots {
+		if m.ID == wire.NilNode {
+			continue
+		}
+		if _, dup := slotOf[m.ID]; dup {
+			return nil, fmt.Errorf("membership: duplicate ID %d in view %d", m.ID, version)
+		}
+		slotOf[m.ID] = s
+		members = append(members, m)
+	}
+	return &ViewInfo{epoch: epoch, version: version, slotted: true, slots: slots, members: members, slotOf: slotOf}, nil
 }
 
 // NewStaticView builds a ViewInfo directly from node IDs, for emulations and
@@ -107,12 +160,22 @@ func (v *ViewInfo) Stamp() wire.ViewStamp {
 // N returns the number of members.
 func (v *ViewInfo) N() int { return len(v.members) }
 
-// Members returns the members sorted by ID. Callers must not modify the
-// returned slice.
+// Slots returns the size of the slot space — the bound every slot-indexed
+// loop and table must use. For a slot-addressed view it counts tombstones;
+// for a dense view it equals N().
+func (v *ViewInfo) Slots() int { return len(v.slots) }
+
+// Occupied reports whether a slot holds a live member (false for
+// tombstones).
+func (v *ViewInfo) Occupied(slot int) bool { return v.slots[slot].ID != wire.NilNode }
+
+// Members returns the occupied members in slot order (sorted by ID for
+// dense views). Callers must not modify the returned slice.
 func (v *ViewInfo) Members() []wire.Member { return v.members }
 
-// IDAt returns the member ID occupying a grid slot.
-func (v *ViewInfo) IDAt(slot int) wire.NodeID { return v.members[slot].ID }
+// IDAt returns the member ID occupying a grid slot, or wire.NilNode for a
+// tombstone.
+func (v *ViewInfo) IDAt(slot int) wire.NodeID { return v.slots[slot].ID }
 
 // SlotOf returns the grid slot of a member ID.
 func (v *ViewInfo) SlotOf(id wire.NodeID) (int, bool) {
@@ -120,14 +183,33 @@ func (v *ViewInfo) SlotOf(id wire.NodeID) (int, bool) {
 	return s, ok
 }
 
+// OccupiedMask returns the per-slot occupancy of the view, or nil when every
+// slot is occupied (the form grid.NewMasked treats as the unmasked grid).
+func (v *ViewInfo) OccupiedMask() []bool {
+	if len(v.members) == len(v.slots) {
+		return nil
+	}
+	mask := make([]bool, len(v.slots))
+	for s, m := range v.slots {
+		mask[s] = m.ID != wire.NilNode
+	}
+	return mask
+}
+
 // SlotMap returns, for each slot of old, the slot the same member ID
-// occupies in next, or -1 if the member has departed. Probing and routing
-// state is keyed by slot but owned by node IDs, so this is the mapping every
-// component uses to carry measurements across a view change.
+// occupies in next, or -1 if the slot was a tombstone or the member has
+// departed. Probing and routing state is keyed by slot but owned by node
+// IDs, so this is the mapping every component uses to carry measurements
+// across a non-stable view change.
 func SlotMap(old, next *ViewInfo) []int {
-	m := make([]int, old.N())
+	m := make([]int, old.Slots())
 	for s := range m {
-		if ns, ok := next.SlotOf(old.members[s].ID); ok {
+		id := old.slots[s].ID
+		if id == wire.NilNode {
+			m[s] = -1
+			continue
+		}
+		if ns, ok := next.SlotOf(id); ok {
 			m[s] = ns
 		} else {
 			m[s] = -1
@@ -136,14 +218,61 @@ func SlotMap(old, next *ViewInfo) []int {
 	return m
 }
 
+// StableExtension reports whether next extends old without moving any
+// surviving member: every member present in both views keeps its slot, and
+// the slot space does not shrink. Slot-stable view changes — the only kind a
+// slot-addressed coordinator produces — let routers and probers keep all
+// per-slot state for unaffected members instead of remapping wholesale. A
+// slot whose occupant changed (quarantine-expired reuse) is still stable;
+// the consumer retires just that slot.
+func StableExtension(old, next *ViewInfo) bool {
+	if next.Slots() < old.Slots() {
+		return false
+	}
+	for s := range old.slots {
+		id := old.slots[s].ID
+		if id == wire.NilNode {
+			continue
+		}
+		if ns, ok := next.slotOf[id]; ok && ns != s {
+			return false
+		}
+	}
+	return true
+}
+
 // ApplyDelta builds the ViewInfo that results from applying a wire delta to
 // v. It fails if the delta's base version does not match v's version (the
 // caller must then request a full view), if a removed ID is unknown, or if
-// an added ID already exists.
+// an added ID already exists. On a slot-addressed base the delta is applied
+// in place in the slot space: removals tombstone their slot and additions
+// land at the slot the coordinator assigned (an occupied target slot is an
+// error). On a dense base the legacy rebuild-and-sort applies.
 func (v *ViewInfo) ApplyDelta(d wire.ViewDelta) (*ViewInfo, error) {
 	if v.epoch != d.Epoch || v.version != d.BaseVersion {
 		return nil, fmt.Errorf("membership: delta base %d/%d does not match view %d/%d",
 			d.Epoch, d.BaseVersion, v.epoch, v.version)
+	}
+	if v.slotted {
+		slots := append([]wire.Member(nil), v.slots...)
+		for _, id := range d.Removes {
+			s, ok := v.slotOf[id]
+			if !ok {
+				return nil, fmt.Errorf("membership: delta removes unknown ID %d", id)
+			}
+			slots[s] = wire.Member{ID: wire.NilNode}
+		}
+		for _, m := range d.Adds {
+			s := int(m.Slot)
+			for len(slots) <= s {
+				slots = append(slots, wire.Member{ID: wire.NilNode})
+			}
+			if slots[s].ID != wire.NilNode {
+				return nil, fmt.Errorf("membership: delta adds %d to occupied slot %d", m.ID, s)
+			}
+			slots[s] = m
+		}
+		return newSlottedView(d.Epoch, d.Version, slots)
 	}
 	removed := make(map[wire.NodeID]bool, len(d.Removes))
 	for _, id := range d.Removes {

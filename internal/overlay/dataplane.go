@@ -57,8 +57,9 @@ func (n *Node) forward(d wire.Data) error {
 	next := d.Dst
 	if e, ok := n.router.BestHop(slot); ok && e.Hop >= 0 {
 		hopID := n.view.IDAt(e.Hop)
-		// Never bounce back to the origin or ourselves.
-		if hopID != n.env.LocalID() && hopID != d.Origin {
+		// Never bounce back to the origin or ourselves, and never hand the
+		// packet to a slot tombstoned since the route was computed.
+		if hopID != wire.NilNode && hopID != n.env.LocalID() && hopID != d.Origin {
 			next = hopID
 		}
 	}

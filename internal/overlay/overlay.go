@@ -259,8 +259,9 @@ func (n *Node) handlePacket(from wire.NodeID, payload []byte) {
 		if q, ok := n.router.(*core.Quorum); ok {
 			q.HandleLinkStateAck(h, body)
 		}
-	case wire.TJoinReply, wire.TView, wire.TViewDelta, wire.THeartbeatAck,
-		wire.TGossipDelta, wire.TViewPull, wire.TViewPullReply:
+	case wire.TJoinReply, wire.TView, wire.TViewChunk, wire.TViewDelta,
+		wire.THeartbeatAck, wire.TGossipDelta, wire.TViewPull,
+		wire.TViewPullReply:
 		if n.mc != nil {
 			n.mc.HandlePacket(h, body)
 		}
@@ -309,7 +310,11 @@ func (n *Node) BestHop(dst wire.NodeID) (Route, bool) {
 	}
 	hopID := dst
 	if e.Hop >= 0 && e.Hop != slot {
-		hopID = n.view.IDAt(e.Hop)
+		// A hop slot tombstoned since the route was computed falls back to
+		// the direct path rather than surfacing NilNode.
+		if id := n.view.IDAt(e.Hop); id != wire.NilNode {
+			hopID = id
+		}
 	}
 	return Route{Dst: dst, Hop: hopID, Cost: e.Cost, Source: e.Source}, true
 }
@@ -321,8 +326,8 @@ func (n *Node) RouteTable() []Route {
 		return nil
 	}
 	var out []Route
-	for slot := 0; slot < n.view.N(); slot++ {
-		if slot == n.self {
+	for slot := 0; slot < n.view.Slots(); slot++ {
+		if slot == n.self || !n.view.Occupied(slot) {
 			continue
 		}
 		if r, ok := n.BestHop(n.view.IDAt(slot)); ok {

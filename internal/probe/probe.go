@@ -131,7 +131,7 @@ func (p *Prober) reset(view *membership.ViewInfo, self int) {
 			t.Stop()
 		}
 	}
-	n := view.N()
+	n := view.Slots()
 	p.view = view
 	p.self = self
 	p.links = make([]linkState, n)
@@ -155,14 +155,24 @@ func (p *Prober) reset(view *membership.ViewInfo, self int) {
 	}
 }
 
-// SetView installs a new membership view and restarts probing. Link state is
-// keyed by the destination's node ID: members present in both views keep
-// their EWMA latency/loss estimates and liveness, so a single join or leave
-// no longer blinds the node for a full probing interval. Departed members
-// are dropped; new members start cold (dead until first reply). In-flight
-// probes are abandoned — their reply timers were view-relative.
+// SetView installs a new membership view. A slot-stable extension — the
+// only change a slot-addressed coordinator produces — touches nothing but
+// the slots the change names: unchanged members keep their link state,
+// running probe timers, and in-flight probes bit-for-bit; departed slots are
+// stopped and reset cold; newly occupied slots get cold state and a
+// staggered first probe. A view change that moves surviving members falls
+// back to the rebuild: link state follows each destination's node ID to its
+// new slot (EWMA latency/loss and liveness survive), departed members are
+// dropped, new members start cold, and in-flight probes are abandoned —
+// their reply timers were view-relative.
 func (p *Prober) SetView(view *membership.ViewInfo, self int) {
 	old := p.view
+	if old != nil && self == p.self && self < old.Slots() &&
+		old.IDAt(self) == view.IDAt(self) &&
+		membership.StableExtension(old, view) {
+		p.setViewStable(old, view)
+		return
+	}
 	oldLinks := p.links
 	p.reset(view, self)
 	if old != nil {
@@ -180,6 +190,75 @@ func (p *Prober) SetView(view *membership.ViewInfo, self int) {
 	p.Start()
 }
 
+// setViewStable applies a slot-stable view extension in place.
+func (p *Prober) setViewStable(old, view *membership.ViewInfo) {
+	n := view.Slots()
+	p.view = view
+	for len(p.links) < n {
+		var ls linkState
+		ls.latency.Alpha = p.cfg.LatencyAlpha
+		ls.outLat.Alpha = p.cfg.LatencyAlpha
+		ls.inLat.Alpha = p.cfg.LatencyAlpha
+		ls.loss.Alpha = p.cfg.LossAlpha
+		p.links = append(p.links, ls)
+	}
+	for len(p.row) < n {
+		p.row = append(p.row, wire.LinkEntry{Latency: 0, Status: wire.StatusDead})
+	}
+	if p.asymRow != nil {
+		for len(p.asymRow) < n {
+			p.asymRow = append(p.asymRow, wire.AsymEntry{Status: wire.StatusDead})
+		}
+	}
+	// Slots whose old occupant is gone: stop probing and go cold. A
+	// quarantine-expired reuse (a new member in the same slot) probes fresh —
+	// the estimates belonged to the departed node, not the slot.
+	var fresh []int
+	for s := 0; s < old.Slots(); s++ {
+		if !old.Occupied(s) || view.IDAt(s) == old.IDAt(s) {
+			continue
+		}
+		ls := &p.links[s]
+		if ls.probeTimer != nil {
+			ls.probeTimer.Stop()
+		}
+		if ls.checkTimer != nil {
+			ls.checkTimer.Stop()
+		}
+		wasAlive := ls.alive
+		*ls = linkState{}
+		ls.latency.Alpha = p.cfg.LatencyAlpha
+		ls.outLat.Alpha = p.cfg.LatencyAlpha
+		ls.inLat.Alpha = p.cfg.LatencyAlpha
+		ls.loss.Alpha = p.cfg.LossAlpha
+		p.row[s] = wire.LinkEntry{Latency: 0, Status: wire.StatusDead}
+		if p.asymRow != nil {
+			p.asymRow[s] = wire.AsymEntry{Status: wire.StatusDead}
+		}
+		if wasAlive && p.OnLinkChange != nil {
+			p.OnLinkChange(s, false)
+		}
+		if view.Occupied(s) {
+			fresh = append(fresh, s)
+		}
+	}
+	// Newly occupied slots (reused tombstones and appended slots) start cold
+	// with a staggered first probe; everyone else's schedule is untouched.
+	for s := 0; s < n; s++ {
+		if s == p.self || !view.Occupied(s) {
+			continue
+		}
+		if s >= old.Slots() || !old.Occupied(s) {
+			fresh = append(fresh, s)
+		}
+	}
+	for _, s := range fresh {
+		slot := s
+		delay := time.Duration(p.env.Rand().Int63n(int64(p.cfg.Interval)))
+		p.links[slot].probeTimer = p.env.After(delay, func() { p.sendProbe(slot) })
+	}
+}
+
 // Start begins probing all destinations, staggering initial probes uniformly
 // across one interval to avoid synchronized bursts. With RampIntervals > 1,
 // never-measured links outside the node's rendezvous row and column are
@@ -188,8 +267,8 @@ func (p *Prober) SetView(view *membership.ViewInfo, self int) {
 // the mesh fills in over the next few intervals.
 func (p *Prober) Start() {
 	ramp := p.rampSlots()
-	for slot := 0; slot < p.view.N(); slot++ {
-		if slot == p.self {
+	for slot := 0; slot < p.view.Slots(); slot++ {
+		if slot == p.self || !p.view.Occupied(slot) {
 			continue
 		}
 		slot := slot
@@ -210,15 +289,15 @@ func (p *Prober) rampSlots() []bool {
 	if p.cfg.RampIntervals <= 1 || p.view.N() <= 3 {
 		return nil
 	}
-	g, err := grid.New(p.view.N())
+	g, err := grid.NewMasked(p.view.Slots(), p.view.OccupiedMask())
 	if err != nil {
 		return nil
 	}
-	rendezvous := make([]bool, p.view.N())
+	rendezvous := make([]bool, p.view.Slots())
 	for _, s := range g.Servers(p.self) {
 		rendezvous[s] = true
 	}
-	ramp := make([]bool, p.view.N())
+	ramp := make([]bool, p.view.Slots())
 	any := false
 	for slot := range ramp {
 		if slot != p.self && !rendezvous[slot] && !p.links[slot].everAlive {

@@ -168,9 +168,39 @@ func FuzzViewRoundTrip(f *testing.F) {
 			{ID: 2},
 		},
 	})))
-	f.Add(uint16(0), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Slot-addressed view: 4 slots, slot 1 a tombstone.
+	f.Add(uint16(1), body(wire.AppendView(nil, 1, wire.View{
+		Epoch: 2, Version: 9, Slots: 4,
+		Members: []wire.Member{
+			{ID: 5, Slot: 0, Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 5}), 4400)},
+			{ID: 7, Slot: 2},
+			{ID: 8, Slot: 3},
+		},
+	})))
+	f.Add(uint16(0), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
 		roundTrip(t, src, b, wire.ParseView, wire.AppendView)
+	})
+}
+
+func FuzzViewChunkRoundTrip(f *testing.F) {
+	f.Add(uint16(1), body(wire.AppendViewChunk(nil, 1, wire.ViewChunk{
+		Stamp:        wire.ViewStamp{Epoch: 2, Version: 40},
+		TotalSlots:   130,
+		TotalMembers: 129,
+		Index:        1,
+		Count:        3,
+		Members: []wire.Member{
+			{ID: 64, Slot: 64, Addr: netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 0, 0, 64}), 4400)},
+			{ID: 66, Slot: 65},
+		},
+	})))
+	// Empty tail chunk (a snapshot whose last piece carries no members).
+	f.Add(uint16(1), body(wire.AppendViewChunk(nil, 1, wire.ViewChunk{
+		Stamp: wire.ViewStamp{Epoch: 1, Version: 1}, Count: 1,
+	})))
+	f.Fuzz(func(t *testing.T, src uint16, b []byte) {
+		roundTrip(t, src, b, wire.ParseViewChunk, wire.AppendViewChunk)
 	})
 }
 

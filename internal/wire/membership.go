@@ -6,15 +6,20 @@ import (
 	"net/netip"
 )
 
-// Member is one entry in a membership view: the node's assigned ID and its
-// UDP endpoint. Simulated deployments leave the endpoint zero.
+// Member is one entry in a membership view: the node's assigned ID, the grid
+// slot it occupies for its lifetime, and its UDP endpoint. Simulated
+// deployments leave the endpoint zero. Slot is meaningful only inside views
+// whose Slots field is nonzero (slot-addressed views); legacy dense views
+// carry zero and derive slots from the sorted ID order.
 type Member struct {
 	ID   NodeID
+	Slot uint16
 	Addr netip.AddrPort // IPv4 only on the wire
 }
 
-// memberLen is the encoded size of a Member: id (2) + IPv4 (4) + port (2).
-const memberLen = 8
+// memberLen is the encoded size of a Member: id (2) + slot (2) + IPv4 (4) +
+// port (2).
+const memberLen = 10
 
 // as4 converts an address to its 4-byte form, mapping invalid or non-IPv4
 // addresses to 0.0.0.0 (the simulator convention carries meaning only in the
@@ -28,6 +33,7 @@ func as4(a netip.Addr) [4]byte {
 
 func appendMember(b []byte, m Member) []byte {
 	b = binary.BigEndian.AppendUint16(b, uint16(m.ID))
+	b = binary.BigEndian.AppendUint16(b, m.Slot)
 	a4 := as4(m.Addr.Addr())
 	b = append(b, a4[:]...)
 	return binary.BigEndian.AppendUint16(b, m.Addr.Port())
@@ -35,10 +41,11 @@ func appendMember(b []byte, m Member) []byte {
 
 func parseMember(b []byte) Member {
 	var a4 [4]byte
-	copy(a4[:], b[2:6])
+	copy(a4[:], b[4:8])
 	return Member{
 		ID:   NodeID(binary.BigEndian.Uint16(b)),
-		Addr: netip.AddrPortFrom(netip.AddrFrom4(a4), binary.BigEndian.Uint16(b[6:8])),
+		Slot: binary.BigEndian.Uint16(b[2:4]),
+		Addr: netip.AddrPortFrom(netip.AddrFrom4(a4), binary.BigEndian.Uint16(b[8:10])),
 	}
 }
 
@@ -119,9 +126,16 @@ func (s ViewStamp) After(o ViewStamp) bool {
 
 // View is the coordinator's authoritative membership snapshot. Nodes with
 // the same view version build identical grids (§5, "Membership Service").
+// Slots is the size of the slot-addressed grid space: members occupy the
+// slots named by their Slot field and every other slot is a tombstone
+// (departed, quarantined, or never assigned). A zero Slots marks a legacy
+// dense view whose slots are the sorted-ID indexes — the trailing-tombstone
+// case makes the slot count unrepresentable from the member list alone, so
+// it must travel on the wire.
 type View struct {
 	Epoch   uint32
 	Version uint32
+	Slots   uint16
 	Members []Member
 }
 
@@ -134,6 +148,7 @@ func AppendView(b []byte, src NodeID, v View) []byte {
 	b = binary.BigEndian.AppendUint32(b, v.Epoch)
 	b = binary.BigEndian.AppendUint32(b, v.Version)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(v.Members)))
+	b = binary.BigEndian.AppendUint16(b, v.Slots)
 	for _, m := range v.Members {
 		b = appendMember(b, m)
 	}
@@ -142,13 +157,14 @@ func AppendView(b []byte, src NodeID, v View) []byte {
 
 // ParseView decodes a View body.
 func ParseView(body []byte) (View, error) {
-	const fixed = 4 + 4 + 2
+	const fixed = 4 + 4 + 2 + 2
 	if len(body) < fixed {
 		return View{}, ErrShort
 	}
 	v := View{
 		Epoch:   binary.BigEndian.Uint32(body),
 		Version: binary.BigEndian.Uint32(body[4:]),
+		Slots:   binary.BigEndian.Uint16(body[10:]),
 	}
 	n := int(binary.BigEndian.Uint16(body[8:]))
 	body = body[fixed:]
@@ -246,7 +262,78 @@ func ViewDeltaSize(adds, removes int) int { return HeaderLen + 16 + adds*memberL
 
 // ViewSize returns the encoded payload size of a full n-member view,
 // excluding per-packet overhead.
-func ViewSize(n int) int { return HeaderLen + 10 + n*memberLen }
+func ViewSize(n int) int { return HeaderLen + 12 + n*memberLen }
+
+// ViewChunkMembers is how many members one ViewChunk carries at most. It
+// bounds a full-view snapshot datagram the same way MaxPullDeltas bounds a
+// pull reply: a joiner in a large overlay receives its snapshot as
+// ⌈n/ViewChunkMembers⌉ pieces instead of one O(n)-sized burst, and a
+// mass-admission storm no longer multiplies that burst by the joiner count.
+const ViewChunkMembers = 64
+
+// ViewChunk is one piece of a chunked full-view snapshot. The receiver
+// reassembles chunks sharing a stamp; Index/Count frame the sequence and
+// TotalSlots/TotalMembers let it validate completeness and build the final
+// View without trusting any single chunk. Loss of any chunk is repaired by
+// the client's existing full-view retry (the stamp changes or the request
+// fires again and the partial set is discarded).
+type ViewChunk struct {
+	Stamp        ViewStamp
+	TotalSlots   uint16
+	TotalMembers uint16
+	Index        uint16
+	Count        uint16
+	Members      []Member
+}
+
+// AppendViewChunk encodes vc with its header.
+func AppendViewChunk(b []byte, src NodeID, vc ViewChunk) []byte {
+	b = AppendHeader(b, TViewChunk, src)
+	b = binary.BigEndian.AppendUint32(b, vc.Stamp.Epoch)
+	b = binary.BigEndian.AppendUint32(b, vc.Stamp.Version)
+	b = binary.BigEndian.AppendUint16(b, vc.TotalSlots)
+	b = binary.BigEndian.AppendUint16(b, vc.TotalMembers)
+	b = binary.BigEndian.AppendUint16(b, vc.Index)
+	b = binary.BigEndian.AppendUint16(b, vc.Count)
+	for _, m := range vc.Members {
+		b = appendMember(b, m)
+	}
+	return b
+}
+
+// ParseViewChunk decodes a ViewChunk body. Count must be nonzero and Index
+// within it; the member list is exactly the remaining bytes.
+func ParseViewChunk(body []byte) (ViewChunk, error) {
+	const fixed = 4 + 4 + 2 + 2 + 2 + 2
+	if len(body) < fixed {
+		return ViewChunk{}, ErrShort
+	}
+	vc := ViewChunk{
+		Stamp: ViewStamp{
+			Epoch:   binary.BigEndian.Uint32(body),
+			Version: binary.BigEndian.Uint32(body[4:]),
+		},
+		TotalSlots:   binary.BigEndian.Uint16(body[8:]),
+		TotalMembers: binary.BigEndian.Uint16(body[10:]),
+		Index:        binary.BigEndian.Uint16(body[12:]),
+		Count:        binary.BigEndian.Uint16(body[14:]),
+	}
+	if vc.Count == 0 || vc.Index >= vc.Count {
+		return ViewChunk{}, fmt.Errorf("%w: chunk %d of %d", ErrBadLen, vc.Index, vc.Count)
+	}
+	body = body[fixed:]
+	if len(body)%memberLen != 0 {
+		return ViewChunk{}, fmt.Errorf("%w: %d trailing member bytes", ErrBadLen, len(body)%memberLen)
+	}
+	n := len(body) / memberLen
+	if n > 0 {
+		vc.Members = make([]Member, n)
+		for i := 0; i < n; i++ {
+			vc.Members[i] = parseMember(body[i*memberLen:])
+		}
+	}
+	return vc, nil
+}
 
 // AppendViewRequest encodes a full-view request carrying the requester's
 // current view stamp (the zero stamp if it holds none).

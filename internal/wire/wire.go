@@ -88,6 +88,9 @@ const (
 	TViewPull      // anti-entropy: member asks a peer for the deltas it missed
 	TViewPullReply // the peer's answer: consecutive deltas, or empty if it can't bridge
 
+	// Membership plane, slot-addressed views extension.
+	TViewChunk // one bounded piece of a chunked full-view snapshot
+
 	maxMsgType
 )
 
@@ -138,6 +141,8 @@ func (t MsgType) String() string {
 		return "view-pull"
 	case TViewPullReply:
 		return "view-pull-reply"
+	case TViewChunk:
+		return "view-chunk"
 	default:
 		return fmt.Sprintf("msgtype(%d)", byte(t))
 	}

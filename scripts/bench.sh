@@ -10,9 +10,15 @@
 # It then runs the view-dissemination benchmark (broadcast vs gossip message
 # counts, primary egress, and convergence time at n ∈ {500, 2000}) into the
 # file named in $2 (default BENCH_3.json).
+#
+# Finally it runs the view-change benchmarks — stable slot extension vs
+# wholesale remap on both routers at n ∈ {500, 2000, 5000}, plus the sharded
+# full-pass recompute at 1/2/4/8 workers (byte-identity asserted before
+# timing) — into the file named in $3 (default BENCH_4.json).
 set -e
 out=${1:-BENCH_2.json}
 out3=${2:-BENCH_3.json}
+out4=${3:-BENCH_4.json}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -46,3 +52,7 @@ echo "wrote $out"
 go test -run '^$' -bench 'ViewDissemination' -benchtime 1x -count 3 ./internal/membership/ | tee "$tmp"
 parse_bench < "$tmp" > "$out3"
 echo "wrote $out3"
+
+go test -run '^$' -bench 'ViewRemap|ShardedFullPass' -benchmem -count 3 . | tee "$tmp"
+parse_bench < "$tmp" > "$out4"
+echo "wrote $out4"
